@@ -1,0 +1,219 @@
+// End-to-end test of the command-line tools: real gris and giis processes
+// on loopback TCP, registration carried as LDAP adds, queried by
+// gridsearch — the deployment story of README.md, verified.
+package mds2_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the CLI binaries once into a temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"gris", "giis", "gridsearch", "gridsim", "mdsbench", "gridproxy"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, b)
+		}
+	}
+	return dir
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func startTool(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitPort(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening at %s", addr)
+}
+
+func TestCLIDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	giisPort := freePort(t)
+	grisPort := freePort(t)
+	giisAddr := fmt.Sprintf("127.0.0.1:%d", giisPort)
+	grisAddr := fmt.Sprintf("127.0.0.1:%d", grisPort)
+
+	startTool(t, filepath.Join(bins, "giis"),
+		"-name", "giis.test", "-suffix", "vo=clitest",
+		"-listen", giisAddr, "-strategy", "chain", "-vo", "clitest")
+	waitPort(t, giisAddr)
+
+	startTool(t, filepath.Join(bins, "gris"),
+		"-host", "clihost", "-org", "cliorg",
+		"-listen", grisAddr, "-register", giisAddr,
+		"-vo", "clitest", "-interval", "200ms", "-ttl", "5s", "-cpus", "16")
+	waitPort(t, grisAddr)
+
+	// Direct provider query.
+	query := func(server, base, filter string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			out, err := exec.Command(filepath.Join(bins, "gridsearch"),
+				"-server", server, "-base", base, filter).CombinedOutput()
+			if err == nil && strings.Contains(string(out), "dn:") {
+				return string(out)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("query %s at %s: %v\n%s", filter, server, err, out)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	direct := query(grisAddr, "hn=clihost, o=cliorg", "(objectclass=computer)")
+	if !strings.Contains(direct, "cpucount: 16") {
+		t.Fatalf("direct query output:\n%s", direct)
+	}
+	// Through the directory: registration must have propagated, DNs appear
+	// in the VO view namespace.
+	viaDir := query(giisAddr, "vo=clitest", "(objectclass=computer)")
+	if !strings.Contains(viaDir, "hn=clihost, o=cliorg, vo=clitest") {
+		t.Fatalf("directory query output:\n%s", viaDir)
+	}
+	// The name index lists the provider.
+	idx := query(giisAddr, "vo=clitest", "(objectclass=mdsservice)")
+	if !strings.Contains(idx, "mdstype: gris") {
+		t.Fatalf("name index output:\n%s", idx)
+	}
+}
+
+// TestCLISingleSignOn drives the full GSI workflow through the tools:
+// gridproxy creates a CA, issues identities, delegates a proxy; gris runs
+// with GSI enabled; gridsearch authenticates with the proxy.
+func TestCLISingleSignOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	gp := filepath.Join(bins, "gridproxy")
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(gp, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("gridproxy %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	caKey := filepath.Join(dir, "ca.key")
+	anchor := filepath.Join(dir, "ca.anchor")
+	run("init-ca", "-name", "o=CLI CA", "-ca", caKey, "-anchor", anchor)
+	serverKey := filepath.Join(dir, "server.key")
+	run("issue", "-ca", caKey, "-subject", "cn=gris.clihost", "-out", serverKey)
+	userKey := filepath.Join(dir, "user.key")
+	run("issue", "-ca", caKey, "-subject", "cn=alice", "-out", userKey)
+	proxyKey := filepath.Join(dir, "user.proxy")
+	run("proxy", "-in", userKey, "-out", proxyKey, "-lifetime", "1h")
+	if out := run("show", "-in", proxyKey); !strings.Contains(out, "proxy") ||
+		!strings.Contains(out, `subject="cn=alice/proxy"`) {
+		t.Fatalf("show output:\n%s", out)
+	}
+	if out := run("verify", "-in", proxyKey, "-anchor", anchor); !strings.Contains(out, "valid") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+
+	grisAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	startTool(t, filepath.Join(bins, "gris"),
+		"-host", "clihost", "-org", "cli", "-listen", grisAddr,
+		"-keys", serverKey, "-anchor", anchor)
+	waitPort(t, grisAddr)
+
+	// Authenticated search through gridsearch with the delegated proxy.
+	out, err := exec.Command(filepath.Join(bins, "gridsearch"),
+		"-server", grisAddr, "-base", "hn=clihost, o=cli",
+		"-proxy", proxyKey, "-anchor", anchor,
+		"(objectclass=computer)").CombinedOutput()
+	if err != nil {
+		t.Fatalf("authenticated gridsearch: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, `server is "cn=gris.clihost"`) {
+		t.Fatalf("missing mutual-auth confirmation:\n%s", s)
+	}
+	if !strings.Contains(s, "hn: clihost") {
+		t.Fatalf("missing search results:\n%s", s)
+	}
+}
+
+func TestCLIGridsimDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	out, err := exec.Command(filepath.Join(bins, "gridsim"), "-advance", "30s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gridsim: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"3 directories, 6 hosts", "6 entries", "hn=r2.o1, o=o1, vo=alliance"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("gridsim output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIMdsbenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	out, err := exec.Command(filepath.Join(bins, "mdsbench"), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdsbench -list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5",
+		"detector", "cache", "scope", "mds1", "bloom", "pushpull", "security", "nws", "matchmake"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("mdsbench list missing %q:\n%s", want, out)
+		}
+	}
+	// And one experiment runs from the CLI.
+	out, err = exec.Command(filepath.Join(bins, "mdsbench"), "-exp", "fig3").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "wire round-trip: ok") {
+		t.Fatalf("mdsbench -exp fig3: %v\n%s", err, out)
+	}
+}

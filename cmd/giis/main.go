@@ -1,0 +1,133 @@
+// Command giis runs a standalone Grid Index Information Service: an
+// aggregate directory accepting GRRP registrations (carried as LDAP add
+// operations, the MDS-2.1 binding) and answering GRIP searches with a
+// selectable strategy. It can register itself with a parent directory to
+// form a hierarchy.
+//
+// Example:
+//
+//	giis -name giis.vo -suffix vo=alliance -listen :2136 -strategy chain
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"mds2/internal/giis"
+	"mds2/internal/grrp"
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "giis", "directory name")
+		suffix   = flag.String("suffix", "vo=grid", "namespace suffix")
+		listen   = flag.String("listen", ":2136", "LDAP listen address")
+		strategy = flag.String("strategy", "chain", "search strategy: chain | cache | referral | bloom")
+		cacheTTL = flag.Duration("cache-ttl", 30*time.Second, "index freshness for cache/bloom strategies")
+		parent   = flag.String("parent", "", "parent GIIS address to register with")
+		vo       = flag.String("vo", "", "VO name for admission and upward registration")
+		interval = flag.Duration("interval", 30*time.Second, "upward registration interval")
+		ttl      = flag.Duration("ttl", 2*time.Minute, "upward registration TTL")
+		keysPath = flag.String("keys", "", "GSI key file (see gridproxy); enables SASL binds and -auth-children")
+		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
+		authKids = flag.Bool("auth-children", false, "authenticate to providers when chaining")
+		signed   = flag.Bool("require-signed", false, "refuse unsigned registrations")
+	)
+	flag.Parse()
+
+	dn, err := ldap.ParseDN(*suffix)
+	if err != nil {
+		log.Fatalf("giis: bad suffix: %v", err)
+	}
+	var strat giis.Strategy
+	switch *strategy {
+	case "chain":
+		strat = giis.NewChaining()
+	case "cache":
+		strat = giis.NewCachedIndex(*cacheTTL)
+	case "referral":
+		strat = giis.NewReferral()
+	case "bloom":
+		strat = giis.NewBloomRouted(*cacheTTL, 1<<16)
+	default:
+		log.Fatalf("giis: unknown strategy %q", *strategy)
+	}
+
+	selfURL, err := ldap.ParseURL("ldap://" + advertised(*listen))
+	if err != nil {
+		log.Fatalf("giis: %v", err)
+	}
+	cfg := giis.Config{
+		Name:     *name,
+		Suffix:   dn,
+		SelfURL:  selfURL,
+		Strategy: strat,
+		AcceptVO: *vo,
+	}
+	if *keysPath != "" {
+		if *anchor == "" {
+			log.Fatal("giis: -keys requires -anchor")
+		}
+		keys, err := gsi.LoadKeyPair(*keysPath)
+		if err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		trust, err := gsi.LoadAnchors(*anchor)
+		if err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		cfg.Keys = keys
+		cfg.Trust = trust
+		cfg.AuthChildren = *authKids
+		cfg.RequireSignedRegistrations = *signed
+		log.Printf("giis: GSI enabled as %q", keys.Credential.Subject)
+	} else if *authKids || *signed {
+		log.Fatal("giis: -auth-children and -require-signed need -keys/-anchor")
+	}
+	server := giis.New(cfg)
+	defer server.Close()
+
+	if *parent != "" {
+		registrar := grrp.NewRegistrar(grrp.TransportFunc(func(to string, payload []byte) error {
+			m, err := grrp.Unmarshal(payload)
+			if err != nil {
+				return err
+			}
+			c, err := ldap.Dial(to)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			return c.Add(m.ToEntry())
+		}), nil)
+		defer registrar.StopAll()
+		registrar.Start(server.SelfRegistration(*parent, *vo, *interval, *ttl))
+		log.Printf("giis: registering with parent %s", *parent)
+	}
+
+	srv := ldap.NewServer(server)
+	srv.ErrorLog = log.Default()
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		log.Print("giis: shutting down")
+		srv.Close()
+	}()
+	log.Printf("giis: %s serving %q on %s (strategy %s)", *name, dn, *listen, strat.Name())
+	if err := srv.ListenAndServe(*listen); err != nil && err != ldap.ErrServerClosed {
+		log.Fatalf("giis: %v", err)
+	}
+}
+
+func advertised(listen string) string {
+	if len(listen) > 0 && listen[0] == ':' {
+		return "127.0.0.1" + listen
+	}
+	return listen
+}

@@ -1,0 +1,211 @@
+// Command gridproxy manages the GSI single sign-on workflow: create a
+// certificate authority, issue identity credentials, and derive the
+// short-lived proxy credentials that tools present when authenticating
+// (the grid-proxy-init equivalent for this reproduction).
+//
+// Examples:
+//
+//	gridproxy init-ca  -name "o=Demo CA" -ca ca.key -anchor ca.anchor
+//	gridproxy issue    -ca ca.key -subject cn=alice -out alice.key
+//	gridproxy proxy    -in alice.key -out alice.proxy -lifetime 12h
+//	gridproxy show     -in alice.proxy
+//	gridproxy verify   -in alice.proxy -anchor ca.anchor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mds2/internal/gsi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridproxy: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "init-ca":
+		initCA(args)
+	case "issue":
+		issue(args)
+	case "proxy":
+		proxy(args)
+	case "show":
+		show(args)
+	case "verify":
+		verify(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gridproxy {init-ca|issue|proxy|show|verify} [flags]")
+	os.Exit(2)
+}
+
+func initCA(args []string) {
+	fs := flag.NewFlagSet("init-ca", flag.ExitOnError)
+	name := fs.String("name", "o=Grid CA", "authority name")
+	caPath := fs.String("ca", "ca.key", "authority private key output")
+	anchorPath := fs.String("anchor", "ca.anchor", "public trust anchor output")
+	fs.Parse(args)
+	ca, err := gsi.NewAuthority(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gsi.SaveAuthority(*caPath, ca); err != nil {
+		log.Fatal(err)
+	}
+	if err := gsi.SaveAnchor(*anchorPath, ca.Anchor()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created authority %q\n  private key: %s\n  trust anchor: %s\n",
+		*name, *caPath, *anchorPath)
+}
+
+func issue(args []string) {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.key", "authority private key")
+	subject := fs.String("subject", "", "credential subject, e.g. cn=alice")
+	lifetime := fs.Duration("lifetime", 365*24*time.Hour, "credential lifetime")
+	out := fs.String("out", "", "identity key output (default <subject>.key)")
+	caps := fs.String("capabilities", "", "comma-separated capabilities")
+	fs.Parse(args)
+	if *subject == "" {
+		log.Fatal("issue: -subject required")
+	}
+	ca, err := gsi.LoadAuthority(*caPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var capList []string
+	if *caps != "" {
+		capList = splitComma(*caps)
+	}
+	keys, err := ca.Issue(*subject, *lifetime, time.Now(), capList...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = sanitize(*subject) + ".key"
+	}
+	if err := gsi.SaveKeyPair(path, keys); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("issued %q (valid %v): %s\n", *subject, *lifetime, path)
+}
+
+func proxy(args []string) {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	in := fs.String("in", "", "identity key file")
+	out := fs.String("out", "", "proxy output (default <in>.proxy)")
+	lifetime := fs.Duration("lifetime", 12*time.Hour, "proxy lifetime")
+	caps := fs.String("capabilities", "", "comma-separated capabilities to assert")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("proxy: -in required")
+	}
+	keys, err := gsi.LoadKeyPair(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var capList []string
+	if *caps != "" {
+		capList = splitComma(*caps)
+	}
+	proxy, err := keys.Delegate(*lifetime, time.Now(), capList...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *in + ".proxy"
+	}
+	if err := gsi.SaveKeyPair(path, proxy); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delegated proxy for %q (valid %v): %s\n",
+		proxy.Credential.EndEntity(), *lifetime, path)
+}
+
+func show(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "", "key or proxy file")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("show: -in required")
+	}
+	keys, err := gsi.LoadKeyPair(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := keys.Credential; c != nil; c = c.Chain {
+		kind := "identity"
+		if c.IsProxy {
+			kind = "proxy"
+		}
+		fmt.Printf("%-8s subject=%q issuer=%q valid %s .. %s",
+			kind, c.Subject, c.Issuer,
+			c.NotBefore.Format(time.RFC3339), c.NotAfter.Format(time.RFC3339))
+		if len(c.Capabilities) > 0 {
+			fmt.Printf(" capabilities=%v", c.Capabilities)
+		}
+		fmt.Println()
+	}
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "key or proxy file")
+	anchor := fs.String("anchor", "ca.anchor", "trust anchor file")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("verify: -in required")
+	}
+	keys, err := gsi.LoadKeyPair(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust, err := gsi.LoadAnchors(*anchor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trust.Verify(keys.Credential, time.Now()); err != nil {
+		log.Fatalf("INVALID: %v", err)
+	}
+	fmt.Printf("valid: %q (end entity %q)\n",
+		keys.Credential.Subject, keys.Credential.EndEntity())
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch c {
+		case '/', '=', ' ', ',':
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,126 @@
+// Command gridsearch is the query tool (the grid-info-search equivalent):
+// it runs a GRIP enquiry or discovery against a GRIS or GIIS and prints the
+// results as LDIF.
+//
+// Examples:
+//
+//	gridsearch -server 127.0.0.1:2136 -base "vo=alliance" "(objectclass=computer)"
+//	gridsearch -server 127.0.0.1:2135 -base "hn=hostX, o=grid" -scope base "(objectclass=*)"
+//	gridsearch -server 127.0.0.1:2135 -subscribe "(objectclass=loadaverage)"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"mds2/internal/grip"
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+	"mds2/internal/ldap/ldif"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "127.0.0.1:2135", "LDAP server address")
+		base      = flag.String("base", "", "search base DN")
+		scope     = flag.String("scope", "sub", "scope: base | one | sub")
+		subscribe = flag.Bool("subscribe", false, "persistent search: stream changes until interrupted")
+		limit     = flag.Int64("limit", 0, "size limit (0 = unlimited)")
+		proxyPath = flag.String("proxy", "", "GSI proxy/key file for mutual authentication (see gridproxy)")
+		anchor    = flag.String("anchor", "", "trust anchor file (required with -proxy)")
+	)
+	flag.Parse()
+	filter := "(objectclass=*)"
+	if flag.NArg() > 0 {
+		filter = flag.Arg(0)
+	}
+	attrs := flag.Args()
+	if len(attrs) > 0 {
+		attrs = attrs[1:]
+	}
+
+	baseDN, err := ldap.ParseDN(*base)
+	if err != nil {
+		log.Fatalf("gridsearch: bad base DN: %v", err)
+	}
+	f, err := ldap.ParseFilter(filter)
+	if err != nil {
+		log.Fatalf("gridsearch: bad filter: %v", err)
+	}
+	var sc ldap.Scope
+	switch *scope {
+	case "base":
+		sc = ldap.ScopeBaseObject
+	case "one":
+		sc = ldap.ScopeSingleLevel
+	case "sub":
+		sc = ldap.ScopeWholeSubtree
+	default:
+		log.Fatalf("gridsearch: bad scope %q", *scope)
+	}
+
+	c, err := grip.Dial(*server)
+	if err != nil {
+		log.Fatalf("gridsearch: %v", err)
+	}
+	defer c.Close()
+
+	if *proxyPath != "" {
+		if *anchor == "" {
+			log.Fatal("gridsearch: -proxy requires -anchor")
+		}
+		keys, err := gsi.LoadKeyPair(*proxyPath)
+		if err != nil {
+			log.Fatalf("gridsearch: %v", err)
+		}
+		trust, err := gsi.LoadAnchors(*anchor)
+		if err != nil {
+			log.Fatalf("gridsearch: %v", err)
+		}
+		serverCred, err := c.Authenticate(keys, trust)
+		if err != nil {
+			log.Fatalf("gridsearch: authentication: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gridsearch: authenticated; server is %q\n", serverCred.EndEntity())
+	}
+
+	if *subscribe {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+			cancel()
+		}()
+		err := c.Subscribe(ctx, baseDN, filter, false, func(u grip.Update) error {
+			fmt.Printf("# change type %d\n%s\n", u.ChangeType, ldif.Marshal([]*ldap.Entry{u.Entry}))
+			return nil
+		})
+		if err != nil && err != context.Canceled {
+			log.Fatalf("gridsearch: %v", err)
+		}
+		return
+	}
+
+	res, err := c.Raw().Search(&ldap.SearchRequest{
+		BaseDN:     baseDN.String(),
+		Scope:      sc,
+		Filter:     f,
+		Attributes: attrs,
+		SizeLimit:  *limit,
+	})
+	if err != nil && !ldap.IsCode(err, ldap.ResultSizeLimitExceeded) {
+		log.Fatalf("gridsearch: %v", err)
+	}
+	fmt.Print(ldif.Marshal(res.Entries))
+	for _, ref := range res.Referrals {
+		fmt.Printf("# referral: %s\n", ref)
+	}
+	if res.Result.Message != "" {
+		fmt.Fprintf(os.Stderr, "gridsearch: %s\n", res.Result.Message)
+	}
+}

@@ -1,0 +1,142 @@
+// Command gris runs a standalone Grid Resource Information Service: an
+// LDAP server publishing a (synthetic) host's static, dynamic, storage,
+// queue, and network information, optionally sustaining a GRRP
+// registration stream to an aggregate directory.
+//
+// Example:
+//
+//	gris -host hostX -org center1 -listen :2135 -register 127.0.0.1:2136 -vo alliance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/grrp"
+	"mds2/internal/gsi"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/nws"
+	"mds2/internal/providers"
+)
+
+func main() {
+	var (
+		hostName = flag.String("host", "hostX", "host name to publish")
+		org      = flag.String("org", "grid", "organization component of the namespace")
+		listen   = flag.String("listen", ":2135", "LDAP listen address")
+		register = flag.String("register", "", "GIIS address to register with (host:port; GRRP carried as LDAP add)")
+		vo       = flag.String("vo", "", "VO name for registrations")
+		interval = flag.Duration("interval", 30*time.Second, "registration refresh interval")
+		ttl      = flag.Duration("ttl", 2*time.Minute, "registration TTL")
+		cpus     = flag.Int("cpus", 4, "simulated CPU count")
+		osName   = flag.String("os", "linux redhat", "simulated operating system")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		stepSim  = flag.Duration("step", time.Minute, "how often simulated host state advances")
+		keysPath = flag.String("keys", "", "GSI key file for this service (see gridproxy); enables SASL/GSI binds")
+		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
+		trustDir = flag.String("trusted-dir", "", "subject granted the trusted-directory role")
+	)
+	flag.Parse()
+
+	suffix, err := ldap.ParseDN(fmt.Sprintf("hn=%s, o=%s", *hostName, *org))
+	if err != nil {
+		log.Fatalf("gris: bad namespace: %v", err)
+	}
+	host := hostinfo.New(*hostName, hostinfo.Spec{
+		OS: *osName, OSVer: "6.2", CPUType: "ia32", CPUCount: *cpus, MemoryMB: 512 * *cpus,
+	}, *seed)
+	go func() {
+		for range time.Tick(*stepSim) {
+			host.Step(*stepSim)
+		}
+	}()
+
+	cfg := gris.Config{Suffix: suffix}
+	var keys *gsi.KeyPair
+	if *keysPath != "" {
+		if *anchor == "" {
+			log.Fatal("gris: -keys requires -anchor")
+		}
+		var err error
+		if keys, err = gsi.LoadKeyPair(*keysPath); err != nil {
+			log.Fatalf("gris: %v", err)
+		}
+		trust, err := gsi.LoadAnchors(*anchor)
+		if err != nil {
+			log.Fatalf("gris: %v", err)
+		}
+		cfg.Keys = keys
+		cfg.Trust = trust
+		if *trustDir != "" {
+			cfg.TrustedDirectories = []string{*trustDir}
+		}
+		log.Printf("gris: GSI enabled as %q", keys.Credential.Subject)
+	}
+	server := gris.New(cfg)
+	for _, b := range providers.HostBackends(host, suffix) {
+		server.Register(b)
+	}
+	server.Register(&providers.Network{Service: nws.NewService(),
+		Base: suffix.ChildAVA("net", "links")})
+
+	if *register != "" {
+		registrar := grrp.NewRegistrar(grrp.TransportFunc(func(to string, payload []byte) error {
+			m, err := grrp.Unmarshal(payload)
+			if err != nil {
+				return err
+			}
+			c, err := ldap.Dial(to)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			return c.Add(m.ToEntry())
+		}), nil)
+		defer registrar.StopAll()
+		registrar.Start(grrp.Registration{
+			Target: *register,
+			Message: grrp.Message{
+				Type:       grrp.TypeRegister,
+				ServiceURL: fmt.Sprintf("ldap://%s", listenAddr(*listen)),
+				MDSType:    "gris",
+				VO:         *vo,
+				SuffixDN:   suffix.String(),
+			},
+			Interval: *interval,
+			TTL:      *ttl,
+			Keys:     keys, // nil means unsigned registrations
+		})
+		log.Printf("gris: registering with %s every %v (ttl %v)", *register, *interval, *ttl)
+	}
+
+	srv := ldap.NewServer(server)
+	srv.ErrorLog = log.Default()
+	go handleSignals(srv)
+	log.Printf("gris: serving %q on %s", suffix, *listen)
+	if err := srv.ListenAndServe(*listen); err != nil && err != ldap.ErrServerClosed {
+		log.Fatalf("gris: %v", err)
+	}
+}
+
+// listenAddr renders the advertised address: ":2135" becomes
+// "127.0.0.1:2135" so registrations carry a dialable URL.
+func listenAddr(listen string) string {
+	if len(listen) > 0 && listen[0] == ':' {
+		return "127.0.0.1" + listen
+	}
+	return listen
+}
+
+func handleSignals(srv *ldap.Server) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Print("gris: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,46 @@
+// Command mdsbench regenerates the paper's figures and the quantitative
+// claims of its prose as text tables (see DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for expected shapes).
+//
+// Usage:
+//
+//	mdsbench -list
+//	mdsbench -exp fig4
+//	mdsbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mds2/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-10s %s\n", name, experiments.Describe(name))
+		}
+	case *all:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			log.Fatalf("mdsbench: %v", err)
+		}
+	case *exp != "":
+		if err := experiments.Run(*exp, os.Stdout); err != nil {
+			log.Fatalf("mdsbench: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,161 @@
+// Adaptation: the §1 application-adaptation scenario — an agent monitors
+// both a running application and external resource availability, and
+// modifies the application's behaviour (accuracy, algorithm) and resource
+// consumption (migration) when conditions change. The agent combines three
+// information sources the grid exposes: fresh load enquiries, the §6
+// archival extension for trend analysis, and NWS bandwidth predictions for
+// the migration decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mds2/internal/core"
+	"mds2/internal/gris"
+	"mds2/internal/history"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/nws"
+)
+
+// app is the running application the agent steers.
+type app struct {
+	host      string
+	algorithm string // "precise" or "approximate"
+	accuracy  float64
+}
+
+func main() {
+	grid, err := core.NewSimGrid(55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+	clock := grid.SimClock()
+	weather := nws.NewService()
+
+	// Two candidate hosts: the app starts on "primary"; "fallback" is the
+	// migration target. Both record history and expose NWS links.
+	primary, err := grid.AddHost("primary", core.HostOptions{
+		Org:             "adapt",
+		Spec:            hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: "ia32", CPUCount: 4, MemoryMB: 2048},
+		Seed:            2, // evolves toward high load in this scenario
+		HistoryInterval: time.Minute,
+		DynamicTTL:      time.Second,
+		WithNWS:         weather,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fallback, err := grid.AddHost("fallback", core.HostOptions{
+		Org:        "adapt",
+		Spec:       hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: "ia32", CPUCount: 16, MemoryMB: 8192},
+		Seed:       9,
+		DynamicTTL: time.Second,
+		WithNWS:    weather,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application publishes its own status through the primary GRIS —
+	// applications are information providers too (§3: "a provider for a
+	// running application might provide information about its configuration
+	// and current status").
+	application := &app{host: "primary", algorithm: "precise", accuracy: 1.0}
+	appDN := primary.Suffix.ChildAVA("app", "simulation")
+	primary.GRIS.Register(&appBackend{app: application, dn: appDN})
+
+	agent, err := primary.Client("agent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+
+	decide := func(round int) {
+		// Fresh load at the current host.
+		entries, err := agent.Search(primary.Suffix, "(objectclass=loadaverage)")
+		if err != nil || len(entries) == 0 {
+			return
+		}
+		load, _ := entries[0].Float("load5")
+		cpus := float64(primary.Host.Spec.CPUCount)
+
+		// Trend over the last 10 minutes from the archival extension.
+		to := clock.Now()
+		from := to.Add(-10 * time.Minute)
+		req := fmt.Sprintf("dn: %s\nattr: load5\nfrom: %s\nto: %s\nop: stats\n",
+			primary.Suffix.ChildAVA("perf", "load"),
+			from.Format(time.RFC3339), to.Format(time.RFC3339))
+		stats, err := agent.Extended(history.OIDHistory, []byte(req))
+		if err != nil {
+			stats = []byte("(no history)")
+		}
+
+		fmt.Printf("round %d: load5=%.2f/%v cpus; 10m history: %s", round, load, cpus,
+			string(stats))
+		switch {
+		case load > 1.5*cpus && application.host == "primary":
+			// Sustained overload: consider migration. Check predicted
+			// bandwidth to the fallback for state transfer.
+			links, err := agent.Search(primary.Suffix,
+				"(&(objectclass=networklink)(src=primary)(dst=fallback))")
+			if err == nil && len(links) == 1 {
+				bw, _ := links[0].Float("bandwidthmbps")
+				fmt.Printf("  -> MIGRATE to fallback (state transfer at %.1f Mbps predicted)\n", bw)
+				application.host = "fallback"
+				_ = fallback
+			}
+		case load > float64(cpus) && application.algorithm == "precise":
+			fmt.Println("  -> DEGRADE: switch to approximate algorithm (accuracy 0.85)")
+			application.algorithm = "approximate"
+			application.accuracy = 0.85
+		case load < 0.5*cpus && application.algorithm == "approximate":
+			fmt.Println("  -> RESTORE: resume precise algorithm")
+			application.algorithm = "precise"
+			application.accuracy = 1.0
+		default:
+			fmt.Println("  -> steady")
+		}
+	}
+
+	// Drive the scenario: other users pile work onto the primary host, its
+	// load climbs past the application's comfort thresholds, and the agent
+	// reacts — degrade first, migrate when the overload persists.
+	for round := 1; round <= 8; round++ {
+		primary.Host.SetDemand(float64(round) * 1.4) // competing workload grows
+		for i := 0; i < 10; i++ {
+			primary.Host.Step(time.Minute)
+			clock.Advance(time.Minute) // history records at 1/min
+			time.Sleep(2 * time.Millisecond)
+		}
+		decide(round)
+		if application.host != "primary" {
+			break
+		}
+	}
+	fmt.Printf("\nfinal application state: host=%s algorithm=%s accuracy=%.2f\n",
+		application.host, application.algorithm, application.accuracy)
+}
+
+// appBackend publishes the application object.
+type appBackend struct {
+	app *app
+	dn  ldap.DN
+}
+
+func (b *appBackend) Name() string            { return "application" }
+func (b *appBackend) Suffix() ldap.DN         { return b.dn }
+func (b *appBackend) Attributes() []string    { return []string{"app", "status", "algorithm", "accuracy"} }
+func (b *appBackend) CacheTTL() time.Duration { return 0 }
+func (b *appBackend) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	return []*ldap.Entry{ldap.NewEntry(b.dn).
+		Add("objectclass", "application").
+		Add("app", "simulation").
+		Add("status", "running").
+		Add("hn", b.app.host).
+		Add("algorithm", b.app.algorithm).
+		Add("accuracy", fmt.Sprintf("%.2f", b.app.accuracy))}, nil
+}

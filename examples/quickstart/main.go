@@ -1,0 +1,98 @@
+// Quickstart: the Figure 2 flow in one program. A simulated grid runs two
+// information providers (GRIS) and one aggregate directory (GIIS); the
+// providers announce themselves over GRRP, a user discovers them with a
+// GRIP search at the directory, then looks one up directly at its
+// authoritative provider.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mds2/internal/core"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/ldap/ldif"
+)
+
+func main() {
+	grid, err := core.NewSimGrid(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+
+	// One VO-level aggregate directory.
+	dir, err := grid.AddDirectory("giis.alliance", core.DirectoryOptions{Suffix: "vo=alliance"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two resources with different characters.
+	big, err := grid.AddHost("bigiron", core.HostOptions{
+		Org: "center1",
+		Spec: hostinfo.Spec{OS: "mips irix", OSVer: "6.5", CPUType: "mips",
+			CPUCount: 64, MemoryMB: 16384},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	desktop, err := grid.AddHost("desktop", core.HostOptions{Org: "center1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Soft-state registration: each provider sustains a refresh stream.
+	big.RegisterWith(dir, "alliance", 10*time.Second, time.Minute)
+	desktop.RegisterWith(dir, "alliance", 10*time.Second, time.Minute)
+	waitFor(func() bool { return len(dir.GIIS.Children()) == 2 })
+	fmt.Printf("directory %s knows %d providers\n\n", dir.Name, len(dir.GIIS.Children()))
+
+	// Discovery: "which computers does this VO have?"
+	user, err := dir.Client("user")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer user.Close()
+	computers, err := user.Search(ldap.MustParseDN("vo=alliance"), "(objectclass=computer)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("discovery at the directory — (objectclass=computer):")
+	fmt.Println(ldif.Marshal(computers))
+
+	// Refinement: "which have at least 32 CPUs?"
+	bigOnes, err := user.Search(ldap.MustParseDN("vo=alliance"),
+		"(&(objectclass=computer)(cpucount>=32))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefined search (cpucount>=32): %d match\n", len(bigOnes))
+
+	// Enquiry: look the resource up at its authoritative provider —
+	// "following discovery, a client can always refresh interesting
+	// information by directly consulting the authoritative source" (§3).
+	direct, err := big.Client("user")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer direct.Close()
+	fresh, err := direct.Search(big.Suffix, "(objectclass=loadaverage)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndirect enquiry at the provider — current load:")
+	fmt.Println(ldif.Marshal(fresh))
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Fatal("quickstart: condition never settled")
+}

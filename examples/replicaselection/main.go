@@ -1,0 +1,142 @@
+// Replica selection: the §1 data-grid scenario — respond to a request for
+// the "best" copy of a replicated file by combining the VO directory's
+// replica catalog with on-demand NWS bandwidth predictions between the
+// client and each storage system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"mds2/internal/core"
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+	"mds2/internal/nws"
+	"mds2/internal/providers"
+)
+
+func main() {
+	grid, err := core.NewSimGrid(21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+	weather := nws.NewService()
+
+	dir, err := grid.AddDirectory("giis.datagrid", core.DirectoryOptions{Suffix: "vo=datagrid"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three storage sites each hold a replica of the same logical file and
+	// publish replica objects plus NWS link information.
+	const lfn = "lfn:/physics/run42/events.dat"
+	sites := []string{"storage-east", "storage-west", "storage-eu"}
+	for _, site := range sites {
+		site := site
+		h, err := grid.AddHost(site, core.HostOptions{Org: "datagrid", WithNWS: weather})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A replica-catalog backend for this site.
+		h.GRIS.Register(&providers.Func{
+			Label:   "replicas",
+			Subtree: h.Suffix.ChildAVA("rc", "catalog"),
+			AttrNames: []string{
+				"lfn", "url", "sizebytes", "store",
+			},
+			TTL: time.Minute,
+			Generate: func(q *gris.Query) ([]*ldap.Entry, error) {
+				e := ldap.NewEntry(h.Suffix.ChildAVA("rc", "catalog").ChildAVA("lfn", lfn)).
+					Add("objectclass", "replica").
+					Add("lfn", lfn).
+					Add("url", fmt.Sprintf("gridftp://%s/data/run42/events.dat", site)).
+					Add("sizebytes", "2147483648").
+					Add("store", site)
+				return []*ldap.Entry{e}, nil
+			},
+		})
+		h.RegisterWith(dir, "datagrid", 10*time.Second, time.Minute)
+	}
+	waitFor(func() bool { return len(dir.GIIS.Children()) == len(sites) })
+
+	client, err := dir.Client("client-site")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Step 1 — find every replica of the logical file through the VO view.
+	replicas, err := client.Search(ldap.MustParseDN("vo=datagrid"),
+		fmt.Sprintf("(&(objectclass=replica)(lfn=%s))", escapeFilter(lfn)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d replicas of %s\n", len(replicas), lfn)
+
+	// Step 2 — for each holding site, ask its NWS provider for predicted
+	// bandwidth from the client (lazily measured, §4.1). Several probes
+	// build forecaster history.
+	type option struct {
+		site string
+		url  string
+		mbps float64
+	}
+	var options []option
+	for _, r := range replicas {
+		site := r.First("store")
+		entries, err := client.Search(ldap.MustParseDN("vo=datagrid"),
+			fmt.Sprintf("(&(objectclass=networklink)(src=client-site)(dst=%s))", site))
+		if err != nil || len(entries) == 0 {
+			continue
+		}
+		for i := 0; i < 5; i++ { // repeated probes feed the forecasters
+			entries, _ = client.Search(ldap.MustParseDN("vo=datagrid"),
+				fmt.Sprintf("(&(objectclass=networklink)(src=client-site)(dst=%s))", site))
+		}
+		e := entries[0]
+		mbps, ok := e.Float("predictedbandwidthmbps")
+		if !ok {
+			mbps, _ = e.Float("bandwidthmbps")
+		}
+		options = append(options, option{site: site, url: r.First("url"), mbps: mbps})
+	}
+	sort.Slice(options, func(i, j int) bool { return options[i].mbps > options[j].mbps })
+
+	fmt.Println("\npredicted bandwidth to each holding site:")
+	for _, o := range options {
+		fmt.Printf("  %-14s %7.1f Mbps  %s\n", o.site, o.mbps, o.url)
+	}
+	if len(options) > 0 {
+		const sizeGB = 2.0
+		seconds := sizeGB * 8 * 1024 / options[0].mbps
+		fmt.Printf("\n=> fetch from %s (estimated transfer %.0fs for 2 GiB)\n",
+			options[0].site, seconds)
+	}
+	fmt.Printf("\nNWS experiments run on demand: %d (no link was pre-measured)\n", weather.Measured())
+}
+
+func escapeFilter(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '*', '(', ')', '\\':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Fatal("replicaselection: condition never settled")
+}

@@ -1,0 +1,3 @@
+module mds2
+
+go 1.22

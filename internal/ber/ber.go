@@ -1,0 +1,455 @@
+// Package ber implements the subset of ITU-T X.690 Basic Encoding Rules
+// needed to carry LDAPv3 protocol messages (RFC 4511) over a byte stream.
+//
+// The standard library's encoding/asn1 package implements DER marshaling of
+// Go structs, which is both too strict (LDAP peers may emit non-minimal BER
+// lengths) and too rigid (LDAP messages are deeply tagged unions that do not
+// map onto static struct types). This package instead models a BER element
+// as an explicit tree of Packets that callers construct and inspect by hand,
+// mirroring how the OpenLDAP codec that MDS-2 builds on works.
+//
+// Only definite-length encodings are supported; LDAP never uses the
+// indefinite form.
+package ber
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Class is the 2-bit tag class of a BER identifier octet.
+type Class uint8
+
+// Tag classes.
+const (
+	ClassUniversal   Class = 0
+	ClassApplication Class = 1
+	ClassContext     Class = 2
+	ClassPrivate     Class = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUniversal:
+		return "universal"
+	case ClassApplication:
+		return "application"
+	case ClassContext:
+		return "context"
+	case ClassPrivate:
+		return "private"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Universal tag numbers used by LDAP.
+const (
+	TagBoolean     uint32 = 0x01
+	TagInteger     uint32 = 0x02
+	TagOctetString uint32 = 0x04
+	TagNull        uint32 = 0x05
+	TagEnumerated  uint32 = 0x0a
+	TagSequence    uint32 = 0x10
+	TagSet         uint32 = 0x11
+)
+
+// Limits protecting the decoder from hostile or corrupt input.
+const (
+	// MaxElementSize bounds the contents length of any single element.
+	MaxElementSize = 16 << 20
+	// MaxDepth bounds the nesting depth of constructed elements.
+	MaxDepth = 64
+)
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("ber: truncated element")
+	ErrTooLarge   = errors.New("ber: element exceeds size limit")
+	ErrTooDeep    = errors.New("ber: nesting exceeds depth limit")
+	ErrIndefinite = errors.New("ber: indefinite lengths are not supported")
+	ErrBadTag     = errors.New("ber: malformed tag")
+)
+
+// Packet is one BER element: either a primitive holding raw contents bytes,
+// or a constructed element holding child elements. The zero value is an
+// empty universal primitive.
+type Packet struct {
+	Class       Class
+	Constructed bool
+	Tag         uint32
+	Value       []byte    // contents when !Constructed
+	Children    []*Packet // contents when Constructed
+}
+
+// NewSequence returns an empty universal SEQUENCE.
+func NewSequence() *Packet {
+	return &Packet{Class: ClassUniversal, Constructed: true, Tag: TagSequence}
+}
+
+// NewSet returns an empty universal SET.
+func NewSet() *Packet {
+	return &Packet{Class: ClassUniversal, Constructed: true, Tag: TagSet}
+}
+
+// NewConstructed returns an empty constructed element with the given class
+// and tag, used for APPLICATION- and context-tagged LDAP composites.
+func NewConstructed(class Class, tag uint32) *Packet {
+	return &Packet{Class: class, Constructed: true, Tag: tag}
+}
+
+// NewBoolean returns a universal BOOLEAN element.
+func NewBoolean(v bool) *Packet {
+	b := byte(0x00)
+	if v {
+		b = 0xff
+	}
+	return &Packet{Class: ClassUniversal, Tag: TagBoolean, Value: []byte{b}}
+}
+
+// NewInteger returns a universal INTEGER element holding v in the minimal
+// two's-complement form.
+func NewInteger(v int64) *Packet {
+	return &Packet{Class: ClassUniversal, Tag: TagInteger, Value: AppendInt64(nil, v)}
+}
+
+// NewEnumerated returns a universal ENUMERATED element.
+func NewEnumerated(v int64) *Packet {
+	return &Packet{Class: ClassUniversal, Tag: TagEnumerated, Value: AppendInt64(nil, v)}
+}
+
+// NewOctetString returns a universal OCTET STRING holding a copy of s.
+func NewOctetString(s string) *Packet {
+	return &Packet{Class: ClassUniversal, Tag: TagOctetString, Value: []byte(s)}
+}
+
+// NewOctetStringBytes returns a universal OCTET STRING holding b (not copied).
+func NewOctetStringBytes(b []byte) *Packet {
+	return &Packet{Class: ClassUniversal, Tag: TagOctetString, Value: b}
+}
+
+// NewNull returns a universal NULL element.
+func NewNull() *Packet {
+	return &Packet{Class: ClassUniversal, Tag: TagNull}
+}
+
+// NewContextString returns a context-tagged primitive holding s, the common
+// LDAP idiom for IMPLICIT OCTET STRING fields.
+func NewContextString(tag uint32, s string) *Packet {
+	return &Packet{Class: ClassContext, Tag: tag, Value: []byte(s)}
+}
+
+// Append adds children to a constructed packet and returns it, enabling
+// fluent message construction.
+func (p *Packet) Append(children ...*Packet) *Packet {
+	p.Children = append(p.Children, children...)
+	return p
+}
+
+// Child returns the i'th child, or nil if out of range.
+func (p *Packet) Child(i int) *Packet {
+	if i < 0 || i >= len(p.Children) {
+		return nil
+	}
+	return p.Children[i]
+}
+
+// Bool interprets a primitive contents as a BOOLEAN.
+func (p *Packet) Bool() (bool, error) {
+	if p.Constructed || len(p.Value) != 1 {
+		return false, fmt.Errorf("ber: not a boolean: %s", p)
+	}
+	return p.Value[0] != 0, nil
+}
+
+// Int64 interprets a primitive contents as a two's-complement INTEGER or
+// ENUMERATED of at most 8 octets.
+func (p *Packet) Int64() (int64, error) {
+	if p.Constructed {
+		return 0, fmt.Errorf("ber: not an integer: constructed %s", p)
+	}
+	return ParseInt64(p.Value)
+}
+
+// Str returns the primitive contents as a string.
+func (p *Packet) Str() string { return string(p.Value) }
+
+// String renders a compact diagnostic form of the element tree.
+func (p *Packet) String() string {
+	if p == nil {
+		return "<nil>"
+	}
+	if p.Constructed {
+		return fmt.Sprintf("%s[%d]{%d children}", p.Class, p.Tag, len(p.Children))
+	}
+	return fmt.Sprintf("%s[%d](%d bytes)", p.Class, p.Tag, len(p.Value))
+}
+
+// AppendInt64 appends the minimal two's-complement encoding of v to dst.
+func AppendInt64(dst []byte, v int64) []byte {
+	n := 1
+	for m := v; m > 127 || m < -128; m >>= 8 {
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(uint(i)*8)))
+	}
+	return dst
+}
+
+// ParseInt64 decodes a two's-complement integer of 1..8 octets.
+func ParseInt64(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, errors.New("ber: empty integer")
+	}
+	if len(b) > 8 {
+		return 0, errors.New("ber: integer too large")
+	}
+	v := int64(0)
+	if b[0]&0x80 != 0 {
+		v = -1 // sign-extend
+	}
+	for _, c := range b {
+		v = v<<8 | int64(c)
+	}
+	return v, nil
+}
+
+// Marshal serializes the element tree into a fresh byte slice.
+func Marshal(p *Packet) []byte {
+	return appendPacket(nil, p)
+}
+
+func appendPacket(dst []byte, p *Packet) []byte {
+	dst = appendIdentifier(dst, p)
+	if p.Constructed {
+		var body []byte
+		for _, c := range p.Children {
+			body = appendPacket(body, c)
+		}
+		dst = appendLength(dst, len(body))
+		return append(dst, body...)
+	}
+	dst = appendLength(dst, len(p.Value))
+	return append(dst, p.Value...)
+}
+
+func appendIdentifier(dst []byte, p *Packet) []byte {
+	first := byte(p.Class) << 6
+	if p.Constructed {
+		first |= 0x20
+	}
+	if p.Tag < 0x1f {
+		return append(dst, first|byte(p.Tag))
+	}
+	dst = append(dst, first|0x1f)
+	// High-tag-number form: base-128, most significant group first.
+	var groups [5]byte
+	n := 0
+	for t := p.Tag; ; t >>= 7 {
+		groups[n] = byte(t & 0x7f)
+		n++
+		if t < 0x80 {
+			break
+		}
+	}
+	for i := n - 1; i > 0; i-- {
+		dst = append(dst, groups[i]|0x80)
+	}
+	return append(dst, groups[0])
+}
+
+func appendLength(dst []byte, n int) []byte {
+	if n < 0x80 {
+		return append(dst, byte(n))
+	}
+	var tmp [8]byte
+	k := 0
+	for m := n; m > 0; m >>= 8 {
+		tmp[k] = byte(m)
+		k++
+	}
+	dst = append(dst, 0x80|byte(k))
+	for i := k - 1; i >= 0; i-- {
+		dst = append(dst, tmp[i])
+	}
+	return dst
+}
+
+// Decode parses exactly one element from the front of b, returning the
+// element and any remaining bytes.
+func Decode(b []byte) (*Packet, []byte, error) {
+	return decode(b, 0)
+}
+
+// DecodeFull parses exactly one element that must consume all of b.
+func DecodeFull(b []byte) (*Packet, error) {
+	p, rest, err := decode(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("ber: %d trailing bytes after element", len(rest))
+	}
+	return p, nil
+}
+
+func decode(b []byte, depth int) (*Packet, []byte, error) {
+	if depth > MaxDepth {
+		return nil, nil, ErrTooDeep
+	}
+	p := &Packet{}
+	rest, err := parseIdentifier(b, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	length, rest, err := parseLength(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if length > len(rest) {
+		return nil, nil, ErrTruncated
+	}
+	contents, rest := rest[:length], rest[length:]
+	if !p.Constructed {
+		p.Value = contents
+		return p, rest, nil
+	}
+	for len(contents) > 0 {
+		var child *Packet
+		child, contents, err = decode(contents, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Children = append(p.Children, child)
+	}
+	return p, rest, nil
+}
+
+func parseIdentifier(b []byte, p *Packet) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	first := b[0]
+	p.Class = Class(first >> 6)
+	p.Constructed = first&0x20 != 0
+	tag := uint32(first & 0x1f)
+	b = b[1:]
+	if tag != 0x1f {
+		p.Tag = tag
+		return b, nil
+	}
+	// High-tag-number form.
+	tag = 0
+	for i := 0; ; i++ {
+		if len(b) == 0 {
+			return nil, ErrTruncated
+		}
+		if i >= 5 {
+			return nil, ErrBadTag
+		}
+		c := b[0]
+		b = b[1:]
+		tag = tag<<7 | uint32(c&0x7f)
+		if c&0x80 == 0 {
+			break
+		}
+	}
+	if tag < 0x1f {
+		return nil, ErrBadTag // non-minimal high-tag form
+	}
+	p.Tag = tag
+	return b, nil
+}
+
+func parseLength(b []byte) (int, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	first := b[0]
+	b = b[1:]
+	if first < 0x80 {
+		return int(first), b, nil
+	}
+	n := int(first & 0x7f)
+	if n == 0 {
+		return 0, nil, ErrIndefinite
+	}
+	if n > 4 {
+		return 0, nil, ErrTooLarge
+	}
+	if len(b) < n {
+		return 0, nil, ErrTruncated
+	}
+	length := 0
+	for i := 0; i < n; i++ {
+		length = length<<8 | int(b[i])
+	}
+	if length > MaxElementSize {
+		return 0, nil, ErrTooLarge
+	}
+	return length, b[n:], nil
+}
+
+// ReadPacket reads exactly one BER element from r, as required to frame
+// LDAP messages on a stream connection. It tolerates long-form lengths but
+// rejects indefinite ones.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := append(make([]byte, 0, 64), hdr[0], hdr[1])
+	// Finish reading the identifier if it uses the high-tag-number form.
+	idx := 1
+	if hdr[0]&0x1f == 0x1f {
+		for buf[idx]&0x80 != 0 {
+			var c [1]byte
+			if _, err := io.ReadFull(r, c[:]); err != nil {
+				return nil, err
+			}
+			buf = append(buf, c[0])
+			idx++
+			if idx > 6 {
+				return nil, ErrBadTag
+			}
+		}
+		var c [1]byte
+		if _, err := io.ReadFull(r, c[:]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, c[0])
+		idx++
+	}
+	// buf[idx] is the first length octet.
+	lenOctet := buf[idx]
+	length := 0
+	switch {
+	case lenOctet < 0x80:
+		length = int(lenOctet)
+	case lenOctet == 0x80:
+		return nil, ErrIndefinite
+	default:
+		n := int(lenOctet & 0x7f)
+		if n > 4 {
+			return nil, ErrTooLarge
+		}
+		ext := make([]byte, n)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, err
+		}
+		buf = append(buf, ext...)
+		for _, c := range ext {
+			length = length<<8 | int(c)
+		}
+	}
+	if length > MaxElementSize {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	buf = append(buf, body...)
+	return DecodeFull(buf)
+}

@@ -1,0 +1,70 @@
+package ber
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics throws random byte soup at the decoder: every input
+// must either parse or return an error — never panic, never hang. This is
+// the property that matters for a server parsing hostile network input.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2001))
+	buf := make([]byte, 0, 512)
+	for i := 0; i < 50000; i++ {
+		n := r.Intn(64)
+		buf = buf[:0]
+		for j := 0; j < n; j++ {
+			buf = append(buf, byte(r.Intn(256)))
+		}
+		Decode(buf)     // must not panic
+		DecodeFull(buf) // must not panic
+	}
+}
+
+// TestDecodeMutatedValidMessages corrupts valid encodings byte by byte;
+// the decoder must stay total.
+func TestDecodeMutatedValidMessages(t *testing.T) {
+	valid := Marshal(NewSequence().Append(
+		NewInteger(7),
+		NewConstructed(ClassApplication, 3).Append(
+			NewOctetString("hn=hostX, o=grid"),
+			NewEnumerated(2),
+			NewSequence().Append(NewOctetString("cn"), NewOctetString("load5")),
+		),
+	))
+	for pos := 0; pos < len(valid); pos++ {
+		for _, delta := range []byte{0x01, 0x80, 0xff} {
+			mutated := append([]byte(nil), valid...)
+			mutated[pos] ^= delta
+			DecodeFull(mutated) // must not panic
+		}
+	}
+	// Truncations at every length.
+	for cut := 0; cut <= len(valid); cut++ {
+		DecodeFull(valid[:cut])
+	}
+}
+
+// TestRoundTripAfterReencode: anything that decodes must re-encode and
+// decode to the same tree (idempotence of the codec on its own output).
+func TestRoundTripAfterReencode(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		n := 1 + r.Intn(48)
+		buf := make([]byte, n)
+		r.Read(buf)
+		p, err := DecodeFull(buf)
+		if err != nil {
+			continue
+		}
+		re := Marshal(p)
+		p2, err := DecodeFull(re)
+		if err != nil {
+			t.Fatalf("re-decode failed for % x -> % x: %v", buf, re, err)
+		}
+		if !packetsEqual(p, p2) {
+			t.Fatalf("re-encode changed tree for % x", buf)
+		}
+	}
+}

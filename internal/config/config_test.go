@@ -1,0 +1,250 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+)
+
+const sampleTopology = `
+# Figure 5 style topology
+seed 7
+
+directory vo-dir {
+  suffix vo=alliance
+  strategy chain
+}
+
+directory center1 {
+  suffix o=o1
+  strategy cache
+  cache-ttl 45s
+  parent vo-dir
+  vo alliance
+}
+
+host r1 {
+  org o1
+  cpus 16
+  os mips irix
+  register center1
+  vo alliance
+  interval 10s
+  ttl 60s
+}
+
+host r2 {
+  org o1
+  register center1
+  vo alliance
+}
+
+host lonely {
+  org home
+  register vo-dir
+  vo alliance
+  nws
+}
+`
+
+func TestParseSample(t *testing.T) {
+	top, err := ParseString(sampleTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Seed != 7 {
+		t.Errorf("seed = %d", top.Seed)
+	}
+	if len(top.Directories) != 2 || len(top.Hosts) != 3 {
+		t.Fatalf("parsed %d dirs, %d hosts", len(top.Directories), len(top.Hosts))
+	}
+	c1 := top.Directories[1]
+	if c1.Name != "center1" || c1.Strategy != "cache" || c1.CacheTTL != 45*time.Second ||
+		c1.Parent != "vo-dir" || c1.VO != "alliance" {
+		t.Errorf("center1 = %+v", c1)
+	}
+	r1 := top.Hosts[0]
+	if r1.CPUs != 16 || r1.OS != "mips irix" || r1.Interval != 10*time.Second ||
+		r1.TTL != time.Minute || len(r1.RegisterTo) != 1 {
+		t.Errorf("r1 = %+v", r1)
+	}
+	if !top.Hosts[2].NWS {
+		t.Error("nws flag lost")
+	}
+	if top.Hosts[1].CPUs != 4 {
+		t.Errorf("default cpus = %d", top.Hosts[1].CPUs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad seed":       "seed xyz\n",
+		"unterminated":   "host a {\norg x\n",
+		"stray line":     "what is this\n",
+		"missing brace":  "directory d\n",
+		"bad strategy":   "directory d {\nsuffix o=x\nstrategy teleport\n}\n",
+		"missing suffix": "directory d {\nstrategy chain\n}\n",
+		"bad duration":   "host h {\ninterval soon\n}\n",
+		"bad cpus":       "host h {\ncpus many\n}\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestValidateCrossReferences(t *testing.T) {
+	cases := map[string]string{
+		"unknown register target": "host h {\nregister nowhere\n}\n",
+		"unknown parent":          "directory d {\nsuffix o=x\nparent ghost\n}\n",
+		"self parent":             "directory d {\nsuffix o=x\nparent d\n}\n",
+		"duplicate dir":           "directory d {\nsuffix o=x\n}\ndirectory d {\nsuffix o=y\n}\n",
+		"duplicate host":          "directory d {\nsuffix o=x\n}\nhost h {\nregister d\n}\nhost h {\nregister d\n}\n",
+		"name collision":          "directory n {\nsuffix o=x\n}\nhost n {\nregister n\n}\n",
+	}
+	for name, text := range cases {
+		top, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := top.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestBuildSampleTopology(t *testing.T) {
+	top, err := ParseString(sampleTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Grid.Close()
+
+	vo := built.Directories["vo-dir"]
+	c1 := built.Directories["center1"]
+	// center1 (self-registration) + lonely register with vo-dir; r1, r2
+	// register with center1.
+	waitFor(t, func() bool {
+		return len(vo.GIIS.Children()) == 2 && len(c1.GIIS.Children()) == 2
+	})
+	user, err := vo.Client("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer user.Close()
+	all, err := user.Search(ldap.MustParseDN("vo=alliance"), "(objectclass=computer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("computers across topology = %d", len(all))
+	}
+	// The mips host is reachable with its configured spec.
+	mips, err := user.Search(ldap.MustParseDN("vo=alliance"), "(&(objectclass=computer)(system=mips*))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mips) != 1 || mips[0].First("cpucount") != "16" {
+		t.Fatalf("mips host = %v", mips)
+	}
+	if built.Weather == nil {
+		t.Error("nws service should be shared when a host enables it")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	build := func() string {
+		top, err := ParseString(sampleTopology)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := top.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer built.Grid.Close()
+		h := built.Hosts["r1"].Host.Snapshot()
+		return strings.Join([]string{h.Spec.OS, h.Name}, "/")
+	}
+	if build() != build() {
+		t.Error("same topology built differently")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never settled")
+}
+
+func TestBuildReferralAndBloomStrategies(t *testing.T) {
+	const topo = `
+seed 3
+directory refdir {
+  suffix vo=r
+  strategy referral
+}
+directory bloomdir {
+  suffix vo=b
+  strategy bloom
+  cache-ttl 1m
+}
+host h1 {
+  register refdir
+  vo r
+}
+host h2 {
+  register bloomdir
+  vo b
+}
+`
+	top, err := ParseString(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Grid.Close()
+	waitFor(t, func() bool {
+		return len(built.Directories["refdir"].GIIS.Children()) == 1 &&
+			len(built.Directories["bloomdir"].GIIS.Children()) == 1
+	})
+	// The referral directory answers with continuation references.
+	rc, err := built.Directories["refdir"].Client("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	entries, refs, err := rc.SearchReferrals(ldap.MustParseDN("vo=r"), "(objectclass=computer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("referrals = %v (entries %d)", refs, len(entries))
+	}
+	// The bloom directory answers data queries.
+	bc, err := built.Directories["bloomdir"].Client("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	got, err := bc.Search(ldap.MustParseDN("vo=b"), "(objectclass=computer)")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("bloom search: %v, %d", err, len(got))
+	}
+}

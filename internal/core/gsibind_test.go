@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+)
+
+// TestGSIBindToDirectory authenticates a client to a GIIS over the wire:
+// directories accept the same SASL/GSI exchange as providers.
+func TestGSIBindToDirectory(t *testing.T) {
+	g, err := NewSimGrid(72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	dir, err := g.AddDirectory("dir", DirectoryOptions{Suffix: "vo=v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	userKeys, err := g.CA.Issue("cn=user", time.Hour, g.Clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dir.Client("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	serverCred, err := c.Authenticate(userKeys, g.Trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverCred.EndEntity() != "cn=giis.dir" {
+		t.Fatalf("directory identity = %q", serverCred.EndEntity())
+	}
+	// The authenticated session still serves searches.
+	if _, err := c.Search(ldap.MustParseDN("vo=v"), "(objectclass=mdsservice)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGSIBindToDirectoryRejectsUntrusted: a credential from a foreign CA is
+// refused by the directory.
+func TestGSIBindToDirectoryRejectsUntrusted(t *testing.T) {
+	g, err := NewSimGrid(73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g2, err := NewSimGrid(74) // a different security domain
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+
+	dir, err := g.AddDirectory("dir", DirectoryOptions{Suffix: "vo=v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignKeys, err := g2.CA.Issue("cn=mallory", time.Hour, g2.Clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dir.Client("mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Mallory trusts both CAs (so the client side accepts the server); the
+	// directory must still refuse her foreign credential.
+	trust := g2.Trust
+	trust.TrustAuthority(g.CA)
+	if _, err := c.Authenticate(foreignKeys, trust); err == nil {
+		t.Fatal("foreign credential accepted by directory")
+	}
+}

@@ -1,0 +1,180 @@
+// Package detect implements the unreliable failure detector that GRRP
+// provides to discoverers (§4.3 of the paper, after Chandra & Toueg): a
+// consumer of a registration stream decides, after a chosen interval
+// without messages, that the producer has failed or become inaccessible.
+// Any such decision can be erroneous — missing messages may merely have
+// been lost — so the detector exposes the accuracy/timeliness trade
+// directly through its Timeout parameter, which experiment E1 sweeps.
+package detect
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// Status is a monitored producer's current classification.
+type Status int
+
+// Statuses.
+const (
+	// StatusAlive: messages have arrived within Timeout.
+	StatusAlive Status = iota
+	// StatusSuspected: no message for at least Timeout.
+	StatusSuspected
+)
+
+func (s Status) String() string {
+	if s == StatusSuspected {
+		return "suspected"
+	}
+	return "alive"
+}
+
+// Transition records one status change of a monitored key.
+type Transition struct {
+	Key string
+	To  Status
+	At  time.Time
+	// SilentFor is the observed message gap that triggered a suspicion
+	// (zero for recoveries).
+	SilentFor time.Duration
+}
+
+// Detector classifies producers by message recency. It is driven by
+// Observe calls (one per received registration) and Check sweeps.
+type Detector struct {
+	// Timeout is the silence interval after which a producer is suspected.
+	Timeout time.Duration
+
+	clock softstate.Clock
+
+	mu    sync.Mutex
+	keys  map[string]*keyState
+	stats Stats
+}
+
+type keyState struct {
+	lastSeen  time.Time
+	status    Status
+	suspected time.Time
+}
+
+// Stats aggregates detector behaviour for experiments.
+type Stats struct {
+	// Observations counts Observe calls.
+	Observations int
+	// Suspicions counts alive→suspected transitions.
+	Suspicions int
+	// Recoveries counts suspected→alive transitions, i.e. suspicions that
+	// were (from the detector's own later evidence) premature.
+	Recoveries int
+}
+
+// New returns a detector with the given suspicion timeout.
+func New(timeout time.Duration, clock softstate.Clock) *Detector {
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	return &Detector{Timeout: timeout, clock: clock, keys: map[string]*keyState{}}
+}
+
+// Observe records a message arrival from key. If the key was suspected,
+// it recovers to alive and the premature suspicion is counted; the
+// returned transition (non-nil only on status change) reports it.
+func (d *Detector) Observe(key string) *Transition {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Observations++
+	ks, ok := d.keys[key]
+	if !ok {
+		ks = &keyState{status: StatusAlive}
+		d.keys[key] = ks
+		ks.lastSeen = now
+		return &Transition{Key: key, To: StatusAlive, At: now}
+	}
+	ks.lastSeen = now
+	if ks.status == StatusSuspected {
+		ks.status = StatusAlive
+		d.stats.Recoveries++
+		return &Transition{Key: key, To: StatusAlive, At: now}
+	}
+	return nil
+}
+
+// Check sweeps all monitored keys, transitioning silent ones to suspected,
+// and returns the transitions in key order. Call it periodically (or after
+// advancing a fake clock).
+func (d *Detector) Check() []Transition {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []Transition
+	for key, ks := range d.keys {
+		if ks.status == StatusAlive {
+			silent := now.Sub(ks.lastSeen)
+			if silent >= d.Timeout {
+				ks.status = StatusSuspected
+				ks.suspected = now
+				d.stats.Suspicions++
+				out = append(out, Transition{Key: key, To: StatusSuspected, At: now, SilentFor: silent})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Status returns the current classification of key; unknown keys are
+// suspected (a discoverer omits unknown providers from results).
+func (d *Detector) Status(key string) Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ks, ok := d.keys[key]
+	if !ok {
+		return StatusSuspected
+	}
+	return ks.status
+}
+
+// LastSeen returns the most recent observation time for key.
+func (d *Detector) LastSeen(key string) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ks, ok := d.keys[key]
+	if !ok {
+		return time.Time{}, false
+	}
+	return ks.lastSeen, true
+}
+
+// Alive returns the keys currently classified alive, sorted.
+func (d *Detector) Alive() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for key, ks := range d.keys {
+		if ks.status == StatusAlive {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget drops a key from monitoring.
+func (d *Detector) Forget(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.keys, key)
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (d *Detector) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -1,0 +1,187 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mds2/internal/simnet"
+	"mds2/internal/softstate"
+)
+
+func TestBasicSuspicionAndRecovery(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	d := New(30*time.Second, clock)
+
+	tr := d.Observe("p1")
+	if tr == nil || tr.To != StatusAlive {
+		t.Fatalf("first observe transition = %+v", tr)
+	}
+	if d.Status("p1") != StatusAlive {
+		t.Fatal("should be alive")
+	}
+	clock.Advance(29 * time.Second)
+	if got := d.Check(); len(got) != 0 {
+		t.Fatalf("premature suspicion: %+v", got)
+	}
+	clock.Advance(2 * time.Second)
+	got := d.Check()
+	if len(got) != 1 || got[0].Key != "p1" || got[0].To != StatusSuspected {
+		t.Fatalf("transitions = %+v", got)
+	}
+	if got[0].SilentFor < 30*time.Second {
+		t.Errorf("silentFor = %v", got[0].SilentFor)
+	}
+	// A late message recovers the key and counts as a premature suspicion.
+	tr = d.Observe("p1")
+	if tr == nil || tr.To != StatusAlive {
+		t.Fatalf("recovery transition = %+v", tr)
+	}
+	s := d.Stats()
+	if s.Suspicions != 1 || s.Recoveries != 1 || s.Observations != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSteadyStreamNeverSuspected(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	d := New(30*time.Second, clock)
+	for i := 0; i < 100; i++ {
+		d.Observe("p")
+		clock.Advance(10 * time.Second)
+		if trs := d.Check(); len(trs) != 0 {
+			t.Fatalf("iteration %d: %+v", i, trs)
+		}
+	}
+}
+
+func TestUnknownKeySuspected(t *testing.T) {
+	d := New(time.Second, softstate.NewFakeClock())
+	if d.Status("ghost") != StatusSuspected {
+		t.Error("unknown keys must be treated as suspected")
+	}
+	if _, ok := d.LastSeen("ghost"); ok {
+		t.Error("no lastSeen for unknown key")
+	}
+}
+
+func TestAliveListing(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	d := New(10*time.Second, clock)
+	d.Observe("b")
+	d.Observe("a")
+	clock.Advance(5 * time.Second)
+	d.Observe("c")
+	clock.Advance(6 * time.Second) // a,b silent 11s; c silent 6s
+	d.Check()
+	alive := d.Alive()
+	if len(alive) != 1 || alive[0] != "c" {
+		t.Fatalf("alive = %v", alive)
+	}
+	d.Forget("c")
+	if len(d.Alive()) != 0 {
+		t.Error("forget failed")
+	}
+}
+
+func TestObserveNoTransitionWhileAlive(t *testing.T) {
+	d := New(time.Minute, softstate.NewFakeClock())
+	d.Observe("p")
+	if tr := d.Observe("p"); tr != nil {
+		t.Errorf("redundant observe produced transition %+v", tr)
+	}
+}
+
+// TestDetectorTradeoffUnderLoss reproduces the §4.3 tradeoff in miniature:
+// with a lossy link, a short timeout yields false suspicions of a live
+// producer, while a longer timeout (several refresh intervals) does not.
+func TestDetectorTradeoffUnderLoss(t *testing.T) {
+	const (
+		interval = 10 * time.Second
+		loss     = 0.5
+		steps    = 400
+	)
+	run := func(timeout time.Duration, seed int64) int {
+		clock := softstate.NewFakeClock()
+		net := simnet.New(seed)
+		d := New(timeout, clock)
+		net.HandleDatagrams("dir", func(string, []byte) { d.Observe("p") })
+		net.SetLoss(loss)
+		d.Observe("p") // initial registration delivered
+		for i := 0; i < steps; i++ {
+			clock.Advance(interval)
+			net.SendDatagram("p", "dir", []byte("refresh"))
+			d.Check()
+		}
+		return d.Stats().Recoveries // premature suspicions of a live producer
+	}
+	shortFP := run(15*time.Second, 42) // 1.5 intervals: one lost message suffices
+	longFP := run(65*time.Second, 42)  // 6.5 intervals: needs 6 consecutive losses
+	if shortFP <= longFP {
+		t.Errorf("expected short timeout to produce more false positives: short=%d long=%d", shortFP, longFP)
+	}
+	if longFP > 5 {
+		t.Errorf("long timeout false positives = %d, want near zero", longFP)
+	}
+}
+
+// TestDetectionLatencyBoundedByTimeout: once a producer truly stops, it is
+// suspected within Timeout plus one check period.
+func TestDetectionLatencyBoundedByTimeout(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	timeout := 30 * time.Second
+	d := New(timeout, clock)
+	d.Observe("p")
+	stopAt := clock.Now()
+	var detectedAt time.Time
+	for i := 0; i < 100; i++ {
+		clock.Advance(time.Second)
+		for _, tr := range d.Check() {
+			if tr.Key == "p" && tr.To == StatusSuspected {
+				detectedAt = tr.At
+			}
+		}
+		if !detectedAt.IsZero() {
+			break
+		}
+	}
+	if detectedAt.IsZero() {
+		t.Fatal("never detected")
+	}
+	latency := detectedAt.Sub(stopAt)
+	if latency < timeout || latency > timeout+2*time.Second {
+		t.Errorf("detection latency %v outside [%v, %v]", latency, timeout, timeout+2*time.Second)
+	}
+}
+
+func TestManyKeysConcurrentSafe(t *testing.T) {
+	d := New(time.Minute, softstate.RealClock{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			d.Observe(fmt.Sprintf("p%d", i%50))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		d.Check()
+		d.Alive()
+	}
+	<-done
+}
+
+func BenchmarkObserveCheck(b *testing.B) {
+	clock := softstate.NewFakeClock()
+	d := New(30*time.Second, clock)
+	for i := 0; i < 1000; i++ {
+		d.Observe(fmt.Sprintf("p%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(fmt.Sprintf("p%d", i%1000))
+		if i%100 == 0 {
+			d.Check()
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+	"mds2/internal/providers"
+	"mds2/internal/softstate"
+)
+
+func init() {
+	register("cache", "E2 (§10.3): GRIS result caching — provider intrusiveness and staleness vs cache TTL", runCache)
+	register("pushpull", "E6 (§6): pull polling vs push subscription for monitoring — messages vs update latency", runPushPull)
+}
+
+// slowBackend wraps a backend, charging a fixed provider execution cost —
+// the expensive invocation (process creation, sensor reading) whose
+// intrusiveness §10.3's cache bounds.
+type slowBackend struct {
+	gris.Backend
+	cost  time.Duration
+	clock *softstate.FakeClock
+	calls int
+}
+
+func (s *slowBackend) Entries(q *gris.Query) ([]*ldap.Entry, error) {
+	s.calls++
+	s.clock.Advance(s.cost) // provider execution consumes simulated time
+	return s.Backend.Entries(q)
+}
+
+func runCache(w io.Writer) error {
+	const (
+		queries      = 2000
+		queryGap     = time.Second
+		providerCost = 50 * time.Millisecond
+	)
+	tab := metrics.NewTable(
+		"E2 — per-provider cache TTL (2000 queries, 1/s; provider execution costs 50ms simulated)",
+		"cache TTL", "provider invocations", "invocations/query", "mean data age")
+
+	for _, ttl := range []time.Duration{0, time.Second, 10 * time.Second, 60 * time.Second, 300 * time.Second} {
+		clock := softstate.NewFakeClock()
+		host := hostinfo.New("h", hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: "ia32",
+			CPUCount: 4, MemoryMB: 1024}, 7)
+		suffix := ldap.MustParseDN("hn=h, o=g")
+		backend := &slowBackend{
+			Backend: &providers.DynamicHost{Host: host, Base: suffix, TTL: ttl},
+			cost:    providerCost,
+			clock:   clock,
+		}
+		// A zero-TTL DynamicHost defaults to 10s, so wrap with an explicit
+		// TTL override.
+		srv := gris.New(gris.Config{Suffix: suffix, Clock: clock})
+		srv.Register(&ttlOverride{Backend: backend, ttl: ttl})
+
+		var ageSum time.Duration
+		req := &ldap.SearchRequest{BaseDN: suffix.String(), Scope: ldap.ScopeWholeSubtree,
+			Filter: ldap.MustParseFilter("(objectclass=loadaverage)")}
+		lastInvocations := int64(0)
+		var lastFetch time.Time
+		for i := 0; i < queries; i++ {
+			clock.Advance(queryGap)
+			sink := &discard{}
+			srv.Search(&ldap.Request{State: &ldap.ConnState{}}, req, sink)
+			if srv.Invocations.Value() != lastInvocations {
+				lastInvocations = srv.Invocations.Value()
+				lastFetch = clock.Now()
+			}
+			ageSum += clock.Now().Sub(lastFetch)
+		}
+		label := ttl.String()
+		if ttl == 0 {
+			label = "off"
+		}
+		tab.AddRow(label, backend.calls, float64(backend.calls)/float64(queries),
+			ageSum/time.Duration(queries))
+	}
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}
+
+// ttlOverride forces an exact CacheTTL (including zero).
+type ttlOverride struct {
+	gris.Backend
+	ttl time.Duration
+}
+
+func (t *ttlOverride) CacheTTL() time.Duration { return t.ttl }
+
+type discard struct{}
+
+func (discard) SendEntry(*ldap.Entry, ...ldap.Control) error { return nil }
+func (discard) SendReferral(...string) error                 { return nil }

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"math/rand"
+
+	"mds2/internal/detect"
+	"mds2/internal/metrics"
+	"mds2/internal/simnet"
+	"mds2/internal/softstate"
+)
+
+func init() {
+	register("detector", "E1 (§4.3): failure-detector tradeoff — false positives vs detection latency across loss rate and timeout", runDetector)
+}
+
+// runDetector sweeps the §4.3 design space: a producer refreshes every
+// interval over a lossy link; the discoverer suspects it after `timeout`
+// of silence. Short timeouts detect true failures quickly but mistake
+// bursts of loss for failure; long timeouts are accurate but slow.
+func runDetector(w io.Writer) error {
+	const (
+		interval    = 10 * time.Second
+		liveSteps   = 1000 // refresh periods observed while producer is up
+		deadRepeats = 40   // independent true-failure trials
+	)
+	tab := metrics.NewTable(
+		"E1 — unreliable failure detection over a lossy link (refresh every 10s)",
+		"loss", "timeout", "false pos / hour", "mean detection latency", "p95 detection latency")
+
+	for _, loss := range []float64{0.01, 0.10, 0.30, 0.50} {
+		for _, mult := range []int{2, 4, 8} {
+			timeout := time.Duration(mult) * interval
+			fp := falsePositives(loss, interval, timeout, liveSteps)
+			fpPerHour := float64(fp) / (float64(liveSteps) * interval.Hours())
+			lat := detectionLatency(loss, interval, timeout, deadRepeats)
+			mean := lat.Mean()
+			p95, _ := lat.Quantile(0.95)
+			tab.AddRow(fmt.Sprintf("%.0f%%", loss*100), timeout, fpPerHour, mean, p95)
+		}
+	}
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}
+
+// falsePositives counts premature suspicions of a perfectly healthy
+// producer whose refreshes traverse a lossy link.
+func falsePositives(loss float64, interval, timeout time.Duration, steps int) int {
+	clock := softstate.NewFakeClock()
+	net := simnet.New(int64(loss*1000) + int64(timeout))
+	net.SetLoss(loss)
+	d := detect.New(timeout, clock)
+	net.HandleDatagrams("dir", func(string, []byte) { d.Observe("p") })
+	d.Observe("p")
+	for i := 0; i < steps; i++ {
+		clock.Advance(interval)
+		net.SendDatagram("p", "dir", nil)
+		d.Check()
+	}
+	return d.Stats().Recoveries
+}
+
+// detectionLatency measures, across repeats, how long a real crash stays
+// undetected. The producer crashes at a random offset into its refresh
+// cycle, so under loss the discoverer's last evidence may already be
+// several intervals old — detection can then be *faster* than the timeout
+// measured from the crash instant, while a freshly heard-from producer
+// takes the full timeout.
+func detectionLatency(loss float64, interval, timeout time.Duration, repeats int) *metrics.Histogram {
+	hist := &metrics.Histogram{}
+	for r := 0; r < repeats; r++ {
+		clock := softstate.NewFakeClock()
+		rng := rand.New(rand.NewSource(int64(r)*7919 + 13))
+		net := simnet.New(int64(r)*104729 + 7)
+		net.SetLoss(loss)
+		d := detect.New(timeout, clock)
+		net.HandleDatagrams("dir", func(string, []byte) { d.Observe("p") })
+		d.Observe("p")
+		// Healthy warm-up under loss.
+		for i := 0; i < 20; i++ {
+			clock.Advance(interval)
+			net.SendDatagram("p", "dir", nil)
+			d.Check()
+		}
+		// Ensure the trial starts with the producer believed alive (a
+		// warm-up loss burst may have suspected it already).
+		d.Observe("p")
+		for i := 0; i < 3; i++ {
+			clock.Advance(interval)
+			net.SendDatagram("p", "dir", nil)
+			d.Check()
+		}
+		// Crash at a random offset into the current refresh cycle.
+		clock.Advance(time.Duration(rng.Int63n(int64(interval))))
+		crashAt := clock.Now()
+		for d.Status("p") == detect.StatusAlive {
+			clock.Advance(time.Second)
+			d.Check()
+		}
+		latency := clock.Now().Sub(crashAt)
+		hist.Observe(latency)
+	}
+	return hist
+}

@@ -1,0 +1,66 @@
+// Package experiments reproduces, as executable scenarios, every figure of
+// the paper and the quantitative claims its prose makes. Each experiment
+// builds a deterministic simulated grid, drives it, and renders the
+// outcome as a text table; cmd/mdsbench runs them by name and EXPERIMENTS.md
+// records the expected shapes. See DESIGN.md §4 for the full index.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment, writing its report to w.
+type Runner func(w io.Writer) error
+
+var registry = map[string]struct {
+	run   Runner
+	descr string
+}{}
+
+func register(name, descr string, run Runner) {
+	registry[name] = struct {
+		run   Runner
+		descr string
+	}{run, descr}
+}
+
+// Names lists registered experiments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's one-line description.
+func Describe(name string) string {
+	if e, ok := registry[name]; ok {
+		return e.descr
+	}
+	return ""
+}
+
+// Run executes the named experiment.
+func Run(name string, w io.Writer) error {
+	e, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.run(w)
+}
+
+// RunAll executes every experiment in name order.
+func RunAll(w io.Writer) error {
+	for _, name := range Names() {
+		fmt.Fprintf(w, "### %s — %s\n\n", name, Describe(name))
+		if err := Run(name, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

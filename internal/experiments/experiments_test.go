@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns smoke-runs the complete experiment suite: each
+// must complete without error and produce a non-trivial report. This is the
+// regression net for the figure reproductions.
+func TestEveryExperimentRuns(t *testing.T) {
+	if len(Names()) < 10 {
+		t.Fatalf("registry lost experiments: %v", Names())
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := Run(name, &buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if buf.Len() < 80 {
+				t.Fatalf("%s: suspiciously short report:\n%s", name, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("no-such-experiment", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if Describe("no-such-experiment") != "" {
+		t.Fatal("unknown describe should be empty")
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	for _, name := range Names() {
+		if Describe(name) == "" {
+			t.Errorf("%s lacks a description", name)
+		}
+	}
+}
+
+// Shape assertions: key monotonicity claims the paper makes must hold in
+// the generated tables.
+
+func TestDetectorShape(t *testing.T) {
+	// At 30% loss, the 2-interval timeout must produce more false
+	// positives than the 8-interval timeout.
+	fp2 := falsePositives(0.30, 10e9, 20e9, 600)
+	fp8 := falsePositives(0.30, 10e9, 80e9, 600)
+	if fp2 <= fp8 {
+		t.Errorf("false positives: 2×=%d should exceed 8×=%d", fp2, fp8)
+	}
+	// Detection latency grows with timeout.
+	l2 := detectionLatency(0.10, 10e9, 20e9, 10).Mean()
+	l8 := detectionLatency(0.10, 10e9, 80e9, 10).Mean()
+	if l2 >= l8 {
+		t.Errorf("latency: 2×=%v should be below 8×=%v", l2, l8)
+	}
+}
+
+func TestFig4ConvergesForAllIntervals(t *testing.T) {
+	diverged, reconverged, convTime, err := fig4Round(5e9, 17.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Error("directories should diverge under partition")
+	}
+	if !reconverged {
+		t.Error("directories should reconverge after heal")
+	}
+	if convTime <= 0 {
+		t.Errorf("convergence time = %v", convTime)
+	}
+}
+
+func TestCacheReportMentionsAllTTLs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("cache", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"off", "10s", "1m0s", "5m0s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSecurityReportShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("security", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trusted-directory", "restricted", "existence-only", "open", "(hidden)", "all attributes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("security report missing %q", want)
+		}
+	}
+}

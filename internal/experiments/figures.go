@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mds2/internal/core"
+	"mds2/internal/ldap"
+	"mds2/internal/ldap/ldif"
+	"mds2/internal/metrics"
+)
+
+func init() {
+	register("fig1", "Figure 1: overlapping VOs; a partitioned VO operates as two disjoint fragments", runFig1)
+	register("fig2", "Figure 2: architecture overview — discovery at a directory, lookup at a provider", runFig2)
+	register("fig3", "Figure 3: the LDAP data model example namespace for hostX", runFig3)
+	register("fig4", "Figure 4: fault-tolerant registration — replicated directories converge; partitioned ones diverge and re-converge; convergence time vs refresh interval", runFig4)
+	register("fig5", "Figure 5: hierarchical discovery — two centers plus an individual under one VO directory", runFig5)
+}
+
+// settle advances simulated time in steps, yielding to background
+// goroutines so registration streams and sweeps run.
+func settle(g *core.Grid, step time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		g.SimClock().Advance(step)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitCond polls a condition while real time passes (background goroutines
+// deliver messages asynchronously even under the fake clock).
+func waitCond(cond func() bool) bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+func runFig1(w io.Writer) error {
+	g, err := core.NewSimGrid(101)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	// VO-A and VO-B with partially overlapping resources: shared1/shared2
+	// participate in both (Figure 1's overlap).
+	dirA, err := g.AddDirectory("dir-a", core.DirectoryOptions{Suffix: "vo=a"})
+	if err != nil {
+		return err
+	}
+	dirB1, err := g.AddDirectory("dir-b-east", core.DirectoryOptions{Suffix: "vo=b"})
+	if err != nil {
+		return err
+	}
+	dirB2, err := g.AddDirectory("dir-b-west", core.DirectoryOptions{Suffix: "vo=b"})
+	if err != nil {
+		return err
+	}
+	mkHost := func(name, org string) *core.HostNode {
+		h, err := g.AddHost(name, core.HostOptions{Org: org})
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	east1, east2 := mkHost("east1", "east"), mkHost("east2", "east")
+	west1 := mkHost("west1", "west")
+	shared1, shared2 := mkHost("shared1", "mid"), mkHost("shared2", "mid")
+
+	const refresh, ttl = 5 * time.Second, 20 * time.Second
+	for _, h := range []*core.HostNode{east1, shared1, shared2} {
+		h.RegisterWith(dirA, "a", refresh, ttl)
+	}
+	for _, h := range []*core.HostNode{east1, east2, west1, shared1, shared2} {
+		h.RegisterWith(dirB1, "b", refresh, ttl)
+		h.RegisterWith(dirB2, "b", refresh, ttl)
+	}
+	if !waitCond(func() bool {
+		return len(dirA.GIIS.Children()) == 3 &&
+			len(dirB1.GIIS.Children()) == 5 && len(dirB2.GIIS.Children()) == 5
+	}) {
+		return fmt.Errorf("fig1: initial registration did not settle")
+	}
+
+	tab := metrics.NewTable("Figure 1 — VO membership through a partition",
+		"phase", "VO-A dir", "VO-B east dir", "VO-B west dir", "east query", "west query")
+
+	query := func(d *core.DirectoryNode, from string) int {
+		c, err := d.Client(from)
+		if err != nil {
+			return -1
+		}
+		defer c.Close()
+		entries, err := c.Search(d.GIIS.Suffix(), "(objectclass=computer)")
+		if err != nil {
+			return -1
+		}
+		return len(entries)
+	}
+	row := func(phase string) {
+		tab.AddRow(phase, len(dirA.GIIS.Children()), len(dirB1.GIIS.Children()),
+			len(dirB2.GIIS.Children()), query(dirB1, "user-east"), query(dirB2, "user-west"))
+	}
+	row("connected")
+
+	// Partition VO-B down the middle; VO-A (all east side) is unaffected.
+	g.Net.SetPartitions(
+		[]string{"dir-a", "dir-b-east", "east1", "east2", "shared1", "shared2", "user-east"},
+		[]string{"dir-b-west", "west1", "user-west"},
+	)
+	settle(g, refresh, 6)
+	row("partitioned")
+
+	g.Net.Heal()
+	settle(g, refresh, 3)
+	waitCond(func() bool {
+		return len(dirB1.GIIS.Children()) == 5 && len(dirB2.GIIS.Children()) == 5
+	})
+	row("healed")
+
+	_, err = fmt.Fprintln(w, tab)
+	return err
+}
+
+func runFig2(w io.Writer) error {
+	g, err := core.NewSimGrid(102)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	dir, err := g.AddDirectory("dir", core.DirectoryOptions{Suffix: "vo=demo"})
+	if err != nil {
+		return err
+	}
+	var hosts []*core.HostNode
+	for i := 0; i < 4; i++ {
+		h, err := g.AddHost(fmt.Sprintf("p%d", i), core.HostOptions{Org: "site"})
+		if err != nil {
+			return err
+		}
+		h.RegisterWith(dir, "demo", 10*time.Second, time.Minute)
+		hosts = append(hosts, h)
+	}
+	if !waitCond(func() bool { return len(dir.GIIS.Children()) == 4 }) {
+		return fmt.Errorf("fig2: registrations did not settle")
+	}
+	user, err := dir.Client("user")
+	if err != nil {
+		return err
+	}
+	defer user.Close()
+
+	// Discovery at the directory.
+	found, err := user.Search(dir.GIIS.Suffix(), "(objectclass=computer)")
+	if err != nil {
+		return err
+	}
+	// Lookup direct at the first discovered provider.
+	direct, err := hosts[0].Client("user")
+	if err != nil {
+		return err
+	}
+	defer direct.Close()
+	entry, err := direct.Lookup(hosts[0].Suffix)
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("Figure 2 — discovery then lookup",
+		"step", "protocol", "target", "result")
+	tab.AddRow("register ×4", "GRRP", "aggregate directory", fmt.Sprintf("%d live children", len(dir.GIIS.Children())))
+	tab.AddRow("discover", "GRIP search", "aggregate directory", fmt.Sprintf("%d computers", len(found)))
+	tab.AddRow("lookup", "GRIP base search", "information provider", entry.DN.String())
+	_, err = fmt.Fprintln(w, tab)
+	return err
+}
+
+func runFig3(w io.Writer) error {
+	host := ldap.NewEntry(ldap.MustParseDN("hn=hostX")).
+		Add("objectclass", "computer").
+		Add("hn", "hostX").
+		Add("system", "mips irix")
+	queue := ldap.NewEntry(ldap.MustParseDN("queue=default, hn=hostX")).
+		Add("objectclass", "service", "queue").
+		Add("queue", "default").
+		Add("url", "gram://hostX/default").
+		Add("dispatchtype", "immediate")
+	perf := ldap.NewEntry(ldap.MustParseDN("perf=load5, hn=hostX")).
+		Add("objectclass", "perf", "loadaverage").
+		Add("perf", "load5").
+		Add("period", "10").
+		Add("load5", "3.2")
+	store := ldap.NewEntry(ldap.MustParseDN("store=scratch, hn=hostX")).
+		Add("objectclass", "storage", "filesystem").
+		Add("store", "scratch").
+		Add("free", "33515 MB").
+		Add("path", "/disks/scratch1")
+	entries := []*ldap.Entry{host, queue, perf, store}
+
+	schema := ldap.NewGridSchema()
+	for _, e := range entries {
+		if err := schema.Validate(e); err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+	}
+	fmt.Fprintln(w, "Figure 3 — LDAP data model (all entries validate against the grid schema):")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, ldif.Marshal(entries))
+
+	// Round-trip every entry through the real wire encoding.
+	for _, e := range entries {
+		msg := &ldap.Message{ID: 1, Op: &ldap.SearchResultEntry{Entry: e}}
+		if _, err := ldap.ParseMessageBytes(msg.Encode()); err != nil {
+			return fmt.Errorf("fig3: wire round trip: %w", err)
+		}
+	}
+	fmt.Fprintln(w, "wire round-trip: ok (BER-framed LDAPv3 SearchResultEntry)")
+	return nil
+}
+
+func runFig4(w io.Writer) error {
+	tab := metrics.NewTable("Figure 4 — registration convergence after partition heal",
+		"refresh interval", "TTL", "diverged during partition", "re-converged", "convergence time")
+	for _, interval := range []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second} {
+		ttl := interval * 7 / 2
+		diverged, reconverged, convTime, err := fig4Round(interval, ttl)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(interval, ttl, diverged, reconverged, convTime)
+	}
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}
+
+func fig4Round(interval, ttl time.Duration) (diverged, reconverged bool, convTime time.Duration, err error) {
+	g, err := core.NewSimGrid(104)
+	if err != nil {
+		return false, false, 0, err
+	}
+	defer g.Close()
+	d1, err := g.AddDirectory("d1", core.DirectoryOptions{Suffix: "vo=b"})
+	if err != nil {
+		return false, false, 0, err
+	}
+	d2, err := g.AddDirectory("d2", core.DirectoryOptions{Suffix: "vo=b"})
+	if err != nil {
+		return false, false, 0, err
+	}
+	var hosts []*core.HostNode
+	for i := 0; i < 4; i++ {
+		h, err := g.AddHost(fmt.Sprintf("h%d", i), core.HostOptions{})
+		if err != nil {
+			return false, false, 0, err
+		}
+		h.RegisterWith(d1, "b", interval, ttl)
+		h.RegisterWith(d2, "b", interval, ttl)
+		hosts = append(hosts, h)
+	}
+	if !waitCond(func() bool {
+		return len(d1.GIIS.Children()) == 4 && len(d2.GIIS.Children()) == 4
+	}) {
+		return false, false, 0, fmt.Errorf("fig4: registration did not settle")
+	}
+	// Partition d2 with half the hosts.
+	g.Net.SetPartitions(
+		[]string{"d1", "h0", "h1"},
+		[]string{"d2", "h2", "h3"},
+	)
+	settle(g, interval, int(ttl/interval)+3)
+	diverged = len(d1.GIIS.Children()) == 2 && len(d2.GIIS.Children()) == 2
+
+	g.Net.Heal()
+	healedAt := g.Clock.Now()
+	for i := 0; i < 20; i++ {
+		settle(g, interval/2, 1)
+		if len(d1.GIIS.Children()) == 4 && len(d2.GIIS.Children()) == 4 {
+			reconverged = true
+			break
+		}
+	}
+	convTime = g.Clock.Now().Sub(healedAt)
+	return diverged, reconverged, convTime, nil
+}
+
+func runFig5(w io.Writer) error {
+	g, err := core.NewSimGrid(105)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	vo, err := g.AddDirectory("vo-dir", core.DirectoryOptions{Suffix: "vo=alliance"})
+	if err != nil {
+		return err
+	}
+	c1, err := g.AddDirectory("c1-dir", core.DirectoryOptions{Suffix: "o=o1"})
+	if err != nil {
+		return err
+	}
+	c2, err := g.AddDirectory("c2-dir", core.DirectoryOptions{Suffix: "o=o2"})
+	if err != nil {
+		return err
+	}
+	const refresh, ttl = 10 * time.Second, time.Minute
+	for _, r := range []string{"r1", "r2", "r3"} {
+		h, err := g.AddHost(r+".o1", core.HostOptions{Org: "o1"})
+		if err != nil {
+			return err
+		}
+		h.RegisterWith(c1, "alliance", refresh, ttl)
+	}
+	for _, r := range []string{"r1", "r2"} {
+		h, err := g.AddHost(r+".o2", core.HostOptions{Org: "o2"})
+		if err != nil {
+			return err
+		}
+		h.RegisterWith(c2, "alliance", refresh, ttl)
+	}
+	indiv, err := g.AddHost("r1.home", core.HostOptions{Org: "home"})
+	if err != nil {
+		return err
+	}
+	indiv.RegisterWith(vo, "alliance", refresh, ttl)
+	c1.RegisterWith(vo, "alliance", refresh, ttl)
+	c2.RegisterWith(vo, "alliance", refresh, ttl)
+
+	if !waitCond(func() bool {
+		return len(vo.GIIS.Children()) == 3 && len(c1.GIIS.Children()) == 3 &&
+			len(c2.GIIS.Children()) == 2
+	}) {
+		return fmt.Errorf("fig5: hierarchy did not settle")
+	}
+	user, err := vo.Client("user")
+	if err != nil {
+		return err
+	}
+	defer user.Close()
+
+	tab := metrics.NewTable("Figure 5 — hierarchical discovery",
+		"search base", "scope note", "hosts found")
+	count := func(base string) int {
+		entries, err := user.Search(ldap.MustParseDN(base), "(objectclass=computer)")
+		if err != nil {
+			return -1
+		}
+		return len(entries)
+	}
+	tab.AddRow("vo=alliance", "whole VO (root search)", count("vo=alliance"))
+	tab.AddRow("o=o1, vo=alliance", "scoped to center 1", count("o=o1, vo=alliance"))
+	tab.AddRow("o=o2, vo=alliance", "scoped to center 2", count("o=o2, vo=alliance"))
+	tab.AddRow("hn=r1.o1, o=o1, vo=alliance", "single resource", count("hn=r1.o1, o=o1, vo=alliance"))
+	fmt.Fprintln(w, tab)
+
+	// The name index at the VO level lists the registered services.
+	idx, err := user.Search(ldap.MustParseDN("vo=alliance"), "(objectclass=mdsservice)")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "VO name index: %d service entries (1 self + %d children)\n",
+		len(idx), len(vo.GIIS.Children()))
+	return nil
+}

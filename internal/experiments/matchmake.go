@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mds2/internal/core"
+	"mds2/internal/giis"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/ldap/ldif"
+	"mds2/internal/metrics"
+)
+
+func init() {
+	register("matchmake", "E9 (§5.3): pluggable search — Condor-style matchmaking behind the GRIP extension point", runMatchmake)
+}
+
+// runMatchmake mounts the matchmaker extension on a cached-index directory
+// and issues the kind of ranked, cross-attribute request that the basic
+// GRIP filter language cannot express (§4.2 excludes joins; §5.3 points to
+// matchmaking as the alternative evaluation mechanism).
+func runMatchmake(w io.Writer) error {
+	g, err := core.NewSimGrid(909)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	index := giis.NewCachedIndex(time.Hour)
+	dir, err := g.AddDirectory("dir", core.DirectoryOptions{
+		Suffix:   "vo=v",
+		Strategy: index,
+		Extensions: map[string]giis.Extension{
+			core.OIDMatchmake: core.MatchmakeExtension(index),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	specs := []struct {
+		name string
+		cpus int
+		arch string
+	}{
+		{"tiny", 2, "ia32"}, {"mid", 8, "ia32"}, {"big", 64, "mips"}, {"huge", 128, "mips"},
+	}
+	for i, s := range specs {
+		h, err := g.AddHost(s.name, core.HostOptions{
+			Seed: int64(i + 1),
+			Spec: hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: s.arch,
+				CPUCount: s.cpus, MemoryMB: 256 * s.cpus},
+		})
+		if err != nil {
+			return err
+		}
+		h.RegisterWith(dir, "v", 10*time.Second, time.Hour)
+	}
+	if !waitCond(func() bool { return len(dir.GIIS.Children()) == len(specs) }) {
+		return fmt.Errorf("matchmake: registrations did not settle")
+	}
+	user, err := dir.Client("user")
+	if err != nil {
+		return err
+	}
+	defer user.Close()
+	// Warm the index through a normal GRIP discovery.
+	if _, err := user.Search(ldap.MustParseDN("vo=v"), "(objectclass=computer)"); err != nil {
+		return err
+	}
+
+	tab := metrics.NewTable("E9 — matchmaking requests the LDAP filter language cannot express",
+		"request", "matches (rank order)")
+	ask := func(label, req string) error {
+		out, err := user.Extended(core.OIDMatchmake, []byte(req))
+		if err != nil {
+			return err
+		}
+		entries, err := ldif.ParseString(string(out))
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.First("hn"))
+		}
+		tab.AddRow(label, fmt.Sprintf("%v", names))
+		return nil
+	}
+	if err := ask("≥8 CPUs, most memory per requested core first",
+		"requirements: other.cpucount >= 8\nrank: other.memorymb / needcpus\nattr.needcpus: 8\n"); err != nil {
+		return err
+	}
+	if err := ask("mips only, biggest first",
+		"requirements: other.cputype == \"mips\"\nrank: other.cpucount\n"); err != nil {
+		return err
+	}
+	if err := ask("impossible demand",
+		"requirements: other.cpucount >= 100000\n"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, tab)
+	return err
+}

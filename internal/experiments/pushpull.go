@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+	"mds2/internal/providers"
+	"mds2/internal/softstate"
+)
+
+// runPushPull compares the two GRIP delivery models of §6 on a changing
+// value. A monitored quantity changes every two minutes, offset into the
+// interval; pull observes it at the next poll, push at the server's next
+// subscription re-evaluation. The table shows the messages-vs-latency trade
+// the paper describes ("in the case of monitoring ... we may prefer that
+// the information is delivered asynchronously").
+func runPushPull(w io.Writer) error {
+	const (
+		horizon    = 30 * time.Minute
+		changeGap  = 2 * time.Minute
+		changeAt   = 31 * time.Second // offset of each change into its interval
+		serverPoll = 5 * time.Second  // push-mode internal re-evaluation
+	)
+	tab := metrics.NewTable(
+		"E6 — pull vs push monitoring (30 simulated minutes; value changes every 2m)",
+		"mode", "messages", "changes observed", "mean observation delay", "max delay")
+
+	type result struct {
+		msgs  int
+		seen  int
+		mean  time.Duration
+		worst time.Duration
+	}
+
+	run := func(pollEvery time.Duration, push bool) (result, error) {
+		clock := softstate.NewFakeClock()
+		suffix := ldap.MustParseDN("hn=h, o=g")
+
+		var mu sync.Mutex
+		value := "v0"
+		changedAt := map[string]time.Time{}  // value -> when it became current
+		observedAt := map[string]time.Time{} // value -> when first delivered
+		msgs := 0
+
+		backend := &providers.Func{
+			Label:   "counter",
+			Subtree: suffix,
+			Generate: func(*gris.Query) ([]*ldap.Entry, error) {
+				mu.Lock()
+				v := value
+				mu.Unlock()
+				return []*ldap.Entry{ldap.NewEntry(suffix.ChildAVA("perf", "load")).
+					Add("objectclass", "perf", "loadaverage").
+					Add("perf", "load").Add("load5", v)}, nil
+			},
+		}
+		srv := gris.New(gris.Config{Suffix: suffix, Clock: clock, PollInterval: serverPoll})
+		srv.Register(backend)
+
+		observe := sinkFunc(func(e *ldap.Entry) error {
+			mu.Lock()
+			msgs++
+			v := e.First("load5")
+			if _, ok := observedAt[v]; !ok {
+				observedAt[v] = clock.Now()
+			}
+			mu.Unlock()
+			return nil
+		})
+		searchReq := &ldap.SearchRequest{BaseDN: suffix.String(), Scope: ldap.ScopeWholeSubtree,
+			Filter: ldap.MustParseFilter("(objectclass=loadaverage)")}
+
+		if push {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req := &ldap.Request{State: &ldap.ConnState{}, Ctx: ctx,
+				Controls: []ldap.Control{ldap.NewPersistentSearchControl(ldap.PersistentSearch{
+					ChangeTypes: ldap.ChangeAll})}}
+			go srv.Search(req, searchReq, observe)
+			time.Sleep(10 * time.Millisecond) // subscription establishes, baseline flows
+		}
+
+		// Drive simulated time in one-second ticks.
+		for sec := 1; sec <= int(horizon/time.Second); sec++ {
+			clock.Advance(time.Second)
+			t := time.Duration(sec) * time.Second
+			if (t-changeAt) >= 0 && (t-changeAt)%changeGap == 0 {
+				mu.Lock()
+				value = fmt.Sprintf("v%d", int((t-changeAt)/changeGap)+1)
+				changedAt[value] = clock.Now()
+				mu.Unlock()
+			}
+			if push {
+				if sec%int(serverPoll/time.Second) == 0 {
+					time.Sleep(time.Millisecond) // let the push loop re-evaluate
+				}
+			} else if sec%int(pollEvery/time.Second) == 0 {
+				srv.Search(&ldap.Request{State: &ldap.ConnState{}}, searchReq, observe)
+			}
+		}
+		if push {
+			time.Sleep(5 * time.Millisecond) // drain the final re-evaluation
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		var res result
+		res.msgs = msgs
+		var total time.Duration
+		for v, at := range changedAt {
+			seen, ok := observedAt[v]
+			if !ok || seen.Before(at) {
+				continue
+			}
+			d := seen.Sub(at)
+			total += d
+			if d > res.worst {
+				res.worst = d
+			}
+			res.seen++
+		}
+		if res.seen > 0 {
+			res.mean = total / time.Duration(res.seen)
+		}
+		return res, nil
+	}
+
+	for _, poll := range []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute} {
+		r, err := run(poll, false)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(fmt.Sprintf("pull every %v", poll), r.msgs, r.seen, r.mean, r.worst)
+	}
+	r, err := run(0, true)
+	if err != nil {
+		return err
+	}
+	tab.AddRow("push (subscription)", r.msgs, r.seen, r.mean, r.worst)
+	_, err = fmt.Fprintln(w, tab)
+	return err
+}
+
+type sinkFunc func(*ldap.Entry) error
+
+func (f sinkFunc) SendEntry(e *ldap.Entry, _ ...ldap.Control) error { return f(e) }
+func (f sinkFunc) SendReferral(...string) error                     { return nil }

@@ -1,0 +1,578 @@
+// Package giis implements the Grid Index Information Service of §10.4: the
+// configurable aggregate directory framework. A GIIS accepts GRRP
+// registrations (over datagrams or mapped onto LDAP add operations, as in
+// MDS-2.1), maintains a soft-state index of child information providers,
+// and answers GRIP searches through a pluggable search strategy — chaining
+// requests to the authoritative providers, serving a locally maintained
+// cache index, routing via lossy Bloom summaries, or returning referrals.
+//
+// A GIIS is itself an information provider: it publishes its own service
+// entry and the name index of its children, and registers up a hierarchy
+// with GRRP to form the Figure 5 discovery tree.
+package giis
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mds2/internal/grip"
+	"mds2/internal/grrp"
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+	"mds2/internal/softstate"
+)
+
+// Dialer opens a GRIP connection to a child service. Deployments use TCP;
+// simulations inject simnet dials.
+type Dialer func(url ldap.URL) (*ldap.Client, error)
+
+// TCPDialer dials ldap:// URLs over TCP.
+func TCPDialer(url ldap.URL) (*ldap.Client, error) {
+	conn, err := net.Dial("tcp", url.Address())
+	if err != nil {
+		return nil, err
+	}
+	return ldap.NewClient(conn), nil
+}
+
+// Child is one live registered information provider (GRIS or subordinate
+// GIIS).
+type Child struct {
+	// URL is the GRIP endpoint from the registration.
+	URL ldap.URL
+	// Suffix is the child's own namespace root.
+	Suffix ldap.DN
+	// ViewSuffix is where the child's namespace appears in this
+	// directory's view (Suffix grafted under the GIIS suffix).
+	ViewSuffix ldap.DN
+	// MDSType is "gris" or "giis".
+	MDSType string
+	// VO is the VO named in the registration.
+	VO string
+	// ExpiresAt is the soft-state deadline.
+	ExpiresAt time.Time
+}
+
+// Config assembles a GIIS.
+type Config struct {
+	// Name identifies this directory (used in its service entry and
+	// self-registration), e.g. "giis.center1".
+	Name string
+	// Suffix is the directory's namespace root ("o=center1" or
+	// "vo=alliance"); children appear grafted beneath it.
+	Suffix ldap.DN
+	// SelfURL is the GRIP URL other services use to reach this GIIS.
+	SelfURL ldap.URL
+	// Clock drives soft state; nil means wall clock.
+	Clock softstate.Clock
+	// Dial opens connections for chained searches; nil means TCP.
+	Dial Dialer
+	// Strategy answers data searches; nil means Chaining.
+	Strategy Strategy
+	// Trust is the directory's trust store: with Keys it enables GSI SASL
+	// binds from clients and authenticated chaining; with
+	// RequireSignedRegistrations it verifies registration signatures.
+	Trust *gsi.TrustStore
+	// RequireSignedRegistrations refuses GRRP messages lacking a valid
+	// signature chained to Trust (§7 registration security).
+	RequireSignedRegistrations bool
+	// Keys is the directory's own GSI identity: it enables GSI binds from
+	// clients and, with AuthChildren, authenticated chaining to providers
+	// ("the GIIS can also bind using a trusted server credential", §10.4).
+	Keys *gsi.KeyPair
+	// TrustedDirectories grants the §7 directory role to authenticated
+	// peers (e.g. a parent GIIS chaining through this one).
+	TrustedDirectories []string
+	// AuthChildren makes every chained connection authenticate with Keys
+	// before searching, so providers can apply directory-grade policy.
+	AuthChildren bool
+	// AcceptVO, when non-empty, admits only registrations naming this VO
+	// (§2.3 membership policy).
+	AcceptVO string
+	// Accept, when set, refines admission after signature checks.
+	Accept func(*grrp.Message, *gsi.Credential) bool
+	// Extensions maps extended-operation OIDs to handlers, the §6 "GRIP
+	// extension" mechanism ("resources may offer additional information
+	// delivery capabilities beyond those provided by GRIP"). The bundled
+	// matchmaker service plugs in here.
+	Extensions map[string]Extension
+}
+
+// Extension handles one GRIP extended operation: it receives the request
+// value and returns the response value.
+type Extension func(req *ldap.Request, value []byte) ([]byte, error)
+
+// Server is a GIIS.
+type Server struct {
+	ldap.BaseHandler
+
+	cfg      Config
+	clock    softstate.Clock
+	receiver *grrp.Receiver
+	strategy Strategy
+
+	poolMu sync.Mutex
+	pool   map[string]*ldap.Client
+
+	// Stats
+	Registrations metrics.Counter // accepted GRRP messages
+	Searches      metrics.Counter
+	ChainedOps    metrics.Counter
+
+	sasl *gsi.SASLBinder
+}
+
+// New creates a GIIS.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = softstate.RealClock{}
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = TCPDialer
+	}
+	s := &Server{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		pool:  map[string]*ldap.Client{},
+	}
+	if cfg.Keys != nil && cfg.Trust != nil {
+		s.sasl = gsi.NewSASLBinder(cfg.Keys, cfg.Trust, cfg.Clock.Now, cfg.TrustedDirectories)
+	}
+	s.receiver = grrp.NewReceiver(cfg.Clock)
+	if cfg.RequireSignedRegistrations {
+		s.receiver.Trust = cfg.Trust
+	}
+	s.receiver.Accept = func(m *grrp.Message, cred *gsi.Credential) bool {
+		if m.Type != grrp.TypeRegister {
+			return false
+		}
+		if cfg.AcceptVO != "" && m.VO != cfg.AcceptVO {
+			return false
+		}
+		if cfg.Accept != nil && !cfg.Accept(m, cred) {
+			return false
+		}
+		return true
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = NewChaining()
+	}
+	s.strategy = cfg.Strategy
+	s.strategy.attach(s)
+	return s
+}
+
+// Suffix returns the directory's namespace root.
+func (s *Server) Suffix() ldap.DN { return s.cfg.Suffix }
+
+// Name returns the directory's configured name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Receiver exposes the GRRP ingest point for datagram transports:
+// network.HandleDatagrams(node, giis.Receiver().HandleDatagram).
+func (s *Server) Receiver() *grrp.Receiver { return s.receiver }
+
+// Ingest validates and applies one GRRP message (any transport).
+func (s *Server) Ingest(m *grrp.Message) bool {
+	ok := s.receiver.Ingest(m)
+	if ok {
+		s.Registrations.Inc()
+	}
+	return ok
+}
+
+// HandleDatagram ingests one datagram-carried GRRP payload; wire it into
+// simnet.HandleDatagrams or a UDP read loop.
+func (s *Server) HandleDatagram(_ string, payload []byte) {
+	m, err := grrp.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	s.Ingest(m)
+}
+
+// Children returns the live child set, sorted by service URL.
+func (s *Server) Children() []Child {
+	items := s.receiver.Registry.Live()
+	out := make([]Child, 0, len(items))
+	for _, it := range items {
+		m, ok := it.Payload.(*grrp.Message)
+		if !ok {
+			continue
+		}
+		url, err := ldap.ParseURL(m.ServiceURL)
+		if err != nil {
+			continue
+		}
+		suffix, err := ldap.ParseDN(m.SuffixDN)
+		if err != nil {
+			continue
+		}
+		// A child whose namespace already sits under this directory's
+		// suffix keeps its name; foreign namespaces are grafted beneath
+		// the suffix (the Figure 5 VO view).
+		view := suffix
+		if !suffix.Equal(s.cfg.Suffix) && !suffix.IsDescendantOf(s.cfg.Suffix) {
+			view = suffix.Under(s.cfg.Suffix)
+		}
+		out = append(out, Child{
+			URL:        url,
+			Suffix:     suffix,
+			ViewSuffix: view,
+			MDSType:    m.MDSType,
+			VO:         m.VO,
+			ExpiresAt:  it.ExpiresAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL.String() < out[j].URL.String() })
+	return out
+}
+
+// Close releases pooled connections and the registry.
+func (s *Server) Close() {
+	s.receiver.Close()
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	for k, c := range s.pool {
+		c.Close()
+		delete(s.pool, k)
+	}
+}
+
+// client returns a pooled connection to a child, dialing on demand.
+func (s *Server) client(url ldap.URL) (*ldap.Client, error) {
+	key := url.ServiceKey()
+	s.poolMu.Lock()
+	c := s.pool[key]
+	s.poolMu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := s.cfg.Dial(url)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.AuthChildren && s.cfg.Keys != nil && s.cfg.Trust != nil {
+		if _, err := grip.AuthenticateLDAP(c, s.cfg.Keys, s.cfg.Trust); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("giis: authenticating to %s: %w", url, err)
+		}
+	}
+	s.poolMu.Lock()
+	if existing := s.pool[key]; existing != nil {
+		s.poolMu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	s.pool[key] = c
+	s.poolMu.Unlock()
+	return c, nil
+}
+
+// dropClient evicts a broken pooled connection.
+func (s *Server) dropClient(url ldap.URL) {
+	key := url.ServiceKey()
+	s.poolMu.Lock()
+	if c := s.pool[key]; c != nil {
+		c.Close()
+		delete(s.pool, key)
+	}
+	s.poolMu.Unlock()
+}
+
+// chain translates a view-namespace region into the child's namespace,
+// runs the search there, and translates result DNs back into the view.
+func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
+	filter *ldap.Filter, attrs []string, sizeLimit int64) ([]*ldap.Entry, error) {
+
+	childBase, childScope, ok := translateRegion(base, scope, child)
+	if !ok {
+		return nil, nil
+	}
+	req := &ldap.SearchRequest{
+		BaseDN:     childBase.String(),
+		Scope:      childScope,
+		Filter:     filter,
+		Attributes: attrs,
+		SizeLimit:  sizeLimit,
+	}
+	var res *ldap.SearchResult
+	var err error
+	// Pooled connections may have been severed by a partition that has
+	// since healed; a connection-level failure is retried once on a fresh
+	// dial before the child is reported unreachable.
+	for attempt := 0; attempt < 2; attempt++ {
+		var c *ldap.Client
+		c, err = s.client(child.URL)
+		if err != nil {
+			return nil, err
+		}
+		s.ChainedOps.Inc()
+		res, err = c.Search(req)
+		if err == nil || (ldap.IsCode(err, ldap.ResultSizeLimitExceeded) && res != nil) {
+			// Success, or the child truncated at its size limit — partial
+			// entries still count.
+			err = nil
+			break
+		}
+		if ldap.IsCode(err, ldap.ResultNoSuchObject) {
+			return nil, nil
+		}
+		s.dropClient(child.URL)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ldap.Entry, 0, len(res.Entries))
+	for _, e := range res.Entries {
+		ve := e.Clone()
+		if rel, ok := e.DN.RelativeTo(child.Suffix); ok {
+			ve.DN = rel.Under(child.ViewSuffix)
+		}
+		out = append(out, ve)
+	}
+	return out, nil
+}
+
+// translateRegion maps a search region in the GIIS view into the child's
+// namespace, returning ok=false when the region cannot contain the child's
+// entries.
+func translateRegion(base ldap.DN, scope ldap.Scope, child Child) (ldap.DN, ldap.Scope, bool) {
+	v := child.ViewSuffix
+	// Region rooted at or below the child's view subtree: translate base.
+	if base.Equal(v) || base.IsDescendantOf(v) {
+		rel, _ := base.RelativeTo(v)
+		return rel.Under(child.Suffix), scope, true
+	}
+	// Region above the child: the child's whole subtree may participate if
+	// the scope reaches it.
+	switch scope {
+	case ldap.ScopeWholeSubtree:
+		if v.IsDescendantOf(base) {
+			return child.Suffix, ldap.ScopeWholeSubtree, true
+		}
+	case ldap.ScopeSingleLevel:
+		if v.Depth() == base.Depth()+1 && v.IsDescendantOf(base) {
+			return child.Suffix, ldap.ScopeBaseObject, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Bind accepts anonymous binds always (directories commonly run open for
+// discovery, per §7's common-policy observation) and GSI SASL binds when
+// the directory is configured with keys and a trust store.
+func (s *Server) Bind(req *ldap.Request, op *ldap.BindRequest) *ldap.BindResponse {
+	switch {
+	case op.SASLMech == "":
+		return &ldap.BindResponse{Result: ldap.Result{Code: ldap.ResultSuccess}}
+	case op.SASLMech == gsi.SASLMechanism && s.sasl != nil:
+		step, err := s.sasl.Step(req.State, op.SASLCreds)
+		if err != nil {
+			return &ldap.BindResponse{Result: ldap.Result{
+				Code: ldap.ResultInvalidCredentials, Message: err.Error()}}
+		}
+		if step.Challenge != nil {
+			return &ldap.BindResponse{
+				Result:      ldap.Result{Code: ldap.ResultSaslBindInProgress},
+				ServerCreds: step.Challenge,
+			}
+		}
+		req.State.SetIdentity(step.Principal.Subject, step.Principal)
+		return &ldap.BindResponse{Result: ldap.Result{Code: ldap.ResultSuccess}}
+	default:
+		return &ldap.BindResponse{Result: ldap.Result{Code: ldap.ResultAuthMethodNotSupported,
+			Message: "GIIS accepts anonymous or SASL/GSI binds"}}
+	}
+}
+
+// Add implements the MDS-2.1 GRRP transport: registrations arrive as LDAP
+// add operations (§10.1) and are decoded into GRRP messages.
+func (s *Server) Add(_ *ldap.Request, op *ldap.AddRequest) ldap.Result {
+	m, err := grrp.FromEntry(op.Entry)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform,
+			Message: "GIIS accepts only GRRP registration entries: " + err.Error()}
+	}
+	if !s.Ingest(m) {
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "registration refused"}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// rootDSE advertises the directory's namespace, strategy, and supported
+// extensions (the §6 service-publication mechanism).
+func (s *Server) rootDSE() *ldap.Entry {
+	e := ldap.NewEntry(ldap.DN{}).
+		Add("objectclass", "top").
+		Add("vendorname", "mds2").
+		Add("mdstype", "giis").
+		Add("namingcontexts", s.cfg.Suffix.String()).
+		Add("searchstrategy", s.strategy.Name()).
+		Add("supportedsaslmechanisms", gsi.SASLMechanism)
+	for oid := range s.cfg.Extensions {
+		e.Add("supportedextension", oid)
+	}
+	return e
+}
+
+// Search answers GRIP queries: service metadata and the name index are
+// served locally; data queries go through the configured strategy.
+func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.SearchWriter) ldap.Result {
+	s.Searches.Inc()
+	base, err := ldap.ParseDN(op.BaseDN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultProtocolError, Message: err.Error()}
+	}
+	if base.IsZero() && op.Scope == ldap.ScopeBaseObject {
+		dse := s.rootDSE()
+		if op.Filter == nil || op.Filter.Matches(dse) {
+			if err := w.SendEntry(dse.Select(op.Attributes)); err != nil {
+				return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+			}
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	children := s.Children()
+
+	// Serve local entries (self + name index) that fall in the region.
+	sent := int64(0)
+	sendLocal := func(e *ldap.Entry) error {
+		if !e.DN.WithinScope(base, op.Scope) {
+			return nil
+		}
+		if op.Filter != nil && !op.Filter.Matches(e) {
+			return nil
+		}
+		if op.SizeLimit > 0 && sent >= op.SizeLimit {
+			return errSizeLimit
+		}
+		sent++
+		return w.SendEntry(e.Select(op.Attributes))
+	}
+	if err := sendLocal(s.selfEntry(children)); err != nil {
+		return sizeOrUnavailable(err)
+	}
+	for _, c := range children {
+		if err := sendLocal(s.childIndexEntry(c)); err != nil {
+			return sizeOrUnavailable(err)
+		}
+	}
+
+	// Hand data queries to the strategy.
+	res := s.strategy.Search(&SearchContext{
+		Server: s, Req: req, Op: op, W: w,
+		Base: base, Children: children, sent: &sent,
+	})
+	return res
+}
+
+var errSizeLimit = fmt.Errorf("size limit")
+
+func sizeOrUnavailable(err error) ldap.Result {
+	if err == errSizeLimit {
+		return ldap.Result{Code: ldap.ResultSizeLimitExceeded}
+	}
+	return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+}
+
+// selfEntry is the directory's own service object.
+func (s *Server) selfEntry(children []Child) *ldap.Entry {
+	return ldap.NewEntry(s.cfg.Suffix.ChildAVA("mds-service", s.cfg.Name)).
+		Add("objectclass", "mdsservice", "service").
+		Add("url", s.cfg.SelfURL.String()).
+		Add("mdstype", "giis").
+		Add("provider", fmt.Sprintf("%d", len(children)))
+}
+
+// childIndexEntry is the name-index view of one registration (the §3
+// "name-serving aggregate directory" behaviour, available from every GIIS).
+func (s *Server) childIndexEntry(c Child) *ldap.Entry {
+	return ldap.NewEntry(s.cfg.Suffix.ChildAVA("mds-child", c.URL.String())).
+		Add("objectclass", "mdsservice", "service").
+		Add("url", c.URL.String()).
+		Add("mdstype", c.MDSType).
+		Add("vo", c.VO).
+		Add("suffix", c.ViewSuffix.String()).
+		Add("providersuffix", c.Suffix.String())
+}
+
+// Extended dispatches GRIP extension operations registered in the
+// configuration.
+func (s *Server) Extended(req *ldap.Request, op *ldap.ExtendedRequest) *ldap.ExtendedResponse {
+	handler, ok := s.cfg.Extensions[op.OID]
+	if !ok {
+		return &ldap.ExtendedResponse{Result: ldap.Result{Code: ldap.ResultProtocolError,
+			Message: "unsupported extended operation " + op.OID}}
+	}
+	out, err := handler(req, op.Value)
+	if err != nil {
+		return &ldap.ExtendedResponse{OID: op.OID, Result: ldap.Result{
+			Code: ldap.ResultUnwillingToPerform, Message: err.Error()}}
+	}
+	return &ldap.ExtendedResponse{OID: op.OID, Value: out,
+		Result: ldap.Result{Code: ldap.ResultSuccess}}
+}
+
+// SelfRegistration builds the GRRP registration this GIIS sustains toward a
+// parent directory, forming the Figure 5 hierarchy.
+func (s *Server) SelfRegistration(parentTarget string, vo string, interval, ttl time.Duration) grrp.Registration {
+	return grrp.Registration{
+		Target: parentTarget,
+		Message: grrp.Message{
+			Type:       grrp.TypeRegister,
+			ServiceURL: s.cfg.SelfURL.String(),
+			MDSType:    "giis",
+			VO:         vo,
+			SuffixDN:   s.cfg.Suffix.String(),
+		},
+		Interval: interval,
+		TTL:      ttl,
+	}
+}
+
+// Invite sends a GRRP invitation asking the service at targetAddr to join
+// this directory (§10.4 invitation support). transport carries the
+// datagram; the invited service registers back over its own stream. When
+// the directory has keys, the invitation is signed so providers can apply
+// the §7 registration-security checks to invitations too.
+func (s *Server) Invite(transport grrp.Transport, targetAddr, vo string, ttl time.Duration) error {
+	now := s.clock.Now()
+	m := grrp.Message{
+		Type:       grrp.TypeInvite,
+		ServiceURL: s.cfg.SelfURL.String(),
+		MDSType:    "giis",
+		VO:         vo,
+		SuffixDN:   s.cfg.Suffix.String(),
+		IssuedAt:   now,
+		ValidUntil: now.Add(ttl),
+	}
+	if s.cfg.Keys != nil {
+		m.Sign(s.cfg.Keys)
+	}
+	return transport.Send(targetAddr, m.Marshal())
+}
+
+func lowerTerms(f *ldap.Filter) []string {
+	var out []string
+	var walk func(*ldap.Filter)
+	walk = func(g *ldap.Filter) {
+		switch g.Kind {
+		case ldap.FilterAnd:
+			for _, sub := range g.Subs {
+				walk(sub)
+			}
+		case ldap.FilterEquality:
+			out = append(out, strings.ToLower(g.Attr)+"="+strings.ToLower(g.Value))
+		}
+	}
+	if f != nil {
+		walk(f)
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package giis
+
+import (
+	"sync"
+	"time"
+
+	"mds2/internal/bloom"
+	"mds2/internal/ldap"
+)
+
+// SearchContext carries one data search through a strategy.
+type SearchContext struct {
+	Server   *Server
+	Req      *ldap.Request
+	Op       *ldap.SearchRequest
+	W        ldap.SearchWriter
+	Base     ldap.DN
+	Children []Child
+
+	sent *int64 // shared with the local-entry sender for SizeLimit
+}
+
+// send streams one translated entry, honouring the size limit.
+func (c *SearchContext) send(e *ldap.Entry) error {
+	if c.Op.SizeLimit > 0 && *c.sent >= c.Op.SizeLimit {
+		return errSizeLimit
+	}
+	*c.sent++
+	return c.W.SendEntry(e.Select(c.Op.Attributes))
+}
+
+// Strategy is the pluggable search handling of §10.4.
+type Strategy interface {
+	// Name identifies the strategy in configuration and experiments.
+	Name() string
+	// Search answers the data portion of a query.
+	Search(ctx *SearchContext) ldap.Result
+	// attach gives the strategy its owning server before first use.
+	attach(s *Server)
+}
+
+// Chaining forwards requests to every live child whose namespace
+// intersects the query region and merges results — the simple aggregate
+// directory MDS-2.1 ships (§10.4: "GRIP requests directed to the GIIS are
+// simply forwarded on to the appropriate information provider").
+type Chaining struct {
+	// Parallel fans chained requests out concurrently.
+	Parallel bool
+	s        *Server
+}
+
+// NewChaining returns the default strategy (parallel fan-out).
+func NewChaining() *Chaining { return &Chaining{Parallel: true} }
+
+// Name implements Strategy.
+func (c *Chaining) Name() string { return "chaining" }
+
+func (c *Chaining) attach(s *Server) { c.s = s }
+
+// Search implements Strategy.
+func (c *Chaining) Search(ctx *SearchContext) ldap.Result {
+	type reply struct {
+		entries []*ldap.Entry
+		err     error
+	}
+	relevant := make([]Child, 0, len(ctx.Children))
+	for _, child := range ctx.Children {
+		if _, _, ok := translateRegion(ctx.Base, ctx.Op.Scope, child); ok {
+			relevant = append(relevant, child)
+		}
+	}
+	replies := make([]reply, len(relevant))
+	run := func(i int, child Child) {
+		entries, err := c.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
+			ctx.Op.Attributes, ctx.Op.SizeLimit)
+		replies[i] = reply{entries, err}
+	}
+	if c.Parallel {
+		var wg sync.WaitGroup
+		for i, child := range relevant {
+			wg.Add(1)
+			go func(i int, child Child) {
+				defer wg.Done()
+				run(i, child)
+			}(i, child)
+		}
+		wg.Wait()
+	} else {
+		for i, child := range relevant {
+			run(i, child)
+		}
+	}
+	partial := false
+	var all []*ldap.Entry
+	for _, r := range replies {
+		if r.err != nil {
+			// A failed or partitioned child must not block the others
+			// (§2.2); we return what is reachable.
+			partial = true
+			continue
+		}
+		all = append(all, r.entries...)
+	}
+	ldap.SortEntries(all)
+	for _, e := range all {
+		if err := ctx.send(e); err != nil {
+			return sizeOrUnavailable(err)
+		}
+	}
+	res := ldap.Result{Code: ldap.ResultSuccess}
+	if partial {
+		res.Message = "partial results: some providers unreachable"
+	}
+	return res
+}
+
+// CachedIndex maintains a local copy of each child's entries, refreshed
+// through GRIP when stale — the §3 "relational aggregate directory" that
+// "follows up each registration with a GRIP query to determine its
+// properties". Queries are answered entirely from the index, trading
+// freshness for query cost (experiment E4/E6 territory: "tradeoffs between
+// the power of an index, the cost associated with maintaining it, and its
+// freshness").
+type CachedIndex struct {
+	// TTL bounds index staleness; stale children are re-fetched on demand.
+	TTL time.Duration
+
+	s  *Server
+	mu sync.Mutex
+	// cache maps child service keys to fetched view-namespace entries.
+	cache map[string]*indexEntry
+}
+
+type indexEntry struct {
+	entries   []*ldap.Entry
+	fetchedAt time.Time
+}
+
+// NewCachedIndex returns a cached-index strategy with the given freshness
+// bound.
+func NewCachedIndex(ttl time.Duration) *CachedIndex {
+	return &CachedIndex{TTL: ttl, cache: map[string]*indexEntry{}}
+}
+
+// Name implements Strategy.
+func (c *CachedIndex) Name() string { return "cached-index" }
+
+func (c *CachedIndex) attach(s *Server) { c.s = s }
+
+// Search implements Strategy.
+func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
+	now := c.s.clock.Now()
+	partial := false
+	// Filter before sorting: the index holds every child's full subtree,
+	// and sorting the (usually small) matching subset is far cheaper than
+	// sorting the corpus.
+	var matched []*ldap.Entry
+	for _, child := range ctx.Children {
+		entries, err := c.childEntries(child, now)
+		if err != nil {
+			partial = true
+			continue
+		}
+		for _, e := range entries {
+			if !e.DN.WithinScope(ctx.Base, ctx.Op.Scope) {
+				continue
+			}
+			if ctx.Op.Filter != nil && !ctx.Op.Filter.Matches(e) {
+				continue
+			}
+			matched = append(matched, e)
+		}
+	}
+	ldap.SortEntries(matched)
+	for _, e := range matched {
+		if err := ctx.send(e); err != nil {
+			return sizeOrUnavailable(err)
+		}
+	}
+	res := ldap.Result{Code: ldap.ResultSuccess}
+	if partial {
+		res.Message = "partial results: some providers unreachable"
+	}
+	return res
+}
+
+func (c *CachedIndex) childEntries(child Child, now time.Time) ([]*ldap.Entry, error) {
+	key := child.URL.ServiceKey()
+	c.mu.Lock()
+	ce, ok := c.cache[key]
+	if ok && now.Sub(ce.fetchedAt) < c.TTL {
+		entries := ce.entries
+		c.mu.Unlock()
+		return entries, nil
+	}
+	c.mu.Unlock()
+	entries, err := c.s.chain(child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
+	if err != nil {
+		// Serve stale data when the authoritative source is unreachable:
+		// "users should have as much partial or even inconsistent
+		// information as is available" (§2.2).
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if ce != nil {
+			return ce.entries, nil
+		}
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cache[key] = &indexEntry{entries: entries, fetchedAt: now}
+	c.mu.Unlock()
+	return entries, nil
+}
+
+// Flush drops the index (tests and failover drills).
+func (c *CachedIndex) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = map[string]*indexEntry{}
+}
+
+// Entries returns a snapshot of every indexed entry across all children,
+// the corpus specialized services (e.g. the matchmaker extension) evaluate
+// against.
+func (c *CachedIndex) Entries() []*ldap.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*ldap.Entry
+	for _, ce := range c.cache {
+		out = append(out, ce.entries...)
+	}
+	ldap.SortEntries(out)
+	return out
+}
+
+// Referral returns continuation references instead of data: the client is
+// redirected to the authoritative GRIS, which is how a GIIS serves data it
+// is not allowed to cache or proxy (§10.4: "we can return the name of the
+// information provider directly to the client in the form of a LDAP URL
+// using the referral mechanisms").
+type Referral struct {
+	s *Server
+}
+
+// NewReferral returns the referral strategy.
+func NewReferral() *Referral { return &Referral{} }
+
+// Name implements Strategy.
+func (r *Referral) Name() string { return "referral" }
+
+func (r *Referral) attach(s *Server) { r.s = s }
+
+// Search implements Strategy.
+func (r *Referral) Search(ctx *SearchContext) ldap.Result {
+	var urls []string
+	for _, child := range ctx.Children {
+		if base, _, ok := translateRegion(ctx.Base, ctx.Op.Scope, child); ok {
+			urls = append(urls, child.URL.WithDN(base).String())
+		}
+	}
+	if len(urls) > 0 {
+		if err := ctx.W.SendReferral(urls...); err != nil {
+			return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+		}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess, Referrals: urls}
+}
+
+// BloomRouted chains like Chaining but first consults per-child Bloom
+// summaries of the child's attribute terms, skipping children that provably
+// cannot match conjunctive equality terms of the filter — the §5.1 lossy
+// aggregation alternative (after the Service Discovery Service). False
+// positives cost a wasted chained query; false negatives cannot occur.
+type BloomRouted struct {
+	// TTL bounds summary staleness.
+	TTL time.Duration
+	// Bits sizes each summary (experiment E5 sweeps this).
+	Bits uint64
+
+	s  *Server
+	mu sync.Mutex
+	// summaries maps child service keys to their term filters.
+	summaries map[string]*summary
+
+	// SkippedChildren counts chains avoided by summary misses.
+	SkippedChildren int
+}
+
+type summary struct {
+	filter    *bloom.Filter
+	fetchedAt time.Time
+}
+
+// NewBloomRouted returns the Bloom-routed chaining strategy.
+func NewBloomRouted(ttl time.Duration, bits uint64) *BloomRouted {
+	return &BloomRouted{TTL: ttl, Bits: bits, summaries: map[string]*summary{}}
+}
+
+// Name implements Strategy.
+func (b *BloomRouted) Name() string { return "bloom-routed" }
+
+func (b *BloomRouted) attach(s *Server) { b.s = s }
+
+// Search implements Strategy.
+func (b *BloomRouted) Search(ctx *SearchContext) ldap.Result {
+	terms := lowerTerms(ctx.Op.Filter)
+	now := b.s.clock.Now()
+	partial := false
+	var all []*ldap.Entry
+	for _, child := range ctx.Children {
+		if _, _, ok := translateRegion(ctx.Base, ctx.Op.Scope, child); !ok {
+			continue
+		}
+		if len(terms) > 0 {
+			if sm := b.summaryFor(child, now); sm != nil && !summaryMayMatch(sm.filter, terms) {
+				b.mu.Lock()
+				b.SkippedChildren++
+				b.mu.Unlock()
+				continue
+			}
+		}
+		entries, err := b.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
+			ctx.Op.Attributes, ctx.Op.SizeLimit)
+		if err != nil {
+			partial = true
+			continue
+		}
+		all = append(all, entries...)
+	}
+	ldap.SortEntries(all)
+	for _, e := range all {
+		if err := ctx.send(e); err != nil {
+			return sizeOrUnavailable(err)
+		}
+	}
+	res := ldap.Result{Code: ldap.ResultSuccess}
+	if partial {
+		res.Message = "partial results: some providers unreachable"
+	}
+	return res
+}
+
+// summaryMayMatch: a conjunctive query can match only if every equality
+// term is (possibly) present.
+func summaryMayMatch(f *bloom.Filter, terms []string) bool {
+	for _, t := range terms {
+		if !f.Test(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *BloomRouted) summaryFor(child Child, now time.Time) *summary {
+	key := child.URL.ServiceKey()
+	b.mu.Lock()
+	sm, ok := b.summaries[key]
+	if ok && now.Sub(sm.fetchedAt) < b.TTL {
+		b.mu.Unlock()
+		return sm
+	}
+	b.mu.Unlock()
+	entries, err := b.s.chain(child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
+	if err != nil {
+		return nil // no summary: fail open (chain anyway)
+	}
+	f := bloom.New(b.Bits, 4)
+	for _, e := range entries {
+		for _, t := range EntryTerms(e) {
+			f.Add(t)
+		}
+	}
+	sm = &summary{filter: f, fetchedAt: now}
+	b.mu.Lock()
+	b.summaries[key] = sm
+	b.mu.Unlock()
+	return sm
+}
+
+// EntryTerms enumerates the lowercase attr=value terms of an entry, the
+// vocabulary Bloom summaries index.
+func EntryTerms(e *ldap.Entry) []string {
+	var out []string
+	for _, a := range e.Attrs {
+		for _, v := range a.Values {
+			out = append(out, lower(a.Name)+"="+lower(v))
+		}
+	}
+	return out
+}
+
+func lower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			return lowerSlow(s)
+		}
+	}
+	return s
+}
+
+func lowerSlow(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,162 @@
+package grip
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+)
+
+// startStore serves an ldap.Store over loopback TCP.
+func startStore(t *testing.T) (*Client, *ldap.Store) {
+	t.Helper()
+	store := ldap.NewStore()
+	srv := ldap.NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, store
+}
+
+func seedEntries(t *testing.T, store *ldap.Store) {
+	t.Helper()
+	entries := []*ldap.Entry{
+		ldap.NewEntry(ldap.MustParseDN("hn=a, o=g")).
+			Add("objectclass", "computer").Add("hn", "a").Add("cpucount", "8"),
+		ldap.NewEntry(ldap.MustParseDN("hn=b, o=g")).
+			Add("objectclass", "computer").Add("hn", "b").Add("cpucount", "64"),
+		ldap.NewEntry(ldap.MustParseDN("perf=l, hn=a, o=g")).
+			Add("objectclass", "loadaverage").Add("perf", "l").Add("load5", "0.5"),
+	}
+	for _, e := range entries {
+		if err := store.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c, store := startStore(t)
+	seedEntries(t, store)
+	e, err := c.Lookup(ldap.MustParseDN("hn=b, o=g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.First("cpucount") != "64" {
+		t.Fatalf("entry = %s", e)
+	}
+	// Attribute selection.
+	e, err = c.Lookup(ldap.MustParseDN("hn=b, o=g"), "hn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Attrs) != 1 {
+		t.Fatalf("selected = %v", e.Attrs)
+	}
+	// Missing entries are noSuchObject.
+	if _, err := c.Lookup(ldap.MustParseDN("hn=ghost, o=g")); !ldap.IsCode(err, ldap.ResultNoSuchObject) {
+		t.Fatalf("missing lookup: %v", err)
+	}
+}
+
+func TestSearchAndLimits(t *testing.T) {
+	c, store := startStore(t)
+	seedEntries(t, store)
+	got, err := c.Search(ldap.MustParseDN("o=g"), "(objectclass=computer)")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("search: %v, %d", err, len(got))
+	}
+	// Bad filters fail client-side.
+	if _, err := c.Search(ldap.MustParseDN("o=g"), "((broken"); err == nil {
+		t.Fatal("bad filter should fail")
+	}
+	limited, err := c.SearchLimited(ldap.MustParseDN("o=g"), "(objectclass=*)", 1)
+	if err != nil || len(limited) != 1 {
+		t.Fatalf("limited: %v, %d", err, len(limited))
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	c, store := startStore(t)
+	seedEntries(t, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan Update, 16)
+	go func() {
+		c.Subscribe(ctx, ldap.MustParseDN("o=g"), "(objectclass=computer)", true,
+			func(u Update) error {
+				got <- u
+				return nil
+			})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fresh := ldap.NewEntry(ldap.MustParseDN("hn=c, o=g")).
+		Add("objectclass", "computer").Add("hn", "c")
+	if err := store.Put(fresh); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-got:
+		if !u.Entry.DN.Equal(fresh.DN) || u.ChangeType != ldap.ChangeAdd {
+			t.Fatalf("update = %+v", u)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no subscription update")
+	}
+	// changesOnly suppressed the baseline: nothing else buffered.
+	select {
+	case u := <-got:
+		t.Fatalf("unexpected update %+v", u)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestRegisterViaAdd(t *testing.T) {
+	c, store := startStore(t)
+	e := ldap.NewEntry(ldap.MustParseDN("grrp=x, mds-vo-op=register")).
+		Add("objectclass", "mdsregistration").Add("grrp", "ldap://x")
+	if err := c.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatal("registration entry not stored")
+	}
+}
+
+func TestAuthenticateAgainstGRIS(t *testing.T) {
+	// The SASL flow requires a GSI-aware handler; ldap.Store refuses it.
+	c, _ := startStore(t)
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	keys, _ := ca.Issue("cn=user", time.Hour, time.Now())
+	if _, err := c.Authenticate(keys, trust); err == nil {
+		t.Fatal("store should refuse SASL binds")
+	}
+}
+
+func TestSetTimeoutAndRaw(t *testing.T) {
+	c, _ := startStore(t)
+	c.SetTimeout(123 * time.Millisecond)
+	if c.Raw().Timeout != 123*time.Millisecond {
+		t.Fatal("timeout not applied")
+	}
+}
+
+func TestExtendedUnsupported(t *testing.T) {
+	c, _ := startStore(t)
+	if _, err := c.Extended("1.2.3", nil); err == nil {
+		t.Fatal("store refuses extended ops")
+	}
+}

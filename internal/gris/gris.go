@@ -1,0 +1,521 @@
+// Package gris implements the Grid Resource Information Service of §10.3:
+// the standard, configurable information-provider framework. A GRIS owns a
+// namespace suffix, authenticates and parses each incoming GRIP request,
+// dispatches it to the local information providers whose namespaces
+// intersect the query scope, merges and filters their results, and returns
+// them to the client. Per-provider caching with configurable TTL bounds
+// intrusiveness; filtering happens in the GRIS — never in the provider —
+// so cached supersets can serve narrower queries correctly.
+package gris
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+	"mds2/internal/softstate"
+)
+
+// Query carries the evaluated search parameters to a backend. Base/Scope
+// describe the region of the GRIS namespace being searched; Filter may be
+// used by backends with non-enumerable namespaces to direct generation
+// (e.g. the NWS backend extracts endpoint names from it).
+type Query struct {
+	Base   ldap.DN
+	Scope  ldap.Scope
+	Filter *ldap.Filter
+	Now    time.Time
+}
+
+// ErrScopeTooWide is returned by backends over non-enumerable namespaces
+// when the query does not pin down the parameters needed to generate
+// entries (§4.1: such providers "might signal an error and/or return
+// partial results for searches that use too wide a scope").
+var ErrScopeTooWide = errors.New("gris: query scope too wide for parametric namespace")
+
+// Backend is one pluggable information source (§10.3's provider API). All
+// DNs a backend returns are absolute (under the GRIS suffix).
+type Backend interface {
+	// Name identifies the backend in configuration and statistics.
+	Name() string
+	// Suffix is the subtree (absolute DN) this backend serves.
+	Suffix() ldap.DN
+	// Attributes enumerates the attribute names this backend can produce,
+	// used for search pruning; nil means unknown (never pruned).
+	Attributes() []string
+	// CacheTTL is how long this backend's results stay fresh; zero
+	// disables caching (each query invokes the provider).
+	CacheTTL() time.Duration
+	// Entries produces the backend's current objects. Implementations may
+	// return a superset of what matches (the GRIS re-filters) but must
+	// cover the query. They must not mutate returned entries afterward.
+	Entries(q *Query) ([]*ldap.Entry, error)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Suffix is the GRIS's namespace root, e.g. "hn=hostX, o=center1".
+	Suffix ldap.DN
+	// Clock drives caching and subscriptions; nil means wall clock.
+	Clock softstate.Clock
+	// Policy controls information visibility (nil: everything open).
+	Policy *gsi.Policy
+	// Keys + Trust enable GSI mutual authentication on SASL binds; nil
+	// Trust accepts only anonymous/simple binds.
+	Keys  *gsi.KeyPair
+	Trust *gsi.TrustStore
+	// TrustedDirectories lists subjects granted the §7 trusted-directory
+	// role.
+	TrustedDirectories []string
+	// PollInterval paces persistent-search re-evaluation (push mode);
+	// zero defaults to 2s.
+	PollInterval time.Duration
+	// Extensions maps extended-operation OIDs to handlers — the §6 "GRIP
+	// extension" point ("an information provider that interfaces to a
+	// large archive might implement protocol extensions to support richer
+	// relational queries").
+	Extensions map[string]Extension
+}
+
+// Extension handles one GRIP extended operation.
+type Extension func(req *ldap.Request, value []byte) ([]byte, error)
+
+// Server is a GRIS: an ldap.Handler wired to a set of backends.
+type Server struct {
+	ldap.BaseHandler
+
+	cfg   Config
+	clock softstate.Clock
+
+	mu       sync.Mutex
+	backends []Backend
+	cache    map[string]*cacheEntry // backend name -> cached results
+
+	// Stats
+	Queries     metrics.Counter
+	Invocations metrics.Counter // provider executions (cache misses)
+	CacheHits   metrics.Counter
+
+	sasl *gsi.SASLBinder
+}
+
+type cacheEntry struct {
+	entries   []*ldap.Entry
+	fetchedAt time.Time
+}
+
+// New creates a GRIS.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = softstate.RealClock{}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * time.Second
+	}
+	s := &Server{cfg: cfg, clock: cfg.Clock, cache: map[string]*cacheEntry{}}
+	if cfg.Keys != nil && cfg.Trust != nil {
+		s.sasl = gsi.NewSASLBinder(cfg.Keys, cfg.Trust, cfg.Clock.Now, cfg.TrustedDirectories)
+	}
+	return s
+}
+
+// Suffix returns the namespace root this GRIS serves.
+func (s *Server) Suffix() ldap.DN { return s.cfg.Suffix }
+
+// Register plugs a backend into the GRIS (configuration "can be done
+// either dynamically or statically", §10.3).
+func (s *Server) Register(b Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backends = append(s.backends, b)
+}
+
+// Backends returns the registered backend names.
+func (s *Server) Backends() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.backends))
+	for i, b := range s.backends {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// FlushCache drops all cached provider results.
+func (s *Server) FlushCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = map[string]*cacheEntry{}
+}
+
+// principal extracts the policy principal recorded at bind time.
+func principal(req *ldap.Request) *gsi.Principal {
+	if req == nil || req.State == nil {
+		return nil
+	}
+	p, _ := req.State.Identity().(*gsi.Principal)
+	return p
+}
+
+// Bind implements anonymous, simple-refused, and GSI SASL binds.
+func (s *Server) Bind(req *ldap.Request, op *ldap.BindRequest) *ldap.BindResponse {
+	switch {
+	case op.SASLMech == "" && op.Name == "" && op.Password == "":
+		return &ldap.BindResponse{Result: ldap.Result{Code: ldap.ResultSuccess}}
+	case op.SASLMech == gsi.SASLMechanism:
+		return s.bindGSI(req, op)
+	default:
+		return &ldap.BindResponse{Result: ldap.Result{
+			Code:    ldap.ResultAuthMethodNotSupported,
+			Message: "GRIS supports anonymous or SASL/GSI binds",
+		}}
+	}
+}
+
+func (s *Server) bindGSI(req *ldap.Request, op *ldap.BindRequest) *ldap.BindResponse {
+	if s.sasl == nil {
+		return &ldap.BindResponse{Result: ldap.Result{
+			Code: ldap.ResultAuthMethodNotSupported, Message: "GSI not configured"}}
+	}
+	step, err := s.sasl.Step(req.State, op.SASLCreds)
+	if err != nil {
+		return &ldap.BindResponse{Result: ldap.Result{
+			Code: ldap.ResultInvalidCredentials, Message: err.Error()}}
+	}
+	if step.Challenge != nil {
+		return &ldap.BindResponse{
+			Result:      ldap.Result{Code: ldap.ResultSaslBindInProgress},
+			ServerCreds: step.Challenge,
+		}
+	}
+	req.State.SetIdentity(step.Principal.Subject, step.Principal)
+	return &ldap.BindResponse{Result: ldap.Result{Code: ldap.ResultSuccess}}
+}
+
+// Extended dispatches configured GRIP extension operations.
+func (s *Server) Extended(req *ldap.Request, op *ldap.ExtendedRequest) *ldap.ExtendedResponse {
+	handler, ok := s.cfg.Extensions[op.OID]
+	if !ok {
+		return &ldap.ExtendedResponse{Result: ldap.Result{Code: ldap.ResultProtocolError,
+			Message: "unsupported extended operation " + op.OID}}
+	}
+	out, err := handler(req, op.Value)
+	if err != nil {
+		return &ldap.ExtendedResponse{OID: op.OID, Result: ldap.Result{
+			Code: ldap.ResultUnwillingToPerform, Message: err.Error()}}
+	}
+	return &ldap.ExtendedResponse{OID: op.OID, Value: out,
+		Result: ldap.Result{Code: ldap.ResultSuccess}}
+}
+
+// rootDSE is the server's self-description, served for a base search at the
+// empty DN as real LDAP servers do. It advertises the namespace suffix and
+// every supported protocol extension — the §6 "service publication"
+// mechanism by which a provider "can indicate that this protocol is
+// supported".
+func (s *Server) rootDSE() *ldap.Entry {
+	e := ldap.NewEntry(ldap.DN{}).
+		Add("objectclass", "top").
+		Add("vendorname", "mds2").
+		Add("mdstype", "gris").
+		Add("namingcontexts", s.cfg.Suffix.String()).
+		Add("supportedcontrol", ldap.OIDPersistentSearch).
+		Add("supportedsaslmechanisms", gsi.SASLMechanism)
+	for oid := range s.cfg.Extensions {
+		e.Add("supportedextension", oid)
+	}
+	return e
+}
+
+// Search implements GRIP enquiry, discovery, and (with the persistent
+// search control) subscription.
+func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.SearchWriter) ldap.Result {
+	s.Queries.Inc()
+	base, err := ldap.ParseDN(op.BaseDN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultProtocolError, Message: err.Error()}
+	}
+	if base.IsZero() && op.Scope == ldap.ScopeBaseObject {
+		dse := s.rootDSE()
+		if op.Filter == nil || op.Filter.Matches(dse) {
+			if err := w.SendEntry(dse.Select(op.Attributes)); err != nil {
+				return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+			}
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	// The searched region must intersect our suffix.
+	if !regionsIntersect(base, op.Scope, s.cfg.Suffix) {
+		return ldap.Result{Code: ldap.ResultNoSuchObject, MatchedDN: s.cfg.Suffix.String()}
+	}
+	p := principal(req)
+	if s.cfg.Policy != nil {
+		sample := ldap.NewEntry(s.cfg.Suffix)
+		if !s.cfg.Policy.FilterAuthorized(p, op.Filter, sample) {
+			return ldap.Result{Code: ldap.ResultInsufficientAccessRights,
+				Message: "filter references restricted attributes"}
+		}
+	}
+	if _, isPS := ldap.FindControl(req.Controls, ldap.OIDPersistentSearch); isPS {
+		return s.persistentSearch(req, op, base, w, p)
+	}
+	entries, partial := s.evaluate(&Query{Base: base, Scope: op.Scope, Filter: op.Filter, Now: s.clock.Now()})
+	sent := int64(0)
+	for _, e := range entries {
+		visible := s.redact(p, e, op)
+		if visible == nil {
+			continue
+		}
+		if op.SizeLimit > 0 && sent >= op.SizeLimit {
+			return ldap.Result{Code: ldap.ResultSizeLimitExceeded}
+		}
+		if err := w.SendEntry(visible); err != nil {
+			return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+		}
+		sent++
+	}
+	res := ldap.Result{Code: ldap.ResultSuccess}
+	if partial {
+		res.Message = "partial results: some providers require narrower scope"
+	}
+	return res
+}
+
+// redact applies policy and attribute selection, returning nil when the
+// entry is hidden from this principal.
+func (s *Server) redact(p *gsi.Principal, e *ldap.Entry, op *ldap.SearchRequest) *ldap.Entry {
+	visible := e
+	if s.cfg.Policy != nil {
+		visible = s.cfg.Policy.Redact(p, e)
+		if visible == nil {
+			return nil
+		}
+	}
+	out := visible.Select(op.Attributes)
+	if op.TypesOnly {
+		for i := range out.Attrs {
+			out.Attrs[i].Values = nil
+		}
+	}
+	return out
+}
+
+// evaluate runs the query against all intersecting backends, merging
+// results. It reports whether any backend declined for scope reasons.
+func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
+	s.mu.Lock()
+	backends := append([]Backend(nil), s.backends...)
+	s.mu.Unlock()
+
+	var out []*ldap.Entry
+	partial := false
+	for _, b := range backends {
+		if !regionsIntersect(q.Base, q.Scope, b.Suffix()) {
+			continue
+		}
+		if pruneByAttributes(q.Filter, b.Attributes()) {
+			continue
+		}
+		entries, err := s.fetch(b, q)
+		if err != nil {
+			if errors.Is(err, ErrScopeTooWide) {
+				partial = true
+				continue
+			}
+			// A failed provider must not prevent results from others
+			// (§2.2 robustness requirement).
+			partial = true
+			continue
+		}
+		for _, e := range entries {
+			if !e.DN.WithinScope(q.Base, q.Scope) {
+				continue
+			}
+			if q.Filter != nil && !q.Filter.Matches(e) {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	ldap.SortEntries(out)
+	return out, partial
+}
+
+// fetch returns backend results through the per-provider cache. Cached
+// results are supersets processed per-request ("cached providers can
+// maximize their performance by returning a superset of results that are
+// then processed out of the cache", §10.3). Backends with zero TTL, or
+// parametric backends (whose output depends on the filter), are invoked
+// every time.
+func (s *Server) fetch(b Backend, q *Query) ([]*ldap.Entry, error) {
+	ttl := b.CacheTTL()
+	if ttl <= 0 {
+		s.Invocations.Inc()
+		return b.Entries(q)
+	}
+	now := q.Now
+	s.mu.Lock()
+	ce, ok := s.cache[b.Name()]
+	if ok && now.Sub(ce.fetchedAt) < ttl {
+		entries := ce.entries
+		s.mu.Unlock()
+		s.CacheHits.Inc()
+		return entries, nil
+	}
+	s.mu.Unlock()
+
+	s.Invocations.Inc()
+	// Cacheable backends are queried for their full subtree so the cache
+	// is a superset serving any narrower query.
+	full := &Query{Base: b.Suffix(), Scope: ldap.ScopeWholeSubtree, Now: now}
+	entries, err := b.Entries(full)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[b.Name()] = &cacheEntry{entries: entries, fetchedAt: now}
+	s.mu.Unlock()
+	return entries, nil
+}
+
+// persistentSearch implements push-mode GRIP on a GRIS by periodic
+// re-evaluation: entries whose content changed (or appeared) since the last
+// round are streamed to the subscriber. This supplies the §6 "push mode"
+// delivery model.
+func (s *Server) persistentSearch(req *ldap.Request, op *ldap.SearchRequest,
+	base ldap.DN, w ldap.SearchWriter, p *gsi.Principal) ldap.Result {
+
+	psCtl, _ := ldap.FindControl(req.Controls, ldap.OIDPersistentSearch)
+	ps, err := ldap.ParsePersistentSearch(psCtl)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultProtocolError, Message: err.Error()}
+	}
+	last := map[string]string{} // normalized DN -> content fingerprint
+	send := func(e *ldap.Entry, changeType int64) error {
+		visible := s.redact(p, e, op)
+		if visible == nil {
+			return nil
+		}
+		var controls []ldap.Control
+		if ps.ReturnECs {
+			controls = append(controls, ldap.NewEntryChangeControl(changeType))
+		}
+		return w.SendEntry(visible, controls...)
+	}
+	first := true
+	for {
+		entries, _ := s.evaluate(&Query{Base: base, Scope: op.Scope, Filter: op.Filter, Now: s.clock.Now()})
+		seen := map[string]bool{}
+		for _, e := range entries {
+			key := e.DN.Normalize()
+			seen[key] = true
+			fp := fingerprint(e)
+			prev, existed := last[key]
+			if existed && prev == fp {
+				continue
+			}
+			last[key] = fp
+			changeType := ldap.ChangeModify
+			if !existed {
+				changeType = ldap.ChangeAdd
+			}
+			if first && ps.ChangesOnly {
+				continue // baseline suppressed; only subsequent changes flow
+			}
+			if ps.ChangeTypes&changeType == 0 {
+				continue
+			}
+			if err := send(e, changeType); err != nil {
+				return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+			}
+		}
+		for key := range last {
+			if !seen[key] {
+				delete(last, key)
+			}
+		}
+		first = false
+		select {
+		case <-req.Ctx.Done():
+			return ldap.Result{Code: ldap.ResultSuccess, Message: "subscription abandoned"}
+		case <-s.clock.After(s.cfg.PollInterval):
+		}
+	}
+}
+
+func fingerprint(e *ldap.Entry) string {
+	cp := e.Clone()
+	cp.SortAttrs()
+	var b strings.Builder
+	for _, a := range cp.Attrs {
+		b.WriteString(strings.ToLower(a.Name))
+		b.WriteByte('=')
+		for _, v := range a.Values {
+			b.WriteString(v)
+			b.WriteByte('|')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// regionsIntersect reports whether a search region (base+scope) can contain
+// entries under suffix. True when suffix lies inside the region or the base
+// lies inside suffix's subtree.
+func regionsIntersect(base ldap.DN, scope ldap.Scope, suffix ldap.DN) bool {
+	if base.Equal(suffix) || base.IsDescendantOf(suffix) {
+		return true
+	}
+	switch scope {
+	case ldap.ScopeBaseObject:
+		return false
+	case ldap.ScopeSingleLevel:
+		return suffix.Depth() == base.Depth()+1 && suffix.IsDescendantOf(base)
+	default: // whole subtree
+		return suffix.IsDescendantOf(base)
+	}
+}
+
+// pruneByAttributes reports whether the filter provably cannot match any
+// entry this backend produces: it requires (conjunctively) an attribute the
+// backend never emits. Backends advertising nil attributes are never pruned.
+func pruneByAttributes(f *ldap.Filter, backendAttrs []string) bool {
+	if f == nil || backendAttrs == nil {
+		return false
+	}
+	have := map[string]bool{"objectclass": true}
+	for _, a := range backendAttrs {
+		have[strings.ToLower(a)] = true
+	}
+	return !satisfiable(f, have)
+}
+
+// satisfiable conservatively decides whether f could match an entry whose
+// attributes come only from `have`. Negations are treated as always
+// satisfiable (an absent attribute satisfies them).
+func satisfiable(f *ldap.Filter, have map[string]bool) bool {
+	switch f.Kind {
+	case ldap.FilterAnd:
+		for _, sub := range f.Subs {
+			if !satisfiable(sub, have) {
+				return false
+			}
+		}
+		return true
+	case ldap.FilterOr:
+		for _, sub := range f.Subs {
+			if satisfiable(sub, have) {
+				return true
+			}
+		}
+		return false
+	case ldap.FilterNot:
+		return true
+	default:
+		return have[strings.ToLower(f.Attr)]
+	}
+}

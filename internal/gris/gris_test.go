@@ -1,0 +1,530 @@
+package gris
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mds2/internal/gsi"
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+// fakeBackend is a scriptable backend for unit tests.
+type fakeBackend struct {
+	name    string
+	suffix  ldap.DN
+	attrs   []string
+	ttl     time.Duration
+	entries []*ldap.Entry
+	err     error
+	calls   int
+}
+
+func (b *fakeBackend) Name() string            { return b.name }
+func (b *fakeBackend) Suffix() ldap.DN         { return b.suffix }
+func (b *fakeBackend) Attributes() []string    { return b.attrs }
+func (b *fakeBackend) CacheTTL() time.Duration { return b.ttl }
+func (b *fakeBackend) Entries(*Query) ([]*ldap.Entry, error) {
+	b.calls++
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.entries, nil
+}
+
+type sink struct {
+	entries []*ldap.Entry
+	ctls    [][]ldap.Control
+}
+
+func (s *sink) SendEntry(e *ldap.Entry, cs ...ldap.Control) error {
+	s.entries = append(s.entries, e)
+	s.ctls = append(s.ctls, cs)
+	return nil
+}
+func (s *sink) SendReferral(...string) error { return nil }
+
+func hostDN() ldap.DN { return ldap.MustParseDN("hn=hostX, o=center1") }
+
+func anonReq() *ldap.Request {
+	return &ldap.Request{Ctx: context.Background(), State: &ldap.ConnState{}}
+}
+
+func newTestGRIS(clock softstate.Clock) (*Server, *fakeBackend, *fakeBackend) {
+	s := New(Config{Suffix: hostDN(), Clock: clock})
+	static := &fakeBackend{
+		name: "static", suffix: hostDN(),
+		attrs: []string{"hn", "system", "cpucount"},
+		ttl:   time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).
+			Add("objectclass", "computer").
+			Add("hn", "hostX").
+			Add("system", "linux").
+			Add("cpucount", "8")},
+	}
+	dynamic := &fakeBackend{
+		name: "dynamic", suffix: hostDN(),
+		attrs: []string{"perf", "load5"},
+		ttl:   10 * time.Second,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN().ChildAVA("perf", "load")).
+			Add("objectclass", "perf", "loadaverage").
+			Add("perf", "load").
+			Add("load5", "1.5")},
+	}
+	s.Register(static)
+	s.Register(dynamic)
+	return s, static, dynamic
+}
+
+func TestSearchMergesBackends(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}, w)
+	if res.Code != ldap.ResultSuccess {
+		t.Fatalf("result %+v", res)
+	}
+	if len(w.entries) != 2 {
+		t.Fatalf("entries = %d", len(w.entries))
+	}
+	// Deterministic order: parent before child.
+	if !w.entries[0].DN.Equal(hostDN()) {
+		t.Errorf("order: first = %q", w.entries[0].DN)
+	}
+}
+
+func TestSearchFiltersServerSide(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	w := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=loadaverage)")}, w)
+	if len(w.entries) != 1 || w.entries[0].First("load5") != "1.5" {
+		t.Fatalf("entries = %v", w.entries)
+	}
+}
+
+func TestSearchScopePruning(t *testing.T) {
+	s, static, dynamic := newTestGRIS(softstate.NewFakeClock())
+	w := &sink{}
+	// Base search on the host entry itself must not consult the dynamic
+	// backend's child entries... both backends share the suffix, so both
+	// are consulted, but only the host entry is returned.
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeBaseObject}, w)
+	if res.Code != ldap.ResultSuccess || len(w.entries) != 1 {
+		t.Fatalf("base search: %+v, %d entries", res, len(w.entries))
+	}
+	_ = static
+	_ = dynamic
+	// A search rooted elsewhere entirely is noSuchObject.
+	res = s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "o=elsewhere", Scope: ldap.ScopeWholeSubtree}, &sink{})
+	if res.Code != ldap.ResultNoSuchObject {
+		t.Fatalf("foreign base: %+v", res)
+	}
+	// A subtree search above the suffix reaches us.
+	w2 := &sink{}
+	res = s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "o=center1", Scope: ldap.ScopeWholeSubtree}, w2)
+	if res.Code != ldap.ResultSuccess || len(w2.entries) != 2 {
+		t.Fatalf("parent subtree: %+v, %d", res, len(w2.entries))
+	}
+}
+
+func TestAttributePruningSkipsBackend(t *testing.T) {
+	s, static, dynamic := newTestGRIS(softstate.NewFakeClock())
+	// Uncached path so calls are observable.
+	static.ttl = 0
+	dynamic.ttl = 0
+	w := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(&(objectclass=computer)(cpucount>=4))")}, w)
+	if static.calls != 1 {
+		t.Errorf("static calls = %d", static.calls)
+	}
+	if dynamic.calls != 0 {
+		t.Errorf("dynamic should be pruned (cpucount not in its attrs), calls = %d", dynamic.calls)
+	}
+	// Disjunctive filters cannot prune unless all branches are foreign.
+	w2 := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(|(cpucount>=4)(load5<=9))")}, w2)
+	if dynamic.calls != 1 {
+		t.Errorf("dynamic should run for disjunction, calls = %d", dynamic.calls)
+	}
+}
+
+func TestCacheServesRepeatQueries(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	s, static, _ := newTestGRIS(clock)
+	req := &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)")}
+	for i := 0; i < 5; i++ {
+		s.Search(anonReq(), req, &sink{})
+	}
+	if static.calls != 1 {
+		t.Fatalf("static invoked %d times, want 1 (cached)", static.calls)
+	}
+	if s.CacheHits.Value() == 0 {
+		t.Error("cache hits not counted")
+	}
+	// TTL expiry triggers re-invocation.
+	clock.Advance(2 * time.Hour)
+	s.Search(anonReq(), req, &sink{})
+	if static.calls != 2 {
+		t.Fatalf("static invoked %d times after TTL, want 2", static.calls)
+	}
+	// FlushCache forces invocation.
+	s.FlushCache()
+	s.Search(anonReq(), req, &sink{})
+	if static.calls != 3 {
+		t.Fatalf("static invoked %d times after flush, want 3", static.calls)
+	}
+}
+
+func TestCachedSupersetServesNarrowQueries(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	s, _, dynamic := newTestGRIS(clock)
+	// Wide query populates the cache.
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}, &sink{})
+	// Narrow query with a filter is served from the cached superset.
+	w := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "perf=load, hn=hostX, o=center1", Scope: ldap.ScopeBaseObject,
+		Filter: ldap.MustParseFilter("(load5>=1.0)")}, w)
+	if len(w.entries) != 1 {
+		t.Fatalf("narrow query entries = %d", len(w.entries))
+	}
+	if dynamic.calls != 1 {
+		t.Fatalf("dynamic invoked %d times, want 1", dynamic.calls)
+	}
+}
+
+func TestFailedBackendDoesNotPreventOthers(t *testing.T) {
+	s, static, _ := newTestGRIS(softstate.NewFakeClock())
+	static.err = errors.New("provider crashed")
+	static.ttl = 0
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}, w)
+	if res.Code != ldap.ResultSuccess {
+		t.Fatalf("result %+v", res)
+	}
+	if len(w.entries) != 1 || w.entries[0].First("load5") != "1.5" {
+		t.Fatalf("surviving backend results = %v", w.entries)
+	}
+	if res.Message == "" {
+		t.Error("partial results should be flagged")
+	}
+}
+
+func TestScopeTooWideYieldsPartial(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	parametric := &fakeBackend{name: "param", suffix: hostDN().ChildAVA("net", "links"),
+		ttl: 0, err: ErrScopeTooWide}
+	s.Register(parametric)
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}, w)
+	if res.Code != ldap.ResultSuccess || res.Message == "" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(w.entries) != 2 {
+		t.Fatalf("other backends still answer: %d", len(w.entries))
+	}
+}
+
+func TestAttributeSelectionAndTypesOnly(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	w := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeBaseObject,
+		Attributes: []string{"system"}}, w)
+	if len(w.entries) != 1 || len(w.entries[0].Attrs) != 1 || !w.entries[0].Has("system") {
+		t.Fatalf("selection: %v", w.entries[0])
+	}
+	w2 := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeBaseObject,
+		TypesOnly: true}, w2)
+	for _, a := range w2.entries[0].Attrs {
+		if len(a.Values) != 0 {
+			t.Fatalf("typesOnly leaked values: %+v", a)
+		}
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree, SizeLimit: 1}, w)
+	if res.Code != ldap.ResultSizeLimitExceeded || len(w.entries) != 1 {
+		t.Fatalf("res=%+v n=%d", res, len(w.entries))
+	}
+}
+
+func TestPolicyEnforcement(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	policy := gsi.NewPolicy(gsi.PostureRestricted).
+		Grant("anonymous", "objectclass", "hn", "system").
+		Grant("cn=broker", "*")
+	s := New(Config{Suffix: hostDN(), Clock: clock, Policy: policy})
+	s.Register(&fakeBackend{
+		name: "b", suffix: hostDN(), ttl: time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).
+			Add("objectclass", "computer").
+			Add("hn", "hostX").
+			Add("system", "linux").
+			Add("load5", "0.2")},
+	})
+	// Anonymous sees redacted view.
+	w := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeBaseObject}, w)
+	if len(w.entries) != 1 || w.entries[0].Has("load5") {
+		t.Fatalf("anonymous view: %v", w.entries)
+	}
+	// Anonymous may not filter on restricted attributes.
+	res := s.Search(anonReq(), &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(load5<=1.0)")}, &sink{})
+	if res.Code != ldap.ResultInsufficientAccessRights {
+		t.Fatalf("restricted filter: %+v", res)
+	}
+	// The broker principal sees everything.
+	req := anonReq()
+	req.State.SetIdentity("cn=broker", &gsi.Principal{Subject: "cn=broker"})
+	w2 := &sink{}
+	res = s.Search(req, &ldap.SearchRequest{
+		BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(load5<=1.0)")}, w2)
+	if res.Code != ldap.ResultSuccess || len(w2.entries) != 1 || !w2.entries[0].Has("load5") {
+		t.Fatalf("broker view: %+v %v", res, w2.entries)
+	}
+}
+
+func TestBindPolicies(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	if r := s.Bind(anonReq(), &ldap.BindRequest{Version: 3}); r.Code != ldap.ResultSuccess {
+		t.Errorf("anonymous: %+v", r)
+	}
+	if r := s.Bind(anonReq(), &ldap.BindRequest{Version: 3, Name: "x", Password: "y"}); r.Code != ldap.ResultAuthMethodNotSupported {
+		t.Errorf("simple w/ password: %+v", r)
+	}
+	if r := s.Bind(anonReq(), &ldap.BindRequest{Version: 3, SASLMech: "GSI"}); r.Code != ldap.ResultAuthMethodNotSupported {
+		t.Errorf("GSI unconfigured: %+v", r)
+	}
+}
+
+func TestGSIBindHandshake(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	serverKeys, _ := ca.Issue("cn=gris.hostX", time.Hour, clock.Now())
+	clientKeys, _ := ca.Issue("cn=alice", time.Hour, clock.Now())
+
+	s := New(Config{Suffix: hostDN(), Clock: clock, Keys: serverKeys, Trust: trust,
+		TrustedDirectories: []string{"cn=alice"}})
+
+	state := &ldap.ConnState{}
+	req := &ldap.Request{Ctx: context.Background(), State: state}
+	hs := gsi.NewClientHandshake(clientKeys, trust, clock.Now)
+	hello, err := hs.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Bind(req, &ldap.BindRequest{Version: 3, SASLMech: gsi.SASLMechanism, SASLCreds: hello})
+	if resp.Code != ldap.ResultSaslBindInProgress {
+		t.Fatalf("first bind: %+v", resp)
+	}
+	proof, err := hs.Respond(resp.ServerCreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = s.Bind(req, &ldap.BindRequest{Version: 3, SASLMech: gsi.SASLMechanism, SASLCreds: proof})
+	if resp.Code != ldap.ResultSuccess {
+		t.Fatalf("second bind: %+v", resp)
+	}
+	p, _ := state.Identity().(*gsi.Principal)
+	if p == nil || p.Subject != "cn=alice" || !p.TrustedDirectory {
+		t.Fatalf("principal = %+v", p)
+	}
+}
+
+func TestGSIBindRejectsBadProof(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	serverKeys, _ := ca.Issue("cn=gris", time.Hour, clock.Now())
+	clientKeys, _ := ca.Issue("cn=alice", time.Hour, clock.Now())
+	s := New(Config{Suffix: hostDN(), Clock: clock, Keys: serverKeys, Trust: trust})
+
+	state := &ldap.ConnState{}
+	req := &ldap.Request{Ctx: context.Background(), State: state}
+	hs := gsi.NewClientHandshake(clientKeys, trust, clock.Now)
+	hello, _ := hs.Hello()
+	resp := s.Bind(req, &ldap.BindRequest{SASLMech: gsi.SASLMechanism, SASLCreds: hello})
+	if resp.Code != ldap.ResultSaslBindInProgress {
+		t.Fatal(resp)
+	}
+	resp = s.Bind(req, &ldap.BindRequest{SASLMech: gsi.SASLMechanism, SASLCreds: []byte("{}")})
+	if resp.Code != ldap.ResultInvalidCredentials {
+		t.Fatalf("bad proof: %+v", resp)
+	}
+	if state.Identity() != nil {
+		t.Error("identity must not be set after failed handshake")
+	}
+}
+
+func TestPersistentSearchPushesChanges(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	s := New(Config{Suffix: hostDN(), Clock: clock, PollInterval: time.Second})
+	value := "1.0"
+	s.Register(&fakeBackend{name: "dyn", suffix: hostDN(), ttl: 0})
+	dyn := &fakeBackend{name: "dyn2", suffix: hostDN(), ttl: 0}
+	s.Register(dyn)
+	makeEntry := func(v string) []*ldap.Entry {
+		return []*ldap.Entry{ldap.NewEntry(hostDN().ChildAVA("perf", "load")).
+			Add("objectclass", "loadaverage").Add("perf", "load").Add("load5", v)}
+	}
+	dyn.entries = makeEntry(value)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := &ldap.Request{Ctx: ctx, State: &ldap.ConnState{},
+		Controls: []ldap.Control{ldap.NewPersistentSearchControl(ldap.PersistentSearch{
+			ChangeTypes: ldap.ChangeAll, ChangesOnly: false, ReturnECs: true})}}
+	got := make(chan *ldap.Entry, 16)
+	w := pushSink{got: got}
+	done := make(chan ldap.Result, 1)
+	go func() {
+		done <- s.Search(req, &ldap.SearchRequest{
+			BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}, w)
+	}()
+	// Baseline entry arrives.
+	e := <-got
+	if e.First("load5") != "1.0" {
+		t.Fatalf("baseline = %v", e)
+	}
+	// Change the value; next poll pushes an update.
+	dyn.entries = makeEntry("2.0")
+	clock.Advance(time.Second)
+	select {
+	case e := <-got:
+		if e.First("load5") != "2.0" {
+			t.Fatalf("update = %v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no push on change")
+	}
+	// Unchanged value: no extra push.
+	clock.Advance(time.Second)
+	select {
+	case e := <-got:
+		t.Fatalf("unexpected push %v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case res := <-done:
+		if res.Code != ldap.ResultSuccess {
+			t.Fatalf("final = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("persistent search did not exit")
+	}
+}
+
+type pushSink struct{ got chan *ldap.Entry }
+
+func (p pushSink) SendEntry(e *ldap.Entry, _ ...ldap.Control) error {
+	p.got <- e
+	return nil
+}
+func (p pushSink) SendReferral(...string) error { return nil }
+
+func TestRegionsIntersect(t *testing.T) {
+	suffix := ldap.MustParseDN("hn=h, o=c")
+	cases := []struct {
+		base  string
+		scope ldap.Scope
+		want  bool
+	}{
+		{"hn=h, o=c", ldap.ScopeBaseObject, true},
+		{"perf=l, hn=h, o=c", ldap.ScopeBaseObject, true},
+		{"o=c", ldap.ScopeBaseObject, false},
+		{"o=c", ldap.ScopeSingleLevel, true},
+		{"", ldap.ScopeSingleLevel, false},
+		{"o=c", ldap.ScopeWholeSubtree, true},
+		{"", ldap.ScopeWholeSubtree, true},
+		{"o=other", ldap.ScopeWholeSubtree, false},
+	}
+	for _, tc := range cases {
+		if got := regionsIntersect(ldap.MustParseDN(tc.base), tc.scope, suffix); got != tc.want {
+			t.Errorf("regionsIntersect(%q, %v) = %v, want %v", tc.base, tc.scope, got, tc.want)
+		}
+	}
+}
+
+func TestBackendsListing(t *testing.T) {
+	s, _, _ := newTestGRIS(softstate.NewFakeClock())
+	names := s.Backends()
+	if len(names) != 2 || names[0] != "static" {
+		t.Errorf("backends = %v", names)
+	}
+	if !s.Suffix().Equal(hostDN()) {
+		t.Error("suffix accessor")
+	}
+}
+
+func BenchmarkSearchCached(b *testing.B) {
+	s, _, _ := newTestGRIS(softstate.RealClock{})
+	req := &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)")}
+	r := anonReq()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Search(r, req, &sink{})
+	}
+}
+
+func BenchmarkSearchUncached(b *testing.B) {
+	s := New(Config{Suffix: hostDN(), Clock: softstate.RealClock{}})
+	s.Register(&fakeBackend{name: "b", suffix: hostDN(), ttl: 0,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).Add("objectclass", "computer").Add("hn", "x")}})
+	req := &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}
+	r := anonReq()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Search(r, req, &sink{})
+	}
+}
+
+func TestManyBackendsScale(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	s := New(Config{Suffix: ldap.MustParseDN("o=center"), Clock: clock})
+	for i := 0; i < 100; i++ {
+		dn := ldap.MustParseDN(fmt.Sprintf("hn=h%d, o=center", i))
+		s.Register(&fakeBackend{
+			name: fmt.Sprintf("b%d", i), suffix: dn, ttl: time.Hour,
+			entries: []*ldap.Entry{ldap.NewEntry(dn).Add("objectclass", "computer").Add("hn", fmt.Sprintf("h%d", i))},
+		})
+	}
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "o=center", Scope: ldap.ScopeWholeSubtree}, w)
+	if res.Code != ldap.ResultSuccess || len(w.entries) != 100 {
+		t.Fatalf("res=%+v n=%d", res, len(w.entries))
+	}
+	// A scoped query touches only one backend's subtree.
+	w2 := &sink{}
+	s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "hn=h42, o=center", Scope: ldap.ScopeWholeSubtree}, w2)
+	if len(w2.entries) != 1 {
+		t.Fatalf("scoped = %d", len(w2.entries))
+	}
+}

@@ -1,0 +1,58 @@
+package gris
+
+import (
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+func TestRootDSEAdvertisesCapabilities(t *testing.T) {
+	s := New(Config{
+		Suffix: hostDN(),
+		Clock:  softstate.NewFakeClock(),
+		Extensions: map[string]Extension{
+			"1.2.3.4": func(*ldap.Request, []byte) ([]byte, error) { return nil, nil },
+		},
+	})
+	s.Register(&fakeBackend{name: "b", suffix: hostDN(), ttl: time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).Add("objectclass", "computer").Add("hn", "x")}})
+
+	w := &sink{}
+	res := s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "", Scope: ldap.ScopeBaseObject}, w)
+	if res.Code != ldap.ResultSuccess || len(w.entries) != 1 {
+		t.Fatalf("dse search: %+v, %d entries", res, len(w.entries))
+	}
+	dse := w.entries[0]
+	if !dse.DN.IsZero() {
+		t.Errorf("dse dn = %q", dse.DN)
+	}
+	if dse.First("namingcontexts") != hostDN().String() {
+		t.Errorf("namingcontexts = %q", dse.First("namingcontexts"))
+	}
+	if !dse.HasValue("supportedextension", "1.2.3.4") {
+		t.Errorf("extensions = %v", dse.Values("supportedextension"))
+	}
+	if !dse.HasValue("supportedcontrol", ldap.OIDPersistentSearch) {
+		t.Errorf("controls = %v", dse.Values("supportedcontrol"))
+	}
+	if dse.First("mdstype") != "gris" {
+		t.Errorf("mdstype = %q", dse.First("mdstype"))
+	}
+	// The DSE honours filters: a non-matching filter yields nothing.
+	w2 := &sink{}
+	res = s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "", Scope: ldap.ScopeBaseObject,
+		Filter: ldap.MustParseFilter("(mdstype=giis)")}, w2)
+	if res.Code != ldap.ResultSuccess || len(w2.entries) != 0 {
+		t.Fatalf("filtered dse: %+v, %d", res, len(w2.entries))
+	}
+	// A subtree search at the root is not a DSE request; it falls through
+	// to namespace handling (and reaches our suffix).
+	w3 := &sink{}
+	res = s.Search(anonReq(), &ldap.SearchRequest{BaseDN: "", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)")}, w3)
+	if res.Code != ldap.ResultSuccess || len(w3.entries) != 1 {
+		t.Fatalf("root subtree: %+v, %d", res, len(w3.entries))
+	}
+}

@@ -1,0 +1,370 @@
+package grrp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mds2/internal/gsi"
+	"mds2/internal/simnet"
+	"mds2/internal/softstate"
+)
+
+var epoch = time.Date(2001, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestMessageMarshalRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:       TypeRegister,
+		ServiceURL: "ldap://gris.hostX:2135/hn=hostX",
+		MDSType:    "gris",
+		VO:         "vo-a",
+		SuffixDN:   "hn=hostX",
+		IssuedAt:   epoch,
+		ValidUntil: epoch.Add(time.Minute),
+	}
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ServiceURL != m.ServiceURL || back.VO != "vo-a" || back.Type != TypeRegister ||
+		!back.ValidUntil.Equal(m.ValidUntil) {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := Unmarshal([]byte("{}")); err == nil {
+		t.Error("missing serviceURL should fail")
+	}
+}
+
+func TestCheckTimes(t *testing.T) {
+	m := &Message{ServiceURL: "x", IssuedAt: epoch, ValidUntil: epoch.Add(time.Minute)}
+	if err := m.CheckTimes(epoch.Add(30 * time.Second)); err != nil {
+		t.Errorf("in-interval: %v", err)
+	}
+	if err := m.CheckTimes(epoch.Add(5 * time.Minute)); err == nil {
+		t.Error("stale message should fail")
+	}
+	if err := m.CheckTimes(epoch.Add(-5 * time.Minute)); err == nil {
+		t.Error("future message should fail")
+	}
+	// Small skew is tolerated.
+	if err := m.CheckTimes(epoch.Add(-10 * time.Second)); err != nil {
+		t.Errorf("skew tolerance: %v", err)
+	}
+}
+
+func TestLDAPEntryMapping(t *testing.T) {
+	ca, _ := gsi.NewAuthority("o=ca")
+	keys, _ := ca.Issue("cn=gris", time.Hour, epoch)
+	m := &Message{
+		Type:       TypeInvite,
+		ServiceURL: "ldap://giis.vo:2135/vo=alliance",
+		MDSType:    "giis",
+		VO:         "alliance",
+		SuffixDN:   "vo=alliance",
+		IssuedAt:   epoch,
+		ValidUntil: epoch.Add(2 * time.Minute),
+	}
+	m.Sign(keys)
+	e := m.ToEntry()
+	if !e.DN.IsDescendantOf(RegistrationSuffix) {
+		t.Errorf("dn = %q", e.DN)
+	}
+	back, err := FromEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != TypeInvite || back.ServiceURL != m.ServiceURL || back.VO != "alliance" ||
+		back.SuffixDN != "vo=alliance" || !back.ValidUntil.Equal(m.ValidUntil) {
+		t.Fatalf("round trip %+v", back)
+	}
+	// Signature survives the mapping.
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	if _, err := back.VerifySignature(trust, epoch); err != nil {
+		t.Fatalf("signature through LDAP mapping: %v", err)
+	}
+}
+
+func TestFromEntryErrors(t *testing.T) {
+	m := &Message{ServiceURL: "ldap://x", IssuedAt: epoch, ValidUntil: epoch.Add(time.Minute)}
+	good := m.ToEntry()
+
+	notReg := good.Clone()
+	notReg.Set("objectclass", "computer")
+	if _, err := FromEntry(notReg); err == nil {
+		t.Error("non-registration entry should fail")
+	}
+	noURL := good.Clone()
+	noURL.Delete("grrp")
+	if _, err := FromEntry(noURL); err == nil {
+		t.Error("missing grrp should fail")
+	}
+	badType := good.Clone()
+	badType.Set("grrptype", "bogus")
+	if _, err := FromEntry(badType); err == nil {
+		t.Error("bad type should fail")
+	}
+	badTime := good.Clone()
+	badTime.Set("issuedat", "not-a-time")
+	if _, err := FromEntry(badTime); err == nil {
+		t.Error("bad time should fail")
+	}
+}
+
+func TestSignatureVerification(t *testing.T) {
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	keys, _ := ca.Issue("cn=gris.hostX", time.Hour, epoch)
+
+	m := &Message{ServiceURL: "ldap://x", IssuedAt: epoch, ValidUntil: epoch.Add(time.Minute)}
+	m.Sign(keys)
+	cred, err := m.VerifySignature(trust, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.EndEntity() != "cn=gris.hostX" {
+		t.Errorf("signer = %q", cred.EndEntity())
+	}
+	// Tampering after signing invalidates.
+	m.VO = "hijacked"
+	if _, err := m.VerifySignature(trust, epoch); err == nil {
+		t.Error("tampered message should fail")
+	}
+	// Unsigned messages are detectable.
+	un := &Message{ServiceURL: "ldap://y"}
+	if _, err := un.VerifySignature(trust, epoch); err != ErrUnsigned {
+		t.Errorf("unsigned: %v", err)
+	}
+}
+
+func TestRegistrarSustainsStream(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	var mu sync.Mutex
+	var sent []string
+	tr := TransportFunc(func(to string, payload []byte) error {
+		mu.Lock()
+		sent = append(sent, to)
+		mu.Unlock()
+		return nil
+	})
+	g := NewRegistrar(tr, clock)
+	defer g.StopAll()
+	reg := Registration{
+		Target:   "giis",
+		Message:  Message{Type: TypeRegister, ServiceURL: "ldap://gris:1"},
+		Interval: 10 * time.Second,
+		TTL:      30 * time.Second,
+	}
+	g.Start(reg)
+	waitFor(t, func() bool { return g.Sent() >= 1 })
+	for i := 0; i < 3; i++ {
+		clock.Advance(10 * time.Second)
+		want := i + 2
+		waitFor(t, func() bool { return g.Sent() >= want })
+	}
+	g.Stop(reg)
+	base := g.Sent()
+	clock.Advance(time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if g.Sent() != base {
+		t.Error("stream kept sending after Stop")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sent) < 4 || sent[0] != "giis" {
+		t.Errorf("sent = %v", sent)
+	}
+}
+
+func TestRegistrarPauseResume(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	g := NewRegistrar(TransportFunc(func(string, []byte) error { return nil }), clock)
+	defer g.StopAll()
+	reg := Registration{Target: "d", Message: Message{ServiceURL: "s"},
+		Interval: time.Second, TTL: 3 * time.Second}
+	g.Start(reg)
+	waitFor(t, func() bool { return g.Sent() == 1 })
+	g.Pause(reg)
+	clock.Advance(time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if g.Sent() != 1 {
+		t.Fatalf("paused stream sent %d", g.Sent())
+	}
+	g.Resume(reg)
+	clock.Advance(time.Second)
+	waitFor(t, func() bool { return g.Sent() >= 2 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestReceiverIngest(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	r := NewReceiver(clock)
+	defer r.Close()
+	m := &Message{ServiceURL: "ldap://gris:1", IssuedAt: clock.Now(),
+		ValidUntil: clock.Now().Add(30 * time.Second)}
+	if !r.Ingest(m) {
+		t.Fatal("valid message rejected")
+	}
+	if _, ok := r.Registry.Get("ldap://gris:1"); !ok {
+		t.Fatal("registry entry missing")
+	}
+	clock.Advance(31 * time.Second)
+	if _, ok := r.Registry.Get("ldap://gris:1"); ok {
+		t.Fatal("entry should expire with message TTL")
+	}
+	// Stale message rejected.
+	if r.Ingest(m) {
+		t.Error("stale message accepted")
+	}
+	if r.Rejected() == 0 {
+		t.Error("rejections not counted")
+	}
+}
+
+func TestReceiverRequiresSignature(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	r := NewReceiver(clock)
+	defer r.Close()
+	r.Trust = trust
+
+	unsigned := &Message{ServiceURL: "ldap://x", IssuedAt: clock.Now(),
+		ValidUntil: clock.Now().Add(time.Minute)}
+	if r.Ingest(unsigned) {
+		t.Fatal("unsigned message accepted by authenticating receiver")
+	}
+	keys, _ := ca.Issue("cn=gris", time.Hour, clock.Now())
+	signed := &Message{ServiceURL: "ldap://x", IssuedAt: clock.Now(),
+		ValidUntil: clock.Now().Add(time.Minute)}
+	signed.Sign(keys)
+	if !r.Ingest(signed) {
+		t.Fatal("signed message rejected")
+	}
+}
+
+func TestReceiverAdmissionPolicy(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	r := NewReceiver(clock)
+	defer r.Close()
+	r.Accept = func(m *Message, _ *gsi.Credential) bool { return m.VO == "alliance" }
+
+	in := &Message{ServiceURL: "a", VO: "alliance", IssuedAt: clock.Now(), ValidUntil: clock.Now().Add(time.Minute)}
+	out := &Message{ServiceURL: "b", VO: "other", IssuedAt: clock.Now(), ValidUntil: clock.Now().Add(time.Minute)}
+	if !r.Ingest(in) || r.Ingest(out) {
+		t.Fatal("VO admission policy not enforced")
+	}
+	if r.Registry.Len() != 1 {
+		t.Fatalf("registry = %d", r.Registry.Len())
+	}
+}
+
+func TestEndToEndOverSimnet(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	network := simnet.New(3)
+	recv := NewReceiver(clock)
+	defer recv.Close()
+	network.HandleDatagrams("giis", recv.HandleDatagram)
+
+	tr := TransportFunc(func(to string, payload []byte) error {
+		network.SendDatagram("gris-node", to, payload)
+		return nil
+	})
+	g := NewRegistrar(tr, clock)
+	defer g.StopAll()
+	g.Start(Registration{
+		Target:   "giis",
+		Message:  Message{Type: TypeRegister, ServiceURL: "sim://gris-node:389/hn=hostX", MDSType: "gris"},
+		Interval: 10 * time.Second,
+		TTL:      35 * time.Second,
+	})
+	waitFor(t, func() bool { return recv.Registry.Len() == 1 })
+
+	// Partition: refreshes stop arriving, entry expires.
+	network.SetPartitions([]string{"gris-node"}, []string{"giis"})
+	for i := 0; i < 6; i++ {
+		clock.Advance(10 * time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if recv.Registry.Len() != 0 {
+		t.Fatal("registration should expire during partition")
+	}
+	// Heal: the sustained stream re-establishes state without any explicit
+	// recovery action (Figure 4 convergence).
+	network.Heal()
+	clock.Advance(10 * time.Second)
+	waitFor(t, func() bool { return recv.Registry.Len() == 1 })
+}
+
+func TestEndToEndOverUDP(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	recv := NewReceiver(softstate.RealClock{})
+	defer recv.Close()
+	go ServeUDP(pc, recv)
+
+	tr := NewUDPTransport()
+	defer tr.Close()
+	now := time.Now()
+	m := &Message{ServiceURL: "ldap://real:1", IssuedAt: now, ValidUntil: now.Add(time.Minute)}
+	if err := tr.Send(pc.LocalAddr().String(), m.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return recv.Registry.Len() == 1 })
+}
+
+func BenchmarkIngest(b *testing.B) {
+	clock := softstate.NewFakeClock()
+	r := NewReceiver(clock)
+	defer r.Close()
+	m := &Message{ServiceURL: "ldap://gris:1", IssuedAt: clock.Now(),
+		ValidUntil: clock.Now().Add(time.Hour)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Ingest(m)
+	}
+}
+
+func BenchmarkIngestSigned(b *testing.B) {
+	clock := softstate.NewFakeClock()
+	ca, _ := gsi.NewAuthority("o=ca")
+	trust := gsi.NewTrustStore()
+	trust.TrustAuthority(ca)
+	keys, _ := ca.Issue("cn=gris", 100*time.Hour, clock.Now())
+	r := NewReceiver(clock)
+	defer r.Close()
+	r.Trust = trust
+	m := &Message{ServiceURL: "ldap://gris:1", IssuedAt: clock.Now(),
+		ValidUntil: clock.Now().Add(time.Hour)}
+	m.Sign(keys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Ingest(m) {
+			b.Fatal("rejected")
+		}
+	}
+}

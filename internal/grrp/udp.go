@@ -1,0 +1,76 @@
+package grrp
+
+import (
+	"net"
+	"sync"
+)
+
+// UDPTransport sends GRRP datagrams over real UDP, the deployment binding
+// for hosts on an actual network. One socket is cached per destination.
+type UDPTransport struct {
+	mu    sync.Mutex
+	conns map[string]*net.UDPConn
+}
+
+// NewUDPTransport returns an empty transport.
+func NewUDPTransport() *UDPTransport { return &UDPTransport{conns: map[string]*net.UDPConn{}} }
+
+// Send transmits one datagram to a host:port address.
+func (t *UDPTransport) Send(to string, payload []byte) error {
+	t.mu.Lock()
+	conn := t.conns[to]
+	t.mu.Unlock()
+	if conn == nil {
+		addr, err := net.ResolveUDPAddr("udp", to)
+		if err != nil {
+			return err
+		}
+		c, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		if existing := t.conns[to]; existing != nil {
+			c.Close()
+			conn = existing
+		} else {
+			t.conns[to] = c
+			conn = c
+		}
+		t.mu.Unlock()
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// Close releases all cached sockets.
+func (t *UDPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, c := range t.conns {
+		c.Close()
+		delete(t.conns, k)
+	}
+}
+
+// ServeUDP reads datagrams from conn into the receiver until the connection
+// is closed. It is intended to run as a goroutine:
+//
+//	pc, _ := net.ListenPacket("udp", ":2119")
+//	go grrp.ServeUDP(pc, receiver)
+func ServeUDP(conn net.PacketConn, r *Receiver) {
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		fromAddr := ""
+		if from != nil {
+			fromAddr = from.String()
+		}
+		r.HandleDatagram(fromAddr, payload)
+	}
+}

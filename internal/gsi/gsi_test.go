@@ -1,0 +1,405 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+)
+
+var testEpoch = time.Date(2001, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func testCA(t *testing.T) (*Authority, *TrustStore) {
+	t.Helper()
+	ca, err := NewAuthority("o=Grid CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore()
+	ts.TrustAuthority(ca)
+	return ca, ts
+}
+
+func TestIssueAndVerifyIdentity(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, err := ca.Issue("cn=alice", time.Hour, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(alice.Credential, testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if alice.Credential.EndEntity() != "cn=alice" {
+		t.Errorf("end entity = %q", alice.Credential.EndEntity())
+	}
+}
+
+func TestVerifyRejectsUntrustedCA(t *testing.T) {
+	ca, _ := testCA(t)
+	rogue, err := NewAuthority("o=Rogue CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore()
+	ts.TrustAuthority(rogue) // trusts rogue, not ca
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	if err := ts.Verify(alice.Credential, testEpoch); err == nil {
+		t.Fatal("credential from untrusted CA should fail")
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	if err := ts.Verify(alice.Credential, testEpoch.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired credential should fail")
+	}
+	if err := ts.Verify(alice.Credential, testEpoch.Add(-time.Hour)); err == nil {
+		t.Fatal("not-yet-valid credential should fail")
+	}
+}
+
+func TestVerifyRejectsTamperedCredential(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	forged := *alice.Credential
+	forged.Subject = "cn=mallory"
+	if err := ts.Verify(&forged, testEpoch); err == nil {
+		t.Fatal("tampered subject should fail verification")
+	}
+	forged2 := *alice.Credential
+	forged2.Capabilities = []string{"vo:admin"}
+	if err := ts.Verify(&forged2, testEpoch); err == nil {
+		t.Fatal("tampered capabilities should fail verification")
+	}
+}
+
+func TestProxyDelegationChain(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", 10*time.Hour, testEpoch)
+	proxy, err := alice.Delegate(time.Hour, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(proxy.Credential, testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Credential.EndEntity() != "cn=alice" {
+		t.Errorf("proxy end entity = %q", proxy.Credential.EndEntity())
+	}
+	// Second-level delegation.
+	proxy2, err := proxy.Delegate(30*time.Minute, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(proxy2.Credential, testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	// Proxy expiry is independent of identity expiry.
+	if err := ts.Verify(proxy.Credential, testEpoch.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired proxy should fail even with live identity")
+	}
+}
+
+func TestProxyCannotEscalate(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", 10*time.Hour, testEpoch)
+	proxy, _ := alice.Delegate(time.Hour, testEpoch)
+	// Graft the proxy onto a different (trusted) identity: signature check
+	// must fail because bob's key did not sign it.
+	bob, _ := ca.Issue("cn=bob", 10*time.Hour, testEpoch)
+	forged := *proxy.Credential
+	forged.Chain = bob.Credential
+	forged.Issuer = "cn=bob"
+	if err := ts.Verify(&forged, testEpoch); err == nil {
+		t.Fatal("regrafted proxy chain should fail")
+	}
+}
+
+func TestCredentialMarshalRoundTrip(t *testing.T) {
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch, "vo:physics")
+	proxy, _ := alice.Delegate(time.Hour, testEpoch)
+	b := proxy.Credential.Marshal()
+	back, err := UnmarshalCredential(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(back, testEpoch); err != nil {
+		t.Fatalf("round-tripped chain fails verification: %v", err)
+	}
+	if !back.HasCapability("vo:physics") {
+		t.Error("capability lost in round trip")
+	}
+	if _, err := UnmarshalCredential([]byte("{garbage")); err == nil {
+		t.Error("bad encoding should fail")
+	}
+}
+
+func TestMutualHandshake(t *testing.T) {
+	ca, ts := testCA(t)
+	client, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	server, _ := ca.Issue("cn=gris.hostX", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+
+	ch := NewClientHandshake(client, ts, now)
+	sh := NewServerHandshake(server, ts, now)
+
+	hello, err := ch.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge, err := sh.Challenge(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := ch.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := sh.Finish(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.EndEntity() != "cn=alice" {
+		t.Errorf("server saw %q", cred.EndEntity())
+	}
+	if ch.Server().EndEntity() != "cn=gris.hostX" {
+		t.Errorf("client saw %q", ch.Server().EndEntity())
+	}
+	if !sh.Done() {
+		t.Error("server handshake should be done")
+	}
+}
+
+func TestHandshakeRejectsUntrustedClient(t *testing.T) {
+	ca, ts := testCA(t)
+	rogueCA, _ := NewAuthority("o=Rogue")
+	mallory, _ := rogueCA.Issue("cn=mallory", time.Hour, testEpoch)
+	server, _ := ca.Issue("cn=gris", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+
+	rogueTrust := NewTrustStore()
+	rogueTrust.TrustAuthority(rogueCA)
+	rogueTrust.TrustAuthority(ca)
+	ch := NewClientHandshake(mallory, rogueTrust, now)
+	sh := NewServerHandshake(server, ts, now)
+
+	hello, _ := ch.Hello()
+	if _, err := sh.Challenge(hello); err == nil {
+		t.Fatal("untrusted client should be rejected at challenge")
+	}
+}
+
+func TestHandshakeRejectsStolenCredential(t *testing.T) {
+	// Mallory replays alice's public credential but lacks her private key.
+	ca, ts := testCA(t)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	malloryKeys, _ := ca.Issue("cn=mallory", time.Hour, testEpoch)
+	server, _ := ca.Issue("cn=gris", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+
+	// Client presents alice's credential but signs with mallory's key.
+	imposter := &KeyPair{Credential: alice.Credential, private: malloryKeys.private}
+	ch := NewClientHandshake(imposter, ts, now)
+	sh := NewServerHandshake(server, ts, now)
+	hello, _ := ch.Hello()
+	challenge, err := sh.Challenge(hello)
+	if err != nil {
+		t.Fatal(err) // credential itself is genuine
+	}
+	proof, err := ch.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Finish(proof); err == nil {
+		t.Fatal("imposter lacking the private key must fail the proof")
+	}
+}
+
+func TestHandshakeProofBeforeHello(t *testing.T) {
+	ca, ts := testCA(t)
+	server, _ := ca.Issue("cn=gris", time.Hour, testEpoch)
+	sh := NewServerHandshake(server, ts, func() time.Time { return testEpoch })
+	if _, err := sh.Finish([]byte("{}")); err == nil {
+		t.Fatal("proof before hello should fail")
+	}
+}
+
+func TestSignedMessages(t *testing.T) {
+	ca, ts := testCA(t)
+	prov, _ := ca.Issue("cn=gris.hostX", time.Hour, testEpoch)
+	body := []byte("GRRP registration body")
+	sig := SignMessage(prov, body)
+	if err := VerifyMessage(ts, prov.Credential, body, sig, testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMessage(ts, prov.Credential, []byte("tampered"), sig, testEpoch); err == nil {
+		t.Fatal("tampered body should fail")
+	}
+	if err := VerifyMessage(ts, prov.Credential, body, sig, testEpoch.Add(48*time.Hour)); err == nil {
+		t.Fatal("expired credential should fail message verification")
+	}
+}
+
+func policyEntry() *ldap.Entry {
+	return ldap.NewEntry(ldap.MustParseDN("hn=hostX, o=grid")).
+		Add("objectclass", "computer").
+		Add("hn", "hostX").
+		Add("system", "linux redhat 6.2").
+		Add("load5", "0.7")
+}
+
+func TestPostureOpen(t *testing.T) {
+	pol := NewPolicy(PostureOpen)
+	got := pol.Redact(nil, policyEntry()) // anonymous
+	if got == nil || len(got.Attrs) != 4 {
+		t.Fatalf("open posture should reveal everything: %v", got)
+	}
+}
+
+func TestPostureExistenceOnly(t *testing.T) {
+	pol := NewPolicy(PostureExistenceOnly)
+	got := pol.Redact(nil, policyEntry())
+	if got == nil {
+		t.Fatal("existence must be revealed")
+	}
+	if len(got.Attrs) != 1 || !got.Has("objectclass") {
+		t.Fatalf("only objectclass should remain: %v", got.Attrs)
+	}
+	if got.Has("load5") {
+		t.Error("load must be hidden")
+	}
+}
+
+func TestPostureRestricted(t *testing.T) {
+	// §7's worked example: OS type is public to the directory, load only
+	// for specific users.
+	pol := NewPolicy(PostureRestricted).
+		Grant("anonymous", "objectclass", "system").
+		Grant("cn=scheduler", "load5")
+
+	anon := pol.Redact(nil, policyEntry())
+	if anon == nil || !anon.Has("system") || anon.Has("load5") {
+		t.Fatalf("anonymous view wrong: %v", anon)
+	}
+	sched := &Principal{Subject: "cn=scheduler"}
+	view := pol.Redact(sched, policyEntry())
+	if view == nil || !view.Has("load5") || !view.Has("system") {
+		t.Fatalf("scheduler view wrong: %v", view)
+	}
+	other := &Principal{Subject: "cn=other"}
+	oview := pol.Redact(other, policyEntry())
+	if oview == nil || oview.Has("load5") {
+		t.Fatalf("other view wrong: %v", oview)
+	}
+}
+
+func TestPostureRestrictedHidesEntryWithoutRules(t *testing.T) {
+	pol := NewPolicy(PostureRestricted) // no rules at all
+	if got := pol.Redact(nil, policyEntry()); got != nil {
+		t.Fatalf("no rules: entry should be hidden, got %v", got)
+	}
+}
+
+func TestPostureTrustedDirectory(t *testing.T) {
+	pol := NewPolicy(PostureTrustedDirectory).Grant("anonymous", "objectclass")
+	dir := &Principal{Subject: "cn=giis.vo", TrustedDirectory: true}
+	if got := pol.Redact(dir, policyEntry()); got == nil || len(got.Attrs) != 4 {
+		t.Fatalf("trusted directory should see all: %v", got)
+	}
+	user := &Principal{Subject: "cn=user"}
+	if got := pol.Redact(user, policyEntry()); got == nil || got.Has("load5") {
+		t.Fatalf("non-directory falls back to rules: %v", got)
+	}
+}
+
+func TestCapabilityRules(t *testing.T) {
+	pol := NewPolicy(PostureRestricted).Grant("cap:vo:physics", "*")
+	member := &Principal{Subject: "cn=x", Capabilities: []string{"vo:physics"}}
+	if got := pol.Redact(member, policyEntry()); got == nil || len(got.Attrs) != 4 {
+		t.Fatalf("capability holder should see all: %v", got)
+	}
+	outsider := &Principal{Subject: "cn=y"}
+	if got := pol.Redact(outsider, policyEntry()); got != nil {
+		t.Fatalf("outsider should see nothing: %v", got)
+	}
+}
+
+func TestPrincipalFromCredential(t *testing.T) {
+	ca, _ := testCA(t)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch, "vo:physics")
+	proxy, _ := alice.Delegate(time.Hour, testEpoch, "session:tmp")
+	p := PrincipalFromCredential(proxy.Credential, []string{"cn=alice"})
+	if p.Subject != "cn=alice" {
+		t.Errorf("subject = %q", p.Subject)
+	}
+	if !p.HasCapability("vo:physics") || !p.HasCapability("session:tmp") {
+		t.Errorf("capabilities = %v", p.Capabilities)
+	}
+	if !p.TrustedDirectory {
+		t.Error("trusted directory flag lost")
+	}
+	var nilP *Principal
+	if nilP.HasCapability("x") {
+		t.Error("nil principal has no capabilities")
+	}
+}
+
+func TestFilterAuthorized(t *testing.T) {
+	pol := NewPolicy(PostureRestricted).
+		Grant("anonymous", "objectclass", "system").
+		Grant("cn=scheduler", "load5", "system")
+	sample := policyEntry()
+
+	okFilter := ldap.MustParseFilter("(system=linux*)")
+	loadFilter := ldap.MustParseFilter("(&(system=linux*)(load5<=1.0))")
+
+	if !pol.FilterAuthorized(nil, okFilter, sample) {
+		t.Error("anonymous may filter on system")
+	}
+	if pol.FilterAuthorized(nil, loadFilter, sample) {
+		t.Error("anonymous must not filter on load5 (information leak)")
+	}
+	sched := &Principal{Subject: "cn=scheduler"}
+	if !pol.FilterAuthorized(sched, loadFilter, sample) {
+		t.Error("scheduler may filter on load5")
+	}
+	if !pol.FilterAuthorized(sched, nil, sample) {
+		t.Error("nil filter is always authorized")
+	}
+}
+
+func TestPostureStrings(t *testing.T) {
+	for p := PostureTrustedDirectory; p <= PostureOpen; p++ {
+		if p.String() == "unknown" {
+			t.Errorf("posture %d has no name", p)
+		}
+	}
+}
+
+func BenchmarkVerifyProxyChain(b *testing.B) {
+	ca, _ := NewAuthority("o=CA")
+	ts := NewTrustStore()
+	ts.TrustAuthority(ca)
+	id, _ := ca.Issue("cn=alice", 10*time.Hour, testEpoch)
+	proxy, _ := id.Delegate(time.Hour, testEpoch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ts.Verify(proxy.Credential, testEpoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRedact(b *testing.B) {
+	pol := NewPolicy(PostureRestricted).
+		Grant("anonymous", "objectclass", "system").
+		Grant("cn=scheduler", "load5")
+	p := &Principal{Subject: "cn=scheduler"}
+	e := policyEntry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.Redact(p, e)
+	}
+}

@@ -1,0 +1,200 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SASLMechanism is the mechanism name used in LDAP SASL binds.
+const SASLMechanism = "GSI"
+
+// The handshake is a two-round mutual authentication bound into the LDAP
+// SASL bind exchange (§10.2: "GSI single sign-on authentication"):
+//
+//	client → server: hello{clientCredChain, clientNonce}
+//	server → client: (saslBindInProgress) challenge{serverCredChain,
+//	                  serverNonce, sig_server(clientNonce)}
+//	client → server: proof{clientNonce, sig_client(serverNonce)}
+//	server → client: success
+//
+// Each side verifies the peer's chain against its trust store and the
+// peer's signature over its own fresh nonce, so both parties prove
+// possession of the private key matching a trusted credential.
+
+type helloToken struct {
+	Credential  json.RawMessage `json:"credential"`
+	ClientNonce []byte          `json:"clientNonce"`
+}
+
+type challengeToken struct {
+	Credential  json.RawMessage `json:"credential"`
+	ServerNonce []byte          `json:"serverNonce"`
+	ClientSig   []byte          `json:"clientSig"` // server's signature over clientNonce
+}
+
+type proofToken struct {
+	ClientNonce []byte `json:"clientNonce"`
+	ServerSig   []byte `json:"serverSig"` // client's signature over serverNonce
+}
+
+// ErrHandshake reports a failed mutual authentication exchange.
+var ErrHandshake = errors.New("gsi: handshake failed")
+
+const nonceSize = 32
+
+func newNonce() ([]byte, error) {
+	n := make([]byte, nonceSize)
+	if _, err := rand.Read(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ClientHandshake drives the client side of the exchange. The transport
+// sends the first token, relays the server's challenge back in, and sends
+// the returned proof; on success it reports the verified server credential.
+type ClientHandshake struct {
+	keys   *KeyPair
+	trust  *TrustStore
+	now    func() time.Time
+	nonce  []byte
+	server *Credential
+}
+
+// NewClientHandshake prepares a client exchange.
+func NewClientHandshake(keys *KeyPair, trust *TrustStore, now func() time.Time) *ClientHandshake {
+	if now == nil {
+		now = time.Now
+	}
+	return &ClientHandshake{keys: keys, trust: trust, now: now}
+}
+
+// Hello produces the initial token.
+func (h *ClientHandshake) Hello() ([]byte, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	h.nonce = nonce
+	return json.Marshal(helloToken{Credential: h.keys.Credential.Marshal(), ClientNonce: nonce})
+}
+
+// Respond verifies the server challenge and produces the final proof token.
+func (h *ClientHandshake) Respond(challenge []byte) ([]byte, error) {
+	var tok challengeToken
+	if err := json.Unmarshal(challenge, &tok); err != nil {
+		return nil, fmt.Errorf("%w: bad challenge: %v", ErrHandshake, err)
+	}
+	serverCred, err := UnmarshalCredential(tok.Credential)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if err := h.trust.Verify(serverCred, h.now()); err != nil {
+		return nil, fmt.Errorf("%w: server credential: %v", ErrHandshake, err)
+	}
+	key := ed25519.PublicKey(serverCred.PublicKey)
+	if len(key) != ed25519.PublicKeySize || !ed25519.Verify(key, h.nonce, tok.ClientSig) {
+		return nil, fmt.Errorf("%w: server failed proof of possession", ErrHandshake)
+	}
+	h.server = serverCred
+	return json.Marshal(proofToken{ClientNonce: h.nonce, ServerSig: h.keys.Sign(tok.ServerNonce)})
+}
+
+// Server returns the verified server credential after Respond succeeds.
+func (h *ClientHandshake) Server() *Credential { return h.server }
+
+// ServerHandshake drives the server side across the two bind requests of
+// one SASL session.
+type ServerHandshake struct {
+	keys  *KeyPair
+	trust *TrustStore
+	now   func() time.Time
+
+	nonce       []byte
+	clientCred  *Credential
+	clientNonce []byte
+	done        bool
+}
+
+// NewServerHandshake prepares a server exchange.
+func NewServerHandshake(keys *KeyPair, trust *TrustStore, now func() time.Time) *ServerHandshake {
+	if now == nil {
+		now = time.Now
+	}
+	return &ServerHandshake{keys: keys, trust: trust, now: now}
+}
+
+// Challenge processes the client hello and produces the server challenge.
+func (s *ServerHandshake) Challenge(hello []byte) ([]byte, error) {
+	var tok helloToken
+	if err := json.Unmarshal(hello, &tok); err != nil {
+		return nil, fmt.Errorf("%w: bad hello: %v", ErrHandshake, err)
+	}
+	cred, err := UnmarshalCredential(tok.Credential)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if err := s.trust.Verify(cred, s.now()); err != nil {
+		return nil, fmt.Errorf("%w: client credential: %v", ErrHandshake, err)
+	}
+	if len(tok.ClientNonce) != nonceSize {
+		return nil, fmt.Errorf("%w: bad client nonce", ErrHandshake)
+	}
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	s.nonce = nonce
+	s.clientCred = cred
+	s.clientNonce = tok.ClientNonce
+	return json.Marshal(challengeToken{
+		Credential:  s.keys.Credential.Marshal(),
+		ServerNonce: nonce,
+		ClientSig:   s.keys.Sign(tok.ClientNonce),
+	})
+}
+
+// Finish verifies the client's proof, completing mutual authentication and
+// returning the client's verified credential.
+func (s *ServerHandshake) Finish(proof []byte) (*Credential, error) {
+	if s.clientCred == nil {
+		return nil, fmt.Errorf("%w: proof before hello", ErrHandshake)
+	}
+	var tok proofToken
+	if err := json.Unmarshal(proof, &tok); err != nil {
+		return nil, fmt.Errorf("%w: bad proof: %v", ErrHandshake, err)
+	}
+	key := ed25519.PublicKey(s.clientCred.PublicKey)
+	if !ed25519.Verify(key, s.nonce, tok.ServerSig) {
+		return nil, fmt.Errorf("%w: client failed proof of possession", ErrHandshake)
+	}
+	s.done = true
+	return s.clientCred, nil
+}
+
+// Done reports whether the exchange completed successfully.
+func (s *ServerHandshake) Done() bool { return s.done }
+
+// SignMessage produces a detached signature over a GRRP message body, the
+// second integrity option of §7 ("cryptographically sign each GRRP message
+// with the credentials of the registering entity").
+func SignMessage(keys *KeyPair, body []byte) []byte {
+	return keys.Sign(body)
+}
+
+// VerifyMessage checks a detached GRRP message signature against the
+// sender's credential chain.
+func VerifyMessage(trust *TrustStore, cred *Credential, body, sig []byte, now time.Time) error {
+	if err := trust.Verify(cred, now); err != nil {
+		return err
+	}
+	key := ed25519.PublicKey(cred.PublicKey)
+	if len(key) != ed25519.PublicKeySize || !ed25519.Verify(key, body, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Credential and key persistence: the GSI single sign-on workflow keeps an
+// identity credential on disk and short-lived proxies in session files
+// (grid-proxy-init). These helpers serialize key pairs, authorities, and
+// trust anchors so the command-line tools can share a security domain
+// across processes.
+
+type keyPairFile struct {
+	Credential json.RawMessage `json:"credential"`
+	PrivateKey []byte          `json:"privateKey"` // ed25519 seed||public
+}
+
+// MarshalPrivate serializes the key pair including its private key. Treat
+// the output like a private key file.
+func (k *KeyPair) MarshalPrivate() []byte {
+	b, err := json.Marshal(keyPairFile{
+		Credential: k.Credential.Marshal(),
+		PrivateKey: k.private,
+	})
+	if err != nil {
+		panic(err) // flat JSON-safe struct
+	}
+	return b
+}
+
+// UnmarshalKeyPair parses a serialized key pair.
+func UnmarshalKeyPair(b []byte) (*KeyPair, error) {
+	var f keyPairFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("gsi: bad key pair encoding: %w", err)
+	}
+	cred, err := UnmarshalCredential(f.Credential)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.PrivateKey) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: bad private key length %d", len(f.PrivateKey))
+	}
+	return &KeyPair{Credential: cred, private: ed25519.PrivateKey(f.PrivateKey)}, nil
+}
+
+// SaveKeyPair writes the key pair to path with owner-only permissions.
+func SaveKeyPair(path string, k *KeyPair) error {
+	return os.WriteFile(path, k.MarshalPrivate(), 0o600)
+}
+
+// LoadKeyPair reads a key pair written by SaveKeyPair.
+func LoadKeyPair(path string) (*KeyPair, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalKeyPair(b)
+}
+
+type authorityFile struct {
+	Name       string `json:"name"`
+	PrivateKey []byte `json:"privateKey"`
+}
+
+// MarshalPrivate serializes the authority including its signing key.
+func (a *Authority) MarshalPrivate() []byte {
+	b, err := json.Marshal(authorityFile{Name: a.Name, PrivateKey: a.keyPair})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// UnmarshalAuthority parses a serialized authority.
+func UnmarshalAuthority(b []byte) (*Authority, error) {
+	var f authorityFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("gsi: bad authority encoding: %w", err)
+	}
+	if len(f.PrivateKey) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: bad authority key length %d", len(f.PrivateKey))
+	}
+	priv := ed25519.PrivateKey(f.PrivateKey)
+	return &Authority{
+		Name:    f.Name,
+		keyPair: priv,
+		public:  priv.Public().(ed25519.PublicKey),
+	}, nil
+}
+
+// SaveAuthority writes the CA to path with owner-only permissions.
+func SaveAuthority(path string, a *Authority) error {
+	return os.WriteFile(path, a.MarshalPrivate(), 0o600)
+}
+
+// LoadAuthority reads a CA written by SaveAuthority.
+func LoadAuthority(path string) (*Authority, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalAuthority(b)
+}
+
+// TrustAnchor is the public half of an authority, distributed to verifiers.
+type TrustAnchor struct {
+	Name      string `json:"name"`
+	PublicKey []byte `json:"publicKey"`
+}
+
+// Anchor extracts the authority's trust anchor.
+func (a *Authority) Anchor() TrustAnchor {
+	return TrustAnchor{Name: a.Name, PublicKey: a.PublicKey()}
+}
+
+// SaveAnchor writes a trust anchor (world-readable: it is public).
+func SaveAnchor(path string, anchor TrustAnchor) error {
+	b, err := json.Marshal(anchor)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadAnchors reads trust anchors from paths into a trust store.
+func LoadAnchors(paths ...string) (*TrustStore, error) {
+	ts := NewTrustStore()
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var anchor TrustAnchor
+		if err := json.Unmarshal(b, &anchor); err != nil {
+			return nil, fmt.Errorf("gsi: bad trust anchor %s: %w", path, err)
+		}
+		if len(anchor.PublicKey) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("gsi: bad anchor key length in %s", path)
+		}
+		ts.Trust(anchor.Name, anchor.PublicKey)
+	}
+	return ts, nil
+}

@@ -1,0 +1,123 @@
+package gsi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestKeyPairPersistRoundTrip(t *testing.T) {
+	ca, _ := NewAuthority("o=ca")
+	keys, _ := ca.Issue("cn=alice", time.Hour, testEpoch, "vo:physics")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alice.key")
+	if err := SaveKeyPair(path, keys); err != nil {
+		t.Fatal(err)
+	}
+	// Private key files must be owner-only.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("permissions = %v", info.Mode().Perm())
+	}
+	back, err := LoadKeyPair(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Credential.Subject != "cn=alice" || !back.Credential.HasCapability("vo:physics") {
+		t.Fatalf("credential = %+v", back.Credential)
+	}
+	// The restored private key signs verifiably.
+	ts := NewTrustStore()
+	ts.TrustAuthority(ca)
+	sig := back.Sign([]byte("msg"))
+	if err := VerifyMessage(ts, back.Credential, []byte("msg"), sig, testEpoch); err != nil {
+		t.Fatalf("restored key signature: %v", err)
+	}
+	// A proxy delegated from the restored key verifies too.
+	proxy, err := back.Delegate(30*time.Minute, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(proxy.Credential, testEpoch); err != nil {
+		t.Fatalf("proxy from restored key: %v", err)
+	}
+}
+
+func TestAuthorityPersistRoundTrip(t *testing.T) {
+	ca, _ := NewAuthority("o=persisted")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ca.key")
+	if err := SaveAuthority(path, ca); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAuthority(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "o=persisted" {
+		t.Fatalf("name = %q", back.Name)
+	}
+	// Credentials issued by the restored CA verify against the original's
+	// anchor, and vice versa.
+	keys, err := back.Issue("cn=x", time.Hour, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore()
+	ts.TrustAuthority(ca)
+	if err := ts.Verify(keys.Credential, testEpoch); err != nil {
+		t.Fatalf("cross verification: %v", err)
+	}
+}
+
+func TestAnchorsRoundTrip(t *testing.T) {
+	ca1, _ := NewAuthority("o=a")
+	ca2, _ := NewAuthority("o=b")
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.anchor")
+	p2 := filepath.Join(dir, "b.anchor")
+	if err := SaveAnchor(p1, ca1.Anchor()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveAnchor(p2, ca2.Anchor()); err != nil {
+		t.Fatal(err)
+	}
+	trust, err := LoadAnchors(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ca := range []*Authority{ca1, ca2} {
+		keys, _ := ca.Issue("cn=x", time.Hour, testEpoch)
+		if err := trust.Verify(keys.Credential, testEpoch); err != nil {
+			t.Fatalf("anchor for %s: %v", ca.Name, err)
+		}
+	}
+}
+
+func TestPersistErrors(t *testing.T) {
+	if _, err := LoadKeyPair("/nonexistent/path"); err == nil {
+		t.Error("missing key file should fail")
+	}
+	if _, err := UnmarshalKeyPair([]byte("{bad")); err == nil {
+		t.Error("bad key encoding should fail")
+	}
+	if _, err := UnmarshalKeyPair([]byte(`{"credential":{},"privateKey":"AAA="}`)); err == nil {
+		t.Error("short private key should fail")
+	}
+	if _, err := UnmarshalAuthority([]byte("{bad")); err == nil {
+		t.Error("bad authority encoding should fail")
+	}
+	if _, err := LoadAnchors("/nonexistent/anchor"); err == nil {
+		t.Error("missing anchor should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.anchor")
+	os.WriteFile(bad, []byte(`{"name":"x","publicKey":"AA=="}`), 0o644)
+	if _, err := LoadAnchors(bad); err == nil {
+		t.Error("short anchor key should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package gsi
+
+import (
+	"sync"
+	"time"
+)
+
+// SASLBinder manages the per-connection state of GSI SASL bind exchanges on
+// the server side. GRIS and GIIS both embed one, mirroring how MDS-2 loads
+// the same SASL/GSS bindings into every OpenLDAP front end (§10.2).
+//
+// The zero value is not usable; construct with NewSASLBinder. A nil
+// *SASLBinder rejects every bind step, which lets servers leave GSI
+// unconfigured.
+type SASLBinder struct {
+	keys  *KeyPair
+	trust *TrustStore
+	now   func() time.Time
+	// trustedDirectories lists subjects granted the §7 directory role.
+	trustedDirectories []string
+
+	mu         sync.Mutex
+	handshakes map[any]*ServerHandshake
+}
+
+// NewSASLBinder builds a binder for a service identity.
+func NewSASLBinder(keys *KeyPair, trust *TrustStore, now func() time.Time,
+	trustedDirectories []string) *SASLBinder {
+	if now == nil {
+		now = time.Now
+	}
+	return &SASLBinder{
+		keys: keys, trust: trust, now: now,
+		trustedDirectories: trustedDirectories,
+		handshakes:         map[any]*ServerHandshake{},
+	}
+}
+
+// StepResult reports one bind step's outcome.
+type StepResult struct {
+	// Challenge is non-nil when the exchange continues (send
+	// saslBindInProgress with these server creds).
+	Challenge []byte
+	// Principal is non-nil when the exchange completed successfully.
+	Principal *Principal
+}
+
+// Step advances the exchange for a connection identified by connKey
+// (any stable per-connection pointer). It returns a challenge, a completed
+// principal, or an error; on error the connection's exchange state is
+// discarded so the client may start over.
+func (b *SASLBinder) Step(connKey any, creds []byte) (StepResult, error) {
+	if b == nil || b.keys == nil || b.trust == nil {
+		return StepResult{}, ErrHandshake
+	}
+	b.mu.Lock()
+	hs, inProgress := b.handshakes[connKey]
+	b.mu.Unlock()
+	if !inProgress {
+		hs = NewServerHandshake(b.keys, b.trust, b.now)
+		challenge, err := hs.Challenge(creds)
+		if err != nil {
+			return StepResult{}, err
+		}
+		b.mu.Lock()
+		b.handshakes[connKey] = hs
+		b.mu.Unlock()
+		return StepResult{Challenge: challenge}, nil
+	}
+	b.mu.Lock()
+	delete(b.handshakes, connKey)
+	b.mu.Unlock()
+	cred, err := hs.Finish(creds)
+	if err != nil {
+		return StepResult{}, err
+	}
+	return StepResult{Principal: PrincipalFromCredential(cred, b.trustedDirectories)}, nil
+}
+
+// Forget discards any half-finished exchange for a connection (call on
+// disconnect).
+func (b *SASLBinder) Forget(connKey any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.handshakes, connKey)
+	b.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSASLBinderFullExchange(t *testing.T) {
+	ca, ts := testCA(t)
+	server, _ := ca.Issue("cn=server", time.Hour, testEpoch)
+	client, _ := ca.Issue("cn=client", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+
+	b := NewSASLBinder(server, ts, now, []string{"cn=client"})
+	conn := new(int) // any stable pointer identifies the connection
+
+	ch := NewClientHandshake(client, ts, now)
+	hello, err := ch.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := b.Step(conn, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Challenge == nil || step.Principal != nil {
+		t.Fatalf("first step = %+v", step)
+	}
+	proof, err := ch.Respond(step.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err = b.Step(conn, proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Principal == nil || step.Principal.Subject != "cn=client" || !step.Principal.TrustedDirectory {
+		t.Fatalf("second step = %+v", step)
+	}
+}
+
+func TestSASLBinderIndependentConnections(t *testing.T) {
+	ca, ts := testCA(t)
+	server, _ := ca.Issue("cn=server", time.Hour, testEpoch)
+	alice, _ := ca.Issue("cn=alice", time.Hour, testEpoch)
+	bob, _ := ca.Issue("cn=bob", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+	b := NewSASLBinder(server, ts, now, nil)
+
+	connA, connB := new(int), new(int)
+	chA := NewClientHandshake(alice, ts, now)
+	chB := NewClientHandshake(bob, ts, now)
+	helloA, _ := chA.Hello()
+	helloB, _ := chB.Hello()
+	stepA, err := b.Step(connA, helloA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepB, err := b.Step(connB, helloB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finish in reverse order: state is per connection.
+	proofB, _ := chB.Respond(stepB.Challenge)
+	proofA, _ := chA.Respond(stepA.Challenge)
+	doneB, err := b.Step(connB, proofB)
+	if err != nil || doneB.Principal.Subject != "cn=bob" {
+		t.Fatalf("bob: %+v, %v", doneB, err)
+	}
+	doneA, err := b.Step(connA, proofA)
+	if err != nil || doneA.Principal.Subject != "cn=alice" {
+		t.Fatalf("alice: %+v, %v", doneA, err)
+	}
+}
+
+func TestSASLBinderFailureResetsState(t *testing.T) {
+	ca, ts := testCA(t)
+	server, _ := ca.Issue("cn=server", time.Hour, testEpoch)
+	client, _ := ca.Issue("cn=client", time.Hour, testEpoch)
+	now := func() time.Time { return testEpoch }
+	b := NewSASLBinder(server, ts, now, nil)
+	conn := new(int)
+
+	ch := NewClientHandshake(client, ts, now)
+	hello, _ := ch.Hello()
+	if _, err := b.Step(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage proof fails and discards the half-open exchange...
+	if _, err := b.Step(conn, []byte("{}")); err == nil {
+		t.Fatal("garbage proof should fail")
+	}
+	// ...so the client can start over cleanly.
+	ch2 := NewClientHandshake(client, ts, now)
+	hello2, _ := ch2.Hello()
+	step, err := b.Step(conn, hello2)
+	if err != nil || step.Challenge == nil {
+		t.Fatalf("fresh exchange after failure: %+v, %v", step, err)
+	}
+	b.Forget(conn) // disconnect cleanup is safe mid-exchange
+	if _, err := b.Step(conn, []byte("{}")); err == nil {
+		t.Fatal("forgotten exchange must not complete")
+	}
+}
+
+func TestSASLBinderNilRejects(t *testing.T) {
+	var b *SASLBinder
+	if _, err := b.Step(new(int), []byte("x")); err == nil {
+		t.Fatal("nil binder should reject")
+	}
+	b.Forget(new(int)) // must not panic
+}

@@ -1,0 +1,213 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/providers"
+	"mds2/internal/softstate"
+)
+
+var h0 = time.Date(2001, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func loadDN() ldap.DN { return ldap.MustParseDN("perf=load, hn=h, o=g") }
+
+func TestRecordAndQueryRange(t *testing.T) {
+	a := NewArchive()
+	for i := 0; i < 10; i++ {
+		a.Record(loadDN(), "load5", h0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	got := a.Query(loadDN(), "LOAD5", h0.Add(2*time.Minute), h0.Add(5*time.Minute))
+	if len(got) != 4 {
+		t.Fatalf("range = %d samples", len(got))
+	}
+	if got[0].Value != 2 || got[3].Value != 5 {
+		t.Fatalf("range values = %v", got)
+	}
+	// Out-of-range and unknown series are empty.
+	if got := a.Query(loadDN(), "load5", h0.Add(time.Hour), h0.Add(2*time.Hour)); len(got) != 0 {
+		t.Fatalf("future range = %v", got)
+	}
+	if got := a.Query(ldap.MustParseDN("x=1"), "load5", h0, h0.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("unknown series = %v", got)
+	}
+}
+
+func TestBoundedRetention(t *testing.T) {
+	a := NewArchive()
+	a.MaxSamples = 16
+	for i := 0; i < 100; i++ {
+		a.Record(loadDN(), "load5", h0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := a.Query(loadDN(), "load5", h0, h0.Add(time.Hour))
+	if len(got) != 16 {
+		t.Fatalf("retained = %d", len(got))
+	}
+	if got[0].Value != 84 || got[15].Value != 99 {
+		t.Fatalf("oldest retained = %v, newest = %v", got[0], got[15])
+	}
+}
+
+func TestRecordEntrySkipsNonNumeric(t *testing.T) {
+	a := NewArchive()
+	e := ldap.NewEntry(loadDN()).
+		Add("objectclass", "loadaverage").
+		Add("perf", "load").
+		Add("load5", "2.5").
+		Add("freecpus", "3")
+	a.RecordEntry(e, h0)
+	if got := a.Query(loadDN(), "load5", h0, h0); len(got) != 1 || got[0].Value != 2.5 {
+		t.Fatalf("load5 = %v", got)
+	}
+	if got := a.Query(loadDN(), "freecpus", h0, h0); len(got) != 1 {
+		t.Fatalf("freecpus = %v", got)
+	}
+	// Non-numeric ("perf: load") and objectclass are not recorded.
+	series := a.Series()
+	if len(series) != 2 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := NewArchive()
+	for i, v := range []float64{4, 1, 9, 2} {
+		a.Record(loadDN(), "load5", h0.Add(time.Duration(i)*time.Minute), v)
+	}
+	st, ok := a.Aggregate(loadDN(), "load5", h0, h0.Add(time.Hour))
+	if !ok || st.Count != 4 || st.Min != 1 || st.Max != 9 || st.Mean != 4 {
+		t.Fatalf("stats = %+v, %v", st, ok)
+	}
+	if _, ok := a.Aggregate(loadDN(), "ghost", h0, h0.Add(time.Hour)); ok {
+		t.Fatal("empty aggregate should report !ok")
+	}
+}
+
+func TestRecorderLoop(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	host := hostinfo.New("h", hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: "ia32",
+		CPUCount: 4, MemoryMB: 1024}, 5)
+	suffix := ldap.MustParseDN("hn=h, o=g")
+	backend := &providers.DynamicHost{Host: host, Base: suffix}
+	a := NewArchive()
+	r := NewRecorder(a, backend, time.Minute, clock)
+	r.Start()
+	defer r.Stop()
+	waitFor(t, func() bool {
+		return len(a.Query(suffix.ChildAVA("perf", "load"), "load5", h0, h0.Add(100*time.Hour))) >= 1
+	})
+	for i := 0; i < 5; i++ {
+		host.Step(time.Minute)
+		clock.Advance(time.Minute)
+		time.Sleep(3 * time.Millisecond)
+	}
+	samples := a.Query(suffix.ChildAVA("perf", "load"), "load5", h0, h0.Add(100*time.Hour))
+	if len(samples) < 5 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	r.Stop() // idempotent with deferred Stop
+}
+
+func TestExtensionSamplesAndStats(t *testing.T) {
+	a := NewArchive()
+	for i := 0; i < 5; i++ {
+		a.Record(loadDN(), "load5", h0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	ext := Extension(a)
+	req := fmt.Sprintf("dn: %s\nattr: load5\nfrom: %s\nto: %s\nop: samples\n",
+		loadDN(), h0.Format(time.RFC3339), h0.Add(2*time.Minute).Format(time.RFC3339))
+	out, err := ext(nil, []byte(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sample lines = %v", lines)
+	}
+	if !strings.HasSuffix(lines[2], " 2") {
+		t.Fatalf("last line = %q", lines[2])
+	}
+	statsReq := fmt.Sprintf("dn: %s\nattr: load5\nop: stats\n", loadDN())
+	out, err = ext(nil, []byte(statsReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "count=5") || !strings.Contains(string(out), "max=4") {
+		t.Fatalf("stats = %q", out)
+	}
+}
+
+func TestExtensionErrors(t *testing.T) {
+	ext := Extension(NewArchive())
+	cases := []string{
+		"",                         // missing dn/attr
+		"dn: x=1\n",                // missing attr
+		"dn: x=1\nattr: a\nop: ??", // bad op
+		"garbage line\n",
+		"dn: ===\nattr: a\n",
+		"dn: x=1\nattr: a\nfrom: yesterday\n",
+	}
+	for _, c := range cases {
+		if _, err := ext(nil, []byte(c)); err == nil {
+			t.Errorf("request %q: expected error", c)
+		}
+	}
+	// Empty result is not an error.
+	out, err := ext(nil, []byte("dn: x=1\nattr: a\nop: stats\n"))
+	if err != nil || !strings.Contains(string(out), "count=0") {
+		t.Errorf("empty stats = %q, %v", out, err)
+	}
+}
+
+// TestEndToEndOverGRIS mounts the archive extension on a GRIS handler.
+func TestEndToEndOverGRIS(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	host := hostinfo.New("h", hostinfo.Spec{OS: "linux", OSVer: "1", CPUType: "ia32",
+		CPUCount: 4, MemoryMB: 1024}, 5)
+	suffix := ldap.MustParseDN("hn=h, o=g")
+	backend := &providers.DynamicHost{Host: host, Base: suffix}
+	archive := NewArchive()
+	rec := NewRecorder(archive, backend, time.Minute, clock)
+	rec.Start()
+	defer rec.Stop()
+
+	srv := gris.New(gris.Config{Suffix: suffix, Clock: clock,
+		Extensions: map[string]gris.Extension{OIDHistory: Extension(archive)}})
+	srv.Register(backend)
+
+	waitFor(t, func() bool {
+		return len(archive.Query(suffix.ChildAVA("perf", "load"), "load5", h0, h0.Add(100*time.Hour))) >= 1
+	})
+	req := fmt.Sprintf("dn: %s\nattr: load5\nop: stats\n", suffix.ChildAVA("perf", "load"))
+	resp := srv.Extended(&ldap.Request{State: &ldap.ConnState{}},
+		&ldap.ExtendedRequest{OID: OIDHistory, Value: []byte(req)})
+	if resp.Code != ldap.ResultSuccess {
+		t.Fatalf("extended: %+v", resp.Result)
+	}
+	if !strings.Contains(string(resp.Value), "count=") {
+		t.Fatalf("value = %q", resp.Value)
+	}
+	// Unknown OIDs still refuse.
+	resp = srv.Extended(&ldap.Request{State: &ldap.ConnState{}},
+		&ldap.ExtendedRequest{OID: "9.9.9"})
+	if resp.Code != ldap.ResultProtocolError {
+		t.Fatalf("unknown OID: %+v", resp.Result)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never settled")
+}

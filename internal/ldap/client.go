@@ -1,0 +1,349 @@
+package ldap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mds2/internal/ber"
+)
+
+// Client is an LDAP connection multiplexer: concurrent operations share one
+// connection, routed back to callers by message ID. It is the GRIP access
+// path used by aggregate directories, brokers, and end users alike.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  int64
+	pending map[int64]chan *Message
+	err     error // terminal connection error
+	closed  bool
+
+	// Timeout bounds each synchronous round trip (zero means no limit).
+	Timeout time.Duration
+}
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("ldap: client closed")
+
+// Dial connects to a TCP LDAP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (TCP or simulated pipe).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, nextID: 1, pending: map[int64]chan *Message{}, Timeout: 30 * time.Second}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		pkt, err := ber.ReadPacket(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		msg, err := DecodeMessage(pkt)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.ID]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// Close unbinds and tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	// Best-effort polite unbind; the connection close is authoritative.
+	c.write(&Message{ID: c.allocID(), Op: &UnbindRequest{}})
+	err := c.conn.Close()
+	c.fail(ErrClientClosed)
+	return err
+}
+
+func (c *Client) allocID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+func (c *Client) register(id int64, buffer int) (chan *Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	ch := make(chan *Message, buffer)
+	c.pending[id] = ch
+	return ch, nil
+}
+
+func (c *Client) unregister(id int64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) write(m *Message) error {
+	b := m.Encode()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.conn.Write(b)
+	return err
+}
+
+// roundTrip sends op and waits for a single response message.
+func (c *Client) roundTrip(op Op, controls ...Control) (*Message, error) {
+	id := c.allocID()
+	ch, err := c.register(id, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id)
+	if err := c.write(&Message{ID: id, Op: op, Controls: controls}); err != nil {
+		return nil, err
+	}
+	return c.await(ch)
+}
+
+func (c *Client) await(ch chan *Message) (*Message, error) {
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, c.connErr()
+		}
+		return msg, nil
+	case <-timeout:
+		return nil, fmt.Errorf("ldap: operation timed out after %v", c.Timeout)
+	}
+}
+
+func (c *Client) connErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClientClosed
+}
+
+// Bind performs a simple bind ("" / "" for anonymous).
+func (c *Client) Bind(name, password string) error {
+	msg, err := c.roundTrip(&BindRequest{Version: 3, Name: name, Password: password})
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.Op.(*BindResponse)
+	if !ok {
+		return fmt.Errorf("ldap: unexpected bind reply %T", msg.Op)
+	}
+	return resp.Err()
+}
+
+// BindSASL performs one SASL bind step and returns the server's response,
+// which may be in-progress (ResultSaslBindInProgress) with challenge data.
+// Callers loop until success or failure; the GSI mechanism uses two steps.
+func (c *Client) BindSASL(name, mech string, creds []byte) (*BindResponse, error) {
+	msg, err := c.roundTrip(&BindRequest{Version: 3, Name: name, SASLMech: mech, SASLCreds: creds})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.Op.(*BindResponse)
+	if !ok {
+		return nil, fmt.Errorf("ldap: unexpected bind reply %T", msg.Op)
+	}
+	return resp, nil
+}
+
+// SearchResult aggregates a completed search.
+type SearchResult struct {
+	Entries   []*Entry
+	Referrals []string
+	Result    Result
+}
+
+// Search runs a search to completion and collects all result entries.
+// The client Timeout bounds the whole operation (persistent searches use
+// SearchFunc with a caller-managed context instead).
+func (c *Client) Search(req *SearchRequest) (*SearchResult, error) {
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	res := &SearchResult{}
+	err := c.SearchFunc(ctx, req, nil, func(e *Entry, _ []Control) error {
+		res.Entries = append(res.Entries, e)
+		return nil
+	}, func(urls []string) error {
+		res.Referrals = append(res.Referrals, urls...)
+		return nil
+	}, &res.Result)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Result.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// SearchFunc streams search results through callbacks until the search
+// completes, ctx is cancelled (which abandons the operation server-side),
+// or a callback returns an error. refFn may be nil to ignore referrals;
+// done, when non-nil, receives the final LDAPResult.
+//
+// With a persistent-search control attached, the server never sends a
+// final done message and SearchFunc runs until ctx is cancelled: this is
+// GRIP subscription mode.
+func (c *Client) SearchFunc(ctx context.Context, req *SearchRequest, controls []Control,
+	entryFn func(*Entry, []Control) error, refFn func([]string) error, done *Result) error {
+
+	id := c.allocID()
+	ch, err := c.register(id, 64)
+	if err != nil {
+		return err
+	}
+	defer c.unregister(id)
+	if err := c.write(&Message{ID: id, Op: req, Controls: controls}); err != nil {
+		return err
+	}
+	abandon := func() {
+		c.write(&Message{ID: c.allocID(), Op: &AbandonRequest{IDToAbandon: id}})
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			abandon()
+			return ctx.Err()
+		case msg, ok := <-ch:
+			if !ok {
+				return c.connErr()
+			}
+			switch op := msg.Op.(type) {
+			case *SearchResultEntry:
+				if err := entryFn(op.Entry, msg.Controls); err != nil {
+					abandon()
+					return err
+				}
+			case *SearchResultReference:
+				if refFn != nil {
+					if err := refFn(op.URLs); err != nil {
+						abandon()
+						return err
+					}
+				}
+			case *SearchResultDone:
+				if done != nil {
+					*done = op.Result
+				}
+				return nil
+			default:
+				return fmt.Errorf("ldap: unexpected search reply %T", msg.Op)
+			}
+		}
+	}
+}
+
+// Add inserts an entry.
+func (c *Client) Add(e *Entry) error {
+	msg, err := c.roundTrip(&AddRequest{Entry: e})
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.Op.(*AddResponse)
+	if !ok {
+		return fmt.Errorf("ldap: unexpected add reply %T", msg.Op)
+	}
+	return resp.Err()
+}
+
+// Delete removes an entry by DN.
+func (c *Client) Delete(dn string) error {
+	msg, err := c.roundTrip(&DelRequest{DN: dn})
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.Op.(*DelResponse)
+	if !ok {
+		return fmt.Errorf("ldap: unexpected delete reply %T", msg.Op)
+	}
+	return resp.Err()
+}
+
+// Modify applies changes to an entry.
+func (c *Client) Modify(dn string, changes []ModifyChange) error {
+	msg, err := c.roundTrip(&ModifyRequest{DN: dn, Changes: changes})
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.Op.(*ModifyResponse)
+	if !ok {
+		return fmt.Errorf("ldap: unexpected modify reply %T", msg.Op)
+	}
+	return resp.Err()
+}
+
+// Extended invokes an extended operation.
+func (c *Client) Extended(oid string, value []byte) (*ExtendedResponse, error) {
+	msg, err := c.roundTrip(&ExtendedRequest{OID: oid, Value: value})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.Op.(*ExtendedResponse)
+	if !ok {
+		return nil, fmt.Errorf("ldap: unexpected extended reply %T", msg.Op)
+	}
+	if err := resp.Err(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,325 @@
+package ldap
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTestServer serves a Store over loopback TCP and returns a connected
+// client plus the store.
+func startTestServer(t *testing.T) (*Client, *Store) {
+	t.Helper()
+	store := NewStore()
+	srv := NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, store
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	c, _ := startTestServer(t)
+	if err := c.Bind("", ""); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEntry(MustParseDN("hn=hostX, o=grid")).
+		Add("objectclass", "computer").
+		Add("hn", "hostX").
+		Add("load5", "3.2")
+	if err := c.Add(e); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate add reports entryAlreadyExists.
+	if err := c.Add(e); !IsCode(err, ResultEntryAlreadyExists) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	res, err := c.Search(&SearchRequest{
+		BaseDN: "o=grid", Scope: ScopeWholeSubtree,
+		Filter: MustParseFilter("(objectclass=computer)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].First("load5") != "3.2" {
+		t.Fatalf("search = %v", res.Entries)
+	}
+	// Attribute selection travels the wire.
+	res, err = c.Search(&SearchRequest{
+		BaseDN: "o=grid", Scope: ScopeWholeSubtree,
+		Filter: MustParseFilter("(hn=hostX)"), Attributes: []string{"hn"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || len(res.Entries[0].Attrs) != 1 {
+		t.Fatalf("selected search = %v", res.Entries[0])
+	}
+	if err := c.Modify("hn=hostX, o=grid", []ModifyChange{
+		{Op: ModReplace, Attr: Attribute{Name: "load5", Values: []string{"0.5"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("hn=hostX, o=grid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("hn=hostX, o=grid"); !IsCode(err, ResultNoSuchObject) {
+		t.Fatalf("second delete: %v", err)
+	}
+}
+
+func TestClientConcurrentSearches(t *testing.T) {
+	c, store := startTestServer(t)
+	for i := 0; i < 50; i++ {
+		e := NewEntry(MustParseDN(fmt.Sprintf("hn=host%02d, o=grid", i))).
+			Add("objectclass", "computer").
+			Add("hn", fmt.Sprintf("host%02d", i)).
+			Add("idx", fmt.Sprintf("%d", i))
+		if err := store.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := c.Search(&SearchRequest{
+				BaseDN: "o=grid", Scope: ScopeWholeSubtree,
+				Filter: MustParseFilter(fmt.Sprintf("(idx=%d)", g)),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Entries) != 1 {
+				errs <- fmt.Errorf("goroutine %d: %d entries", g, len(res.Entries))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClientPersistentSearchOverWire(t *testing.T) {
+	c, store := startTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	got := make(chan *Entry, 8)
+	go func() {
+		c.SearchFunc(ctx, &SearchRequest{BaseDN: "o=grid", Scope: ScopeWholeSubtree},
+			[]Control{NewPersistentSearchControl(PersistentSearch{
+				ChangeTypes: ChangeAll, ChangesOnly: true, ReturnECs: true})},
+			func(e *Entry, cs []Control) error {
+				got <- e
+				return nil
+			}, nil, nil)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the subscription establish
+	e := NewEntry(MustParseDN("hn=fresh, o=grid")).Add("objectclass", "computer").Add("hn", "fresh")
+	if err := store.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case entry := <-got:
+		if !entry.DN.Equal(e.DN) {
+			t.Errorf("notified %q", entry.DN)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no push notification over the wire")
+	}
+	cancel() // abandons the search server-side
+	time.Sleep(20 * time.Millisecond)
+	// Connection must remain usable after the abandon.
+	if _, err := c.Search(&SearchRequest{BaseDN: "o=grid", Scope: ScopeWholeSubtree}); err != nil {
+		t.Fatalf("post-abandon search: %v", err)
+	}
+}
+
+func TestClientServerSurvivesClientCrash(t *testing.T) {
+	store := NewStore()
+	srv := NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	// Abruptly close a raw connection mid-session.
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte{0x30, 0x50}) // claim a 0x50-byte message, then vanish
+	raw.Close()
+
+	// Server keeps serving others.
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bind("", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientServerRejectsGarbage(t *testing.T) {
+	store := NewStore()
+	srv := NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A valid BER element that is not an LDAP message: server should close.
+	raw.Write([]byte{0x04, 0x02, 'h', 'i'})
+	buf := make([]byte, 1)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("expected connection close on garbage")
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A handler that never answers searches.
+	h := &stallHandler{stall: make(chan struct{})}
+	defer close(h.stall)
+	srv := NewServer(h)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err = c.Search(&SearchRequest{BaseDN: "o=g"})
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took too long")
+	}
+}
+
+type stallHandler struct {
+	BaseHandler
+	stall chan struct{}
+}
+
+func (h *stallHandler) Search(req *Request, _ *SearchRequest, _ SearchWriter) Result {
+	select {
+	case <-h.stall:
+	case <-req.Ctx.Done():
+	}
+	return Result{Code: ResultSuccess}
+}
+
+func TestServerConnStateIdentity(t *testing.T) {
+	st := &ConnState{}
+	if st.BoundDN() != "" || st.Identity() != nil {
+		t.Error("fresh state should be anonymous")
+	}
+	st.SetIdentity("cn=alice", 42)
+	if st.BoundDN() != "cn=alice" || st.Identity() != 42 {
+		t.Error("identity not recorded")
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	srv := NewServer(NewStore())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != ErrServerClosed {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func BenchmarkWireSearchRoundTrip(b *testing.B) {
+	store := NewStore()
+	for i := 0; i < 100; i++ {
+		store.Put(NewEntry(MustParseDN(fmt.Sprintf("hn=h%d, o=g", i))).
+			Add("objectclass", "computer").Add("hn", fmt.Sprintf("h%d", i)))
+	}
+	srv := NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := &SearchRequest{BaseDN: "o=g", Scope: ScopeWholeSubtree,
+		Filter: MustParseFilter("(hn=h42)")}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectSearch measures the same query without the wire, isolating
+// protocol overhead (DESIGN.md ablation: wire vs direct dispatch).
+func BenchmarkDirectSearch(b *testing.B) {
+	store := NewStore()
+	for i := 0; i < 100; i++ {
+		store.Put(NewEntry(MustParseDN(fmt.Sprintf("hn=h%d, o=g", i))).
+			Add("objectclass", "computer").Add("hn", fmt.Sprintf("h%d", i)))
+	}
+	base := MustParseDN("o=g")
+	f := MustParseFilter("(hn=h42)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := store.Find(base, ScopeWholeSubtree, f); len(got) != 1 {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package ldap implements the LDAP data model, query language, and wire
+// protocol subset that the MDS-2 architecture adopts for GRIP (the Grid
+// Information Protocol) and as the MDS-2.1 transport for GRRP.
+//
+// The data model follows Figure 3 of the paper: entities are described by
+// objects organized in a hierarchical namespace of distinguished names, each
+// object tagged with one or more named types (object classes) and holding
+// typed attribute-value bindings. Filters implement RFC 4515 semantics, and
+// messages follow the RFC 4511 BER layout so that the same bytes flow whether
+// a deployment runs over real TCP or the in-process simulated network.
+//
+// All attribute names are case-insensitive, and values compare with
+// caseIgnoreMatch semantics, matching the schema style used by MDS.
+package ldap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// AVA is a single attribute-value assertion within an RDN, e.g. hn=hostX.
+type AVA struct {
+	Attr  string
+	Value string
+}
+
+// RDN is a relative distinguished name: one or more AVAs (multi-valued RDNs
+// use '+' in the string form).
+type RDN []AVA
+
+// DN is a distinguished name, leaf RDN first, as in "hn=hostX, o=grid"
+// naming hostX under organization grid.
+type DN []RDN
+
+// ErrBadDN reports a malformed distinguished-name string.
+var ErrBadDN = errors.New("ldap: malformed DN")
+
+// ParseDN parses a string form distinguished name. It accepts the relaxed
+// grammar MDS tooling uses: components separated by ',', multi-valued RDNs
+// joined by '+', backslash escapes for the special characters ',', '+', '=',
+// and '\', and insignificant whitespace around separators.
+func ParseDN(s string) (DN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DN{}, nil
+	}
+	var dn DN
+	for _, comp := range splitUnescaped(s, ',') {
+		comp = strings.TrimSpace(comp)
+		if comp == "" {
+			return nil, fmt.Errorf("%w: empty RDN in %q", ErrBadDN, s)
+		}
+		var rdn RDN
+		for _, avaStr := range splitUnescaped(comp, '+') {
+			avaStr = strings.TrimSpace(avaStr)
+			eq := indexUnescaped(avaStr, '=')
+			if eq <= 0 {
+				return nil, fmt.Errorf("%w: %q lacks '='", ErrBadDN, avaStr)
+			}
+			attr := strings.TrimSpace(avaStr[:eq])
+			val := strings.TrimSpace(avaStr[eq+1:])
+			if attr == "" || val == "" {
+				return nil, fmt.Errorf("%w: empty attribute or value in %q", ErrBadDN, avaStr)
+			}
+			rdn = append(rdn, AVA{Attr: unescape(attr), Value: unescape(val)})
+		}
+		dn = append(dn, rdn)
+	}
+	return dn, nil
+}
+
+// MustParseDN parses s and panics on error; for tests and static tables.
+func MustParseDN(s string) DN {
+	dn, err := ParseDN(s)
+	if err != nil {
+		panic(err)
+	}
+	return dn
+}
+
+func splitUnescaped(s string, sep byte) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case sep:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func indexUnescaped(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case c:
+			return i
+		}
+	}
+	return -1
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func escapeDNValue(s string) string {
+	if !strings.ContainsAny(s, `,+=\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '+', '=', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// String renders the DN in its canonical string form, leaf-first with
+// ", " separators, matching the notation used throughout the paper
+// (e.g. "queue=default, hn=hostX").
+func (d DN) String() string {
+	var b strings.Builder
+	for i, rdn := range d {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		for j, ava := range rdn {
+			if j > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(ava.Attr)
+			b.WriteByte('=')
+			b.WriteString(escapeDNValue(ava.Value))
+		}
+	}
+	return b.String()
+}
+
+// Normalize returns the case-folded, whitespace-canonical comparison key of
+// the DN. Two DNs name the same entry iff their Normalize outputs are equal.
+func (d DN) Normalize() string {
+	var b strings.Builder
+	for i, rdn := range d {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		for j, ava := range rdn {
+			if j > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(strings.ToLower(ava.Attr))
+			b.WriteByte('=')
+			b.WriteString(strings.ToLower(escapeDNValue(ava.Value)))
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether d and o name the same entry.
+func (d DN) Equal(o DN) bool { return d.Normalize() == o.Normalize() }
+
+// IsZero reports whether d is the empty (root) DN.
+func (d DN) IsZero() bool { return len(d) == 0 }
+
+// Depth returns the number of RDN components.
+func (d DN) Depth() int { return len(d) }
+
+// Parent returns the DN with the leaf RDN removed; the parent of a
+// single-component DN is the root (empty) DN.
+func (d DN) Parent() DN {
+	if len(d) == 0 {
+		return DN{}
+	}
+	return d[1:]
+}
+
+// Leaf returns the leftmost (leaf) RDN, or nil for the root DN.
+func (d DN) Leaf() RDN {
+	if len(d) == 0 {
+		return nil
+	}
+	return d[0]
+}
+
+// Child returns the DN naming a child of d with the given leaf RDN.
+func (d DN) Child(rdn RDN) DN {
+	child := make(DN, 0, len(d)+1)
+	child = append(child, rdn)
+	return append(child, d...)
+}
+
+// ChildAVA is shorthand for Child with a single-AVA RDN.
+func (d DN) ChildAVA(attr, value string) DN {
+	return d.Child(RDN{{Attr: attr, Value: value}})
+}
+
+// IsDescendantOf reports whether d is strictly below ancestor in the tree.
+// Every non-root DN is a descendant of the root DN.
+func (d DN) IsDescendantOf(ancestor DN) bool {
+	if len(d) <= len(ancestor) {
+		return false
+	}
+	return DN(d[len(d)-len(ancestor):]).Normalize() == ancestor.Normalize()
+}
+
+// WithinScope reports whether d falls inside a search with the given base
+// and scope.
+func (d DN) WithinScope(base DN, scope Scope) bool {
+	switch scope {
+	case ScopeBaseObject:
+		return d.Equal(base)
+	case ScopeSingleLevel:
+		return len(d) == len(base)+1 && d.IsDescendantOf(base)
+	case ScopeWholeSubtree:
+		return d.Equal(base) || d.IsDescendantOf(base)
+	}
+	return false
+}
+
+// RelativeTo returns the RDN components of d below ancestor, leaf first.
+// It returns ok=false when d is not a descendant of (or equal to) ancestor.
+func (d DN) RelativeTo(ancestor DN) (DN, bool) {
+	if d.Equal(ancestor) {
+		return DN{}, true
+	}
+	if !d.IsDescendantOf(ancestor) {
+		return nil, false
+	}
+	rel := make(DN, len(d)-len(ancestor))
+	copy(rel, d[:len(d)-len(ancestor)])
+	return rel, true
+}
+
+// Under grafts the (relative) DN d beneath the new ancestor.
+func (d DN) Under(ancestor DN) DN {
+	out := make(DN, 0, len(d)+len(ancestor))
+	out = append(out, d...)
+	return append(out, ancestor...)
+}

@@ -1,0 +1,110 @@
+package ldif
+
+import (
+	"strings"
+	"testing"
+
+	"mds2/internal/ldap"
+)
+
+func sample() []*ldap.Entry {
+	return []*ldap.Entry{
+		ldap.NewEntry(ldap.MustParseDN("hn=hostX")).
+			Add("objectclass", "computer").
+			Add("system", "mips irix"),
+		ldap.NewEntry(ldap.MustParseDN("perf=load5, hn=hostX")).
+			Add("objectclass", "perf", "loadaverage").
+			Add("load5", "3.2"),
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	text := Marshal(sample())
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("entries = %d\n%s", len(back), text)
+	}
+	if !back[0].DN.Equal(ldap.MustParseDN("hn=hostX")) {
+		t.Errorf("dn[0] = %q", back[0].DN)
+	}
+	if back[1].First("load5") != "3.2" {
+		t.Errorf("load5 = %q", back[1].First("load5"))
+	}
+	if got := back[1].Values("objectclass"); len(got) != 2 {
+		t.Errorf("objectclass values = %v", got)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	text := "# a provider script emitted this\n\ndn: hn=a\nobjectclass: computer\nhn: a\n\n\n# trailing comment\ndn: hn=b\nobjectclass: computer\nhn: b\n"
+	entries, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].First("hn") != "b" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestParseContinuation(t *testing.T) {
+	text := "dn: hn=a\nobjectclass: computer\ndescription: a very long\n  description line\n"
+	entries, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries[0].First("description"); got != "a very long description line" {
+		t.Errorf("description = %q", got)
+	}
+}
+
+func TestBase64Values(t *testing.T) {
+	e := ldap.NewEntry(ldap.MustParseDN("x=1")).
+		Add("objectclass", "top").
+		Add("note", " leading space and\nnewline")
+	text := Marshal([]*ldap.Entry{e})
+	if !strings.Contains(text, "note:: ") {
+		t.Fatalf("expected base64 form:\n%s", text)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].First("note") != " leading space and\nnewline" {
+		t.Errorf("value = %q", back[0].First("note"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"attr before dn": "objectclass: computer\n",
+		"no colon":       "dn: x=1\ngarbage line\n",
+		"bad dn":         "dn: ===\n",
+		"bad base64":     "dn: x=1\nnote:: !!!\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	entries, err := ParseString("")
+	if err != nil || len(entries) != 0 {
+		t.Errorf("empty input: %v %v", entries, err)
+	}
+	if Marshal(nil) != "" {
+		t.Error("empty marshal should be empty")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a := Marshal(sample())
+	b := Marshal(sample())
+	if a != b {
+		t.Error("marshal not deterministic")
+	}
+}

@@ -1,0 +1,364 @@
+package ldap
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"mds2/internal/ber"
+)
+
+// SASL bind-in-progress result code (RFC 4511 §4.2.2).
+const ResultSaslBindInProgress ResultCode = 14
+
+// ConnState carries per-connection server-side state. A Handler's Bind
+// implementation records the authenticated identity here; later operations
+// consult it for access control decisions.
+type ConnState struct {
+	RemoteAddr string
+	mu         sync.Mutex
+	boundDN    string
+	identity   any
+}
+
+// SetIdentity records the authenticated peer (bound DN plus an opaque
+// credential object such as a *gsi.Credential).
+func (c *ConnState) SetIdentity(dn string, identity any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.boundDN, c.identity = dn, identity
+}
+
+// BoundDN returns the DN established by the last successful bind
+// ("" while anonymous).
+func (c *ConnState) BoundDN() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.boundDN
+}
+
+// Identity returns the opaque credential recorded at bind time.
+func (c *ConnState) Identity() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.identity
+}
+
+// SearchWriter streams search results back to the client. Implementations
+// are safe for concurrent use; a persistent search holds one for its
+// lifetime and feeds it from change notifications.
+type SearchWriter interface {
+	// SendEntry transmits one result entry with optional per-entry controls.
+	SendEntry(e *Entry, controls ...Control) error
+	// SendReferral transmits a continuation reference (LDAP URLs).
+	SendReferral(urls ...string) error
+}
+
+// Request bundles the decoded operation with its envelope controls and a
+// context that is cancelled when the operation is abandoned or the
+// connection closes.
+type Request struct {
+	Ctx      context.Context
+	State    *ConnState
+	Controls []Control
+}
+
+// Handler implements server-side LDAP semantics. GRIS and GIIS are both
+// Handlers plugged into the same protocol engine, mirroring how MDS-2
+// implements both as OpenLDAP backends behind one front end (§10.4).
+type Handler interface {
+	Bind(req *Request, op *BindRequest) *BindResponse
+	Search(req *Request, op *SearchRequest, w SearchWriter) Result
+	Add(req *Request, op *AddRequest) Result
+	Delete(req *Request, op *DelRequest) Result
+	Modify(req *Request, op *ModifyRequest) Result
+	Extended(req *Request, op *ExtendedRequest) *ExtendedResponse
+}
+
+// BaseHandler provides refuse-everything defaults so concrete handlers only
+// implement the operations they support.
+type BaseHandler struct{}
+
+// Bind accepts anonymous binds only.
+func (BaseHandler) Bind(_ *Request, op *BindRequest) *BindResponse {
+	if op.Name == "" && op.Password == "" && op.SASLMech == "" {
+		return &BindResponse{Result: Result{Code: ResultSuccess}}
+	}
+	return &BindResponse{Result: Result{Code: ResultAuthMethodNotSupported,
+		Message: "only anonymous bind supported"}}
+}
+
+// Search refuses.
+func (BaseHandler) Search(*Request, *SearchRequest, SearchWriter) Result {
+	return Result{Code: ResultUnwillingToPerform, Message: "search not supported"}
+}
+
+// Add refuses.
+func (BaseHandler) Add(*Request, *AddRequest) Result {
+	return Result{Code: ResultUnwillingToPerform, Message: "add not supported"}
+}
+
+// Delete refuses.
+func (BaseHandler) Delete(*Request, *DelRequest) Result {
+	return Result{Code: ResultUnwillingToPerform, Message: "delete not supported"}
+}
+
+// Modify refuses.
+func (BaseHandler) Modify(*Request, *ModifyRequest) Result {
+	return Result{Code: ResultUnwillingToPerform, Message: "modify not supported"}
+}
+
+// Extended refuses.
+func (BaseHandler) Extended(_ *Request, op *ExtendedRequest) *ExtendedResponse {
+	return &ExtendedResponse{Result: Result{Code: ResultProtocolError,
+		Message: "unsupported extended operation " + op.OID}}
+}
+
+// Server is the LDAP protocol engine: it owns connection handling, message
+// framing, operation dispatch, and abandon bookkeeping, and delegates
+// semantics to a Handler — the same separation the paper credits to the
+// OpenLDAP front-end/backend split (§10.1).
+type Server struct {
+	Handler Handler
+	// ErrorLog receives connection-level protocol errors; nil discards them.
+	ErrorLog *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*serverConn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server delegating to h.
+func NewServer(h Handler) *Server {
+	return &Server{Handler: h, conns: map[*serverConn]struct{}{}}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("ldap: server closed")
+
+// Serve accepts connections on l until Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sc := s.newConn(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.serve()
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ServeConn handles a single pre-established connection (used with
+// net.Pipe-based simulated transports) and returns when it closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	sc := s.newConn(conn)
+	s.mu.Lock()
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	sc.serve()
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+// Close stops accepting and tears down all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for sc := range s.conns {
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}
+
+type serverConn struct {
+	srv   *Server
+	conn  net.Conn
+	state *ConnState
+
+	writeMu sync.Mutex // serializes whole messages onto the wire
+
+	opMu sync.Mutex
+	ops  map[int64]context.CancelFunc // in-flight, abandonable operations
+}
+
+func (s *Server) newConn(conn net.Conn) *serverConn {
+	addr := ""
+	if ra := conn.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	return &serverConn{
+		srv:   s,
+		conn:  conn,
+		state: &ConnState{RemoteAddr: addr},
+		ops:   map[int64]context.CancelFunc{},
+	}
+}
+
+func (c *serverConn) serve() {
+	root, cancelAll := context.WithCancel(context.Background())
+	var opWG sync.WaitGroup
+	defer func() {
+		// Order matters: close the transport, cancel every in-flight
+		// operation (persistent searches block on their context), and only
+		// then wait for the operation goroutines to drain.
+		c.conn.Close()
+		cancelAll()
+		opWG.Wait()
+	}()
+	for {
+		pkt, err := ber.ReadPacket(c.conn)
+		if err != nil {
+			return // EOF or connection failure
+		}
+		msg, err := DecodeMessage(pkt)
+		if err != nil {
+			c.srv.logf("ldap: %s: %v", c.state.RemoteAddr, err)
+			return
+		}
+		switch op := msg.Op.(type) {
+		case *UnbindRequest:
+			return
+		case *AbandonRequest:
+			c.abandon(op.IDToAbandon)
+		case *BindRequest:
+			// Binds are serialized on the connection per RFC 4511 §4.2.1.
+			resp := c.srv.Handler.Bind(c.request(root, msg), op)
+			c.send(msg.ID, resp)
+		default:
+			ctx, cancel := context.WithCancel(root)
+			c.opMu.Lock()
+			c.ops[msg.ID] = cancel
+			c.opMu.Unlock()
+			opWG.Add(1)
+			go func(msg *Message) {
+				defer opWG.Done()
+				defer func() {
+					cancel()
+					c.opMu.Lock()
+					delete(c.ops, msg.ID)
+					c.opMu.Unlock()
+				}()
+				c.dispatch(ctx, msg)
+			}(msg)
+		}
+	}
+}
+
+func (c *serverConn) request(ctx context.Context, msg *Message) *Request {
+	return &Request{Ctx: ctx, State: c.state, Controls: msg.Controls}
+}
+
+func (c *serverConn) dispatch(ctx context.Context, msg *Message) {
+	req := c.request(ctx, msg)
+	switch op := msg.Op.(type) {
+	case *SearchRequest:
+		w := &connSearchWriter{conn: c, id: msg.ID}
+		res := c.srv.Handler.Search(req, op, w)
+		c.send(msg.ID, &SearchResultDone{Result: res})
+	case *AddRequest:
+		c.send(msg.ID, &AddResponse{Result: c.srv.Handler.Add(req, op)})
+	case *DelRequest:
+		c.send(msg.ID, &DelResponse{Result: c.srv.Handler.Delete(req, op)})
+	case *ModifyRequest:
+		c.send(msg.ID, &ModifyResponse{Result: c.srv.Handler.Modify(req, op)})
+	case *ExtendedRequest:
+		c.send(msg.ID, c.srv.Handler.Extended(req, op))
+	default:
+		c.srv.logf("ldap: %s: unexpected operation %T", c.state.RemoteAddr, msg.Op)
+	}
+}
+
+func (c *serverConn) abandon(id int64) {
+	c.opMu.Lock()
+	cancel, ok := c.ops[id]
+	c.opMu.Unlock()
+	if ok {
+		cancel()
+	}
+}
+
+func (c *serverConn) send(id int64, op Op, controls ...Control) error {
+	b := (&Message{ID: id, Op: op, Controls: controls}).Encode()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.conn.Write(b)
+	return err
+}
+
+type connSearchWriter struct {
+	conn *serverConn
+	id   int64
+}
+
+func (w *connSearchWriter) SendEntry(e *Entry, controls ...Control) error {
+	return w.conn.send(w.id, &SearchResultEntry{Entry: e}, controls...)
+}
+
+func (w *connSearchWriter) SendReferral(urls ...string) error {
+	return w.conn.send(w.id, &SearchResultReference{URLs: urls})
+}
+
+// ListenAndServe listens on a TCP address and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address, if serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}

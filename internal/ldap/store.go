@@ -1,0 +1,329 @@
+package ldap
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Store is a thread-safe in-memory directory information tree with change
+// notification, usable directly as a server Handler. It backs the MDS-1
+// style centralized baseline and the test suites; GRIS and GIIS implement
+// their own Handlers with provider dispatch and soft-state indices.
+type Store struct {
+	// Schema, when non-nil, validates entries on Add.
+	Schema *Schema
+
+	mu      sync.RWMutex
+	entries map[string]*Entry // normalized DN -> entry
+	watches map[*watch]struct{}
+}
+
+type watch struct {
+	base   DN
+	scope  Scope
+	filter *Filter
+	ch     chan ChangeEvent
+}
+
+// ChangeEvent describes one mutation, delivered to subscribers.
+type ChangeEvent struct {
+	Type  int64 // ChangeAdd, ChangeDelete, ChangeModify
+	Entry *Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: map[string]*Entry{}, watches: map[*watch]struct{}{}}
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Get returns a copy of the entry with the given DN.
+func (s *Store) Get(dn DN) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[dn.Normalize()]
+	if !ok {
+		return nil, false
+	}
+	return e.Clone(), true
+}
+
+// Put inserts or replaces an entry, notifying subscribers.
+func (s *Store) Put(e *Entry) error {
+	if s.Schema != nil {
+		if err := s.Schema.Validate(e); err != nil {
+			return err
+		}
+	}
+	cp := e.Clone()
+	key := cp.DN.Normalize()
+	s.mu.Lock()
+	_, existed := s.entries[key]
+	s.entries[key] = cp
+	s.notifyLocked(existed, cp)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) notifyLocked(existed bool, e *Entry) {
+	typ := ChangeAdd
+	if existed {
+		typ = ChangeModify
+	}
+	for w := range s.watches {
+		s.deliverLocked(w, ChangeEvent{Type: typ, Entry: e})
+	}
+}
+
+func (s *Store) deliverLocked(w *watch, ev ChangeEvent) {
+	if !ev.Entry.DN.WithinScope(w.base, w.scope) {
+		return
+	}
+	if w.filter != nil && ev.Type != ChangeDelete && !w.filter.Matches(ev.Entry) {
+		return
+	}
+	select {
+	case w.ch <- ChangeEvent{Type: ev.Type, Entry: ev.Entry.Clone()}:
+	default:
+		// Subscriber too slow: drop rather than block the mutator. Soft
+		// state means a subsequent refresh re-delivers current truth.
+	}
+}
+
+// Remove deletes the entry with the given DN, reporting whether it existed.
+func (s *Store) Remove(dn DN) bool {
+	key := dn.Normalize()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		delete(s.entries, key)
+		for w := range s.watches {
+			s.deliverLocked(w, ChangeEvent{Type: ChangeDelete, Entry: e})
+		}
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// RemoveSubtree deletes an entry and all its descendants, returning the
+// number removed.
+func (s *Store) RemoveSubtree(dn DN) int {
+	s.mu.Lock()
+	var doomed []*Entry
+	for _, e := range s.entries {
+		if e.DN.Equal(dn) || e.DN.IsDescendantOf(dn) {
+			doomed = append(doomed, e)
+		}
+	}
+	for _, e := range doomed {
+		delete(s.entries, e.DN.Normalize())
+		for w := range s.watches {
+			s.deliverLocked(w, ChangeEvent{Type: ChangeDelete, Entry: e})
+		}
+	}
+	s.mu.Unlock()
+	return len(doomed)
+}
+
+// Find returns copies of entries within scope of base matching filter.
+// A nil filter matches everything.
+func (s *Store) Find(base DN, scope Scope, filter *Filter) []*Entry {
+	s.mu.RLock()
+	var out []*Entry
+	for _, e := range s.entries {
+		if !e.DN.WithinScope(base, scope) {
+			continue
+		}
+		if filter != nil && !filter.Matches(e) {
+			continue
+		}
+		out = append(out, e.Clone())
+	}
+	s.mu.RUnlock()
+	SortEntries(out)
+	return out
+}
+
+// All returns a snapshot of every entry.
+func (s *Store) All() []*Entry { return s.Find(DN{}, ScopeWholeSubtree, nil) }
+
+// Subscribe registers for change events within scope of base matching
+// filter until ctx is cancelled. Events are delivered best-effort: a slow
+// consumer loses events rather than blocking writers.
+func (s *Store) Subscribe(ctx context.Context, base DN, scope Scope, filter *Filter) <-chan ChangeEvent {
+	w := &watch{base: base, scope: scope, filter: filter, ch: make(chan ChangeEvent, 128)}
+	s.mu.Lock()
+	s.watches[w] = struct{}{}
+	s.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		s.mu.Lock()
+		delete(s.watches, w)
+		s.mu.Unlock()
+		close(w.ch)
+	}()
+	return w.ch
+}
+
+// Store implements the server Handler interface so it can be mounted
+// directly behind the protocol engine.
+
+// Bind accepts any simple bind (the store itself enforces no policy).
+func (s *Store) Bind(_ *Request, op *BindRequest) *BindResponse {
+	if op.SASLMech != "" {
+		return &BindResponse{Result: Result{Code: ResultAuthMethodNotSupported,
+			Message: "store supports simple bind only"}}
+	}
+	return &BindResponse{Result: Result{Code: ResultSuccess}}
+}
+
+// Search implements Handler, including persistent-search subscription:
+// with the persistent-search control attached the call blocks streaming
+// change notifications until the operation is abandoned.
+func (s *Store) Search(req *Request, op *SearchRequest, w SearchWriter) Result {
+	base, err := ParseDN(op.BaseDN)
+	if err != nil {
+		return Result{Code: ResultProtocolError, Message: err.Error()}
+	}
+	psCtl, isPS := FindControl(req.Controls, OIDPersistentSearch)
+	if !isPS {
+		entries := s.Find(base, op.Scope, op.Filter)
+		for i, e := range entries {
+			if op.SizeLimit > 0 && int64(i) >= op.SizeLimit {
+				return Result{Code: ResultSizeLimitExceeded}
+			}
+			if err := w.SendEntry(e.Select(op.Attributes)); err != nil {
+				return Result{Code: ResultUnavailable, Message: err.Error()}
+			}
+		}
+		return Result{Code: ResultSuccess}
+	}
+	ps, err := ParsePersistentSearch(psCtl)
+	if err != nil {
+		return Result{Code: ResultProtocolError, Message: err.Error()}
+	}
+	// Subscribe before the initial sweep so no change is lost in between;
+	// duplicates are possible and harmless under soft-state semantics.
+	events := s.Subscribe(req.Ctx, base, op.Scope, op.Filter)
+	if !ps.ChangesOnly {
+		for _, e := range s.Find(base, op.Scope, op.Filter) {
+			if err := w.SendEntry(e.Select(op.Attributes)); err != nil {
+				return Result{Code: ResultUnavailable, Message: err.Error()}
+			}
+		}
+	}
+	for {
+		select {
+		case <-req.Ctx.Done():
+			return Result{Code: ResultSuccess, Message: "persistent search abandoned"}
+		case ev, ok := <-events:
+			if !ok {
+				return Result{Code: ResultSuccess}
+			}
+			if ev.Type&ps.ChangeTypes == 0 {
+				continue
+			}
+			var controls []Control
+			if ps.ReturnECs {
+				controls = append(controls, NewEntryChangeControl(ev.Type))
+			}
+			if err := w.SendEntry(ev.Entry.Select(op.Attributes), controls...); err != nil {
+				return Result{Code: ResultUnavailable, Message: err.Error()}
+			}
+		}
+	}
+}
+
+// Add implements Handler.
+func (s *Store) Add(_ *Request, op *AddRequest) Result {
+	key := op.Entry.DN.Normalize()
+	s.mu.RLock()
+	_, exists := s.entries[key]
+	s.mu.RUnlock()
+	if exists {
+		return Result{Code: ResultEntryAlreadyExists, MatchedDN: op.Entry.DN.String()}
+	}
+	if err := s.Put(op.Entry); err != nil {
+		return Result{Code: ResultUnwillingToPerform, Message: err.Error()}
+	}
+	return Result{Code: ResultSuccess}
+}
+
+// Delete implements Handler.
+func (s *Store) Delete(_ *Request, op *DelRequest) Result {
+	dn, err := ParseDN(op.DN)
+	if err != nil {
+		return Result{Code: ResultProtocolError, Message: err.Error()}
+	}
+	if !s.Remove(dn) {
+		return Result{Code: ResultNoSuchObject, MatchedDN: op.DN}
+	}
+	return Result{Code: ResultSuccess}
+}
+
+// Modify implements Handler.
+func (s *Store) Modify(_ *Request, op *ModifyRequest) Result {
+	dn, err := ParseDN(op.DN)
+	if err != nil {
+		return Result{Code: ResultProtocolError, Message: err.Error()}
+	}
+	s.mu.Lock()
+	e, ok := s.entries[dn.Normalize()]
+	if !ok {
+		s.mu.Unlock()
+		return Result{Code: ResultNoSuchObject, MatchedDN: op.DN}
+	}
+	for _, ch := range op.Changes {
+		switch ch.Op {
+		case ModAdd:
+			e.Add(ch.Attr.Name, ch.Attr.Values...)
+		case ModReplace:
+			e.Set(ch.Attr.Name, ch.Attr.Values...)
+		case ModDelete:
+			if len(ch.Attr.Values) == 0 {
+				e.Delete(ch.Attr.Name)
+			} else {
+				kept := e.Values(ch.Attr.Name)[:0:0]
+				for _, v := range e.Values(ch.Attr.Name) {
+					drop := false
+					for _, dv := range ch.Attr.Values {
+						if strings.EqualFold(v, dv) {
+							drop = true
+							break
+						}
+					}
+					if !drop {
+						kept = append(kept, v)
+					}
+				}
+				if len(kept) == 0 {
+					e.Delete(ch.Attr.Name)
+				} else {
+					e.Set(ch.Attr.Name, kept...)
+				}
+			}
+		default:
+			s.mu.Unlock()
+			return Result{Code: ResultProtocolError, Message: fmt.Sprintf("bad modify op %d", ch.Op)}
+		}
+	}
+	for w := range s.watches {
+		s.deliverLocked(w, ChangeEvent{Type: ChangeModify, Entry: e})
+	}
+	s.mu.Unlock()
+	return Result{Code: ResultSuccess}
+}
+
+// Extended implements Handler (refusing everything).
+func (s *Store) Extended(_ *Request, op *ExtendedRequest) *ExtendedResponse {
+	return &ExtendedResponse{Result: Result{Code: ResultProtocolError,
+		Message: "unsupported extended operation " + op.OID}}
+}

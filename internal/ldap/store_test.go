@@ -1,0 +1,280 @@
+package ldap
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStorePutGetRemove(t *testing.T) {
+	s := NewStore()
+	e := NewEntry(MustParseDN("hn=a, o=g")).Add("objectclass", "computer").Add("hn", "a")
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(MustParseDN("HN=A, O=G"))
+	if !ok || got.First("hn") != "a" {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	// Mutating the returned copy must not affect the store.
+	got.Set("hn", "mutated")
+	again, _ := s.Get(e.DN)
+	if again.First("hn") != "a" {
+		t.Error("store entry aliased to caller copy")
+	}
+	if !s.Remove(e.DN) || s.Len() != 0 {
+		t.Error("remove failed")
+	}
+	if s.Remove(e.DN) {
+		t.Error("double remove should report false")
+	}
+}
+
+func TestStoreRemoveSubtree(t *testing.T) {
+	s := NewStore()
+	for _, dn := range []string{"o=g", "hn=a, o=g", "q=x, hn=a, o=g", "hn=b, o=g"} {
+		if err := s.Put(NewEntry(MustParseDN(dn)).Add("objectclass", "top")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.RemoveSubtree(MustParseDN("hn=a, o=g")); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("remaining %d", s.Len())
+	}
+}
+
+func TestStoreSchemaEnforcement(t *testing.T) {
+	s := NewStore()
+	s.Schema = NewGridSchema()
+	bad := NewEntry(MustParseDN("hn=x")).Add("objectclass", "computer") // missing hn
+	if err := s.Put(bad); err == nil {
+		t.Error("schema violation should be rejected")
+	}
+}
+
+func TestStoreSubscribe(t *testing.T) {
+	s := NewStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := s.Subscribe(ctx, MustParseDN("o=g"), ScopeWholeSubtree, MustParseFilter("(objectclass=computer)"))
+
+	comp := NewEntry(MustParseDN("hn=a, o=g")).Add("objectclass", "computer").Add("hn", "a")
+	other := NewEntry(MustParseDN("hn=b, o=elsewhere")).Add("objectclass", "computer").Add("hn", "b")
+	nonMatching := NewEntry(MustParseDN("p=l, o=g")).Add("objectclass", "perf").Add("perf", "l")
+	for _, e := range []*Entry{comp, other, nonMatching} {
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := <-events
+	if ev.Type != ChangeAdd || !ev.Entry.DN.Equal(comp.DN) {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Modify triggers a second event.
+	comp.Set("load5", "1.0")
+	if err := s.Put(comp); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-events
+	if ev.Type != ChangeModify {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Delete is delivered even though the filter references a live entry.
+	s.Remove(comp.DN)
+	ev = <-events
+	if ev.Type != ChangeDelete {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Out-of-scope and non-matching puts produced no events.
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(10 * time.Millisecond):
+	}
+	cancel()
+	// Channel closes after cancellation.
+	if _, ok := <-events; ok {
+		// Drain any event raced in before close.
+		for range events {
+		}
+	}
+}
+
+func TestStoreSubscriberCannotBlockWriters(t *testing.T) {
+	s := NewStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Subscribe(ctx, DN{}, ScopeWholeSubtree, nil) // never drained
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			e := NewEntry(MustParseDN("hn=h, o=g")).Add("objectclass", "top").Set("i", "x")
+			if err := s.Put(e); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked by slow subscriber")
+	}
+}
+
+func TestStoreHandlerAddDeleteModify(t *testing.T) {
+	s := NewStore()
+	req := &Request{Ctx: context.Background(), State: &ConnState{}}
+	e := NewEntry(MustParseDN("hn=a, o=g")).Add("objectclass", "computer").Add("hn", "a")
+
+	if res := s.Add(req, &AddRequest{Entry: e}); res.Code != ResultSuccess {
+		t.Fatalf("add: %+v", res)
+	}
+	if res := s.Add(req, &AddRequest{Entry: e}); res.Code != ResultEntryAlreadyExists {
+		t.Fatalf("duplicate add: %+v", res)
+	}
+	if res := s.Modify(req, &ModifyRequest{DN: "hn=a, o=g", Changes: []ModifyChange{
+		{Op: ModReplace, Attr: Attribute{Name: "load5", Values: []string{"2.0"}}},
+		{Op: ModAdd, Attr: Attribute{Name: "tag", Values: []string{"x", "y"}}},
+		{Op: ModDelete, Attr: Attribute{Name: "tag", Values: []string{"x"}}},
+	}}); res.Code != ResultSuccess {
+		t.Fatalf("modify: %+v", res)
+	}
+	got, _ := s.Get(e.DN)
+	if got.First("load5") != "2.0" {
+		t.Errorf("replace failed: %v", got)
+	}
+	if vs := got.Values("tag"); len(vs) != 1 || vs[0] != "y" {
+		t.Errorf("value delete failed: %v", vs)
+	}
+	if res := s.Modify(req, &ModifyRequest{DN: "hn=missing", Changes: nil}); res.Code != ResultNoSuchObject {
+		t.Fatalf("modify missing: %+v", res)
+	}
+	if res := s.Delete(req, &DelRequest{DN: "hn=a, o=g"}); res.Code != ResultSuccess {
+		t.Fatalf("delete: %+v", res)
+	}
+	if res := s.Delete(req, &DelRequest{DN: "hn=a, o=g"}); res.Code != ResultNoSuchObject {
+		t.Fatalf("delete missing: %+v", res)
+	}
+	if res := s.Delete(req, &DelRequest{DN: "===bad"}); res.Code != ResultProtocolError {
+		t.Fatalf("delete bad dn: %+v", res)
+	}
+}
+
+type captureWriter struct {
+	entries   []*Entry
+	controls  [][]Control
+	referrals [][]string
+}
+
+func (w *captureWriter) SendEntry(e *Entry, cs ...Control) error {
+	w.entries = append(w.entries, e)
+	w.controls = append(w.controls, cs)
+	return nil
+}
+
+func (w *captureWriter) SendReferral(urls ...string) error {
+	w.referrals = append(w.referrals, urls)
+	return nil
+}
+
+func TestStoreHandlerSearch(t *testing.T) {
+	s := NewStore()
+	for i, dn := range []string{"hn=a, o=g", "hn=b, o=g", "hn=c, o=other"} {
+		e := NewEntry(MustParseDN(dn)).Add("objectclass", "computer").Add("hn", string(rune('a'+i)))
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := &Request{Ctx: context.Background(), State: &ConnState{}}
+	w := &captureWriter{}
+	res := s.Search(req, &SearchRequest{BaseDN: "o=g", Scope: ScopeWholeSubtree,
+		Filter: MustParseFilter("(objectclass=computer)")}, w)
+	if res.Code != ResultSuccess || len(w.entries) != 2 {
+		t.Fatalf("search: %+v, %d entries", res, len(w.entries))
+	}
+	// Size limit.
+	w = &captureWriter{}
+	res = s.Search(req, &SearchRequest{BaseDN: "o=g", Scope: ScopeWholeSubtree, SizeLimit: 1}, w)
+	if res.Code != ResultSizeLimitExceeded || len(w.entries) != 1 {
+		t.Fatalf("size limit: %+v, %d entries", res, len(w.entries))
+	}
+	// Bad base DN.
+	res = s.Search(req, &SearchRequest{BaseDN: "=bad"}, &captureWriter{})
+	if res.Code != ResultProtocolError {
+		t.Fatalf("bad base: %+v", res)
+	}
+}
+
+func TestStorePersistentSearchHandler(t *testing.T) {
+	s := NewStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := &Request{Ctx: ctx, State: &ConnState{},
+		Controls: []Control{NewPersistentSearchControl(PersistentSearch{
+			ChangeTypes: ChangeAll, ChangesOnly: true, ReturnECs: true})}}
+
+	type sent struct {
+		e  *Entry
+		cs []Control
+	}
+	ch := make(chan sent, 16)
+	w := writerFunc(func(e *Entry, cs ...Control) error {
+		ch <- sent{e, cs}
+		return nil
+	})
+	done := make(chan Result, 1)
+	go func() {
+		done <- s.Search(req, &SearchRequest{BaseDN: "o=g", Scope: ScopeWholeSubtree}, w)
+	}()
+	// Give the persistent search a moment to subscribe.
+	time.Sleep(20 * time.Millisecond)
+	e := NewEntry(MustParseDN("hn=new, o=g")).Add("objectclass", "computer").Add("hn", "new")
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-ch:
+		if !got.e.DN.Equal(e.DN) {
+			t.Errorf("entry = %q", got.e.DN)
+		}
+		if len(got.cs) != 1 || got.cs[0].OID != OIDEntryChangeNotification {
+			t.Errorf("controls = %+v", got.cs)
+		}
+		typ, err := ParseEntryChange(got.cs[0])
+		if err != nil || typ != ChangeAdd {
+			t.Errorf("change type = %d, %v", typ, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification")
+	}
+	cancel()
+	select {
+	case res := <-done:
+		if res.Code != ResultSuccess {
+			t.Errorf("final result %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("persistent search did not stop on abandon")
+	}
+}
+
+type writerFunc func(*Entry, ...Control) error
+
+func (f writerFunc) SendEntry(e *Entry, cs ...Control) error { return f(e, cs...) }
+func (f writerFunc) SendReferral(...string) error            { return nil }
+
+func TestStoreBindPolicy(t *testing.T) {
+	s := NewStore()
+	if r := s.Bind(nil, &BindRequest{Version: 3}); r.Code != ResultSuccess {
+		t.Errorf("anonymous bind: %+v", r)
+	}
+	if r := s.Bind(nil, &BindRequest{Version: 3, SASLMech: "GSI"}); r.Code != ResultAuthMethodNotSupported {
+		t.Errorf("sasl bind: %+v", r)
+	}
+	if r := s.Extended(nil, &ExtendedRequest{OID: "1.2.3"}); r.Code != ResultProtocolError {
+		t.Errorf("extended: %+v", r)
+	}
+}

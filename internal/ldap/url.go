@@ -1,0 +1,97 @@
+package ldap
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// URL is an LDAP URL (RFC 4516 subset): scheme, host:port, and base DN.
+// The paper uses such URLs both as globally unique names (§4.1: provider
+// name + name within provider) and as GRRP service references and GIIS
+// referrals.
+type URL struct {
+	Scheme string // "ldap" (or "sim" for the simulated transport)
+	Host   string
+	Port   string
+	DN     DN
+}
+
+// ErrBadURL reports a malformed LDAP URL.
+var ErrBadURL = errors.New("ldap: malformed URL")
+
+// ParseURL parses "ldap://host:port/dn" (DN optional, unescaped commas and
+// spaces tolerated since DNs are the path's only content).
+func ParseURL(s string) (URL, error) {
+	var u URL
+	i := strings.Index(s, "://")
+	if i <= 0 {
+		return u, fmt.Errorf("%w: %q", ErrBadURL, s)
+	}
+	u.Scheme = s[:i]
+	rest := s[i+3:]
+	hostport := rest
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		hostport = rest[:j]
+		dnStr := rest[j+1:]
+		if dnStr != "" {
+			dn, err := ParseDN(dnStr)
+			if err != nil {
+				return u, fmt.Errorf("%w: %v", ErrBadURL, err)
+			}
+			u.DN = dn
+		}
+	}
+	if hostport == "" {
+		return u, fmt.Errorf("%w: missing host in %q", ErrBadURL, s)
+	}
+	if host, port, err := net.SplitHostPort(hostport); err == nil {
+		u.Host, u.Port = host, port
+	} else {
+		u.Host = hostport
+	}
+	return u, nil
+}
+
+// MustParseURL parses s and panics on error.
+func MustParseURL(s string) URL {
+	u, err := ParseURL(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String renders the URL.
+func (u URL) String() string {
+	var b strings.Builder
+	b.WriteString(u.Scheme)
+	b.WriteString("://")
+	b.WriteString(u.Address())
+	if !u.DN.IsZero() {
+		b.WriteByte('/')
+		b.WriteString(u.DN.String())
+	}
+	return b.String()
+}
+
+// Address returns host:port (or just host when no port is set).
+func (u URL) Address() string {
+	if u.Port == "" {
+		return u.Host
+	}
+	return net.JoinHostPort(u.Host, u.Port)
+}
+
+// WithDN returns a copy of the URL naming dn at the same service.
+func (u URL) WithDN(dn DN) URL {
+	u.DN = dn
+	return u
+}
+
+// ServiceKey returns the comparison key identifying the service endpoint
+// (scheme + address, ignoring the DN).
+func (u URL) ServiceKey() string {
+	return u.Scheme + "://" + strings.ToLower(u.Address())
+}

@@ -1,0 +1,210 @@
+package matchmake
+
+import (
+	"testing"
+
+	"mds2/internal/ldap"
+)
+
+func evalOK(t *testing.T, expr string, self, other *Ad) Value {
+	t.Helper()
+	v, err := Eval(expr, self, other)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", expr, err)
+	}
+	return v
+}
+
+func TestEvalLiterals(t *testing.T) {
+	self := NewAd()
+	cases := map[string]Value{
+		"42":            42.0,
+		"3.5":           3.5,
+		`"hello"`:       "hello",
+		"true":          true,
+		"false":         false,
+		"-7":            -7.0,
+		"2 + 3 * 4":     14.0,
+		"(2 + 3) * 4":   20.0,
+		"10 / 4":        2.5,
+		"7 - 2 - 1":     4.0,
+		"1 < 2":         true,
+		"2 <= 2":        true,
+		"3 != 3":        false,
+		`"a" == "A"`:    true, // caseIgnore
+		`"abc" < "abd"`: true,
+		"true && false": false,
+		"true || false": true,
+		"!false":        true,
+		"!(1 > 2)":      true,
+	}
+	for expr, want := range cases {
+		if got := evalOK(t, expr, self, nil); got != want {
+			t.Errorf("%q = %v (%T), want %v", expr, got, got, want)
+		}
+	}
+}
+
+func TestEvalReferences(t *testing.T) {
+	self := NewAd().Set("memory", 2048).Set("os", "linux")
+	other := NewAd().Set("imagesize", 512).Set("arch", "ia32")
+	if got := evalOK(t, "memory > other.imagesize", self, other); got != true {
+		t.Errorf("cross reference = %v", got)
+	}
+	if got := evalOK(t, "self.memory / 2", self, other); got != 1024.0 {
+		t.Errorf("self reference = %v", got)
+	}
+	if got := evalOK(t, `os == "LINUX"`, self, other); got != true {
+		t.Errorf("bare reference = %v", got)
+	}
+}
+
+func TestUndefinedSemantics(t *testing.T) {
+	self := NewAd().Set("x", 1)
+	// Missing attribute comparisons are Undefined, not false/true.
+	v := evalOK(t, "missing > 5", self, nil)
+	if !isUndef(v) {
+		t.Errorf("missing comparison = %v", v)
+	}
+	// Three-valued logic: undefined && false == false; undefined || true == true.
+	if got := evalOK(t, "(missing > 5) && false", self, nil); got != false {
+		t.Errorf("undef && false = %v", got)
+	}
+	if got := evalOK(t, "(missing > 5) || true", self, nil); got != true {
+		t.Errorf("undef || true = %v", got)
+	}
+	if !isUndef(evalOK(t, "(missing > 5) && true", self, nil)) {
+		t.Error("undef && true should stay undefined")
+	}
+	// Undefined requirements never satisfy.
+	req := &Ad{Attrs: map[string]Value{}, Requirements: "other.ghost == 1"}
+	ok, err := Satisfies(req, NewAd())
+	if err != nil || ok {
+		t.Errorf("undefined requirements matched: %v %v", ok, err)
+	}
+	// Division by zero is undefined.
+	if !isUndef(evalOK(t, "1 / 0", self, nil)) {
+		t.Error("division by zero should be undefined")
+	}
+	// Type mismatches are undefined.
+	if !isUndef(evalOK(t, `1 == "one"`, self, nil)) {
+		t.Error("cross-type comparison should be undefined")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	for _, bad := range []string{"", "1 +", "(1", `"unterminated`, "1 2", "&&", "@#$"} {
+		if _, err := Eval(bad, NewAd(), nil); err == nil {
+			t.Errorf("Eval(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSymmetricMatch(t *testing.T) {
+	// The paper's §5.3 example: "find me an idle computer".
+	job := &Ad{
+		Attrs:        map[string]Value{"imagesize": 512.0, "owner": "alice"},
+		Requirements: `other.arch == "ia32" && other.memory >= imagesize && other.load5 < 1.0`,
+		Rank:         "other.freecpus",
+	}
+	idle := NewAd().Set("arch", "ia32").Set("memory", 2048).
+		Set("load5", 0.3).Set("freecpus", 4)
+	idle.Requirements = `other.owner != "mallory"`
+	busy := NewAd().Set("arch", "ia32").Set("memory", 2048).
+		Set("load5", 5.0).Set("freecpus", 0)
+
+	if ok, err := Match(job, idle); err != nil || !ok {
+		t.Fatalf("idle should match: %v %v", ok, err)
+	}
+	if ok, _ := Match(job, busy); ok {
+		t.Fatal("busy should not match")
+	}
+	// Symmetry: the resource's requirements also bind.
+	malloryJob := &Ad{
+		Attrs:        map[string]Value{"imagesize": 1.0, "owner": "mallory"},
+		Requirements: "true",
+	}
+	if ok, _ := Match(malloryJob, idle); ok {
+		t.Fatal("resource requirements must also hold")
+	}
+}
+
+func TestMatchAllRanked(t *testing.T) {
+	req := &Ad{
+		Attrs:        map[string]Value{},
+		Requirements: "other.freecpus >= 1",
+		Rank:         "other.freecpus",
+	}
+	var candidates []*Ad
+	for i, free := range []float64{2, 8, 0, 4} {
+		c := NewAd().Set("freecpus", free).Set("dn", string(rune('a'+i)))
+		candidates = append(candidates, c)
+	}
+	got, err := MatchAll(req, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got[0].Rank != 8 || got[1].Rank != 4 || got[2].Rank != 2 {
+		t.Errorf("rank order = %v %v %v", got[0].Rank, got[1].Rank, got[2].Rank)
+	}
+}
+
+func TestFromEntry(t *testing.T) {
+	e := ldap.NewEntry(ldap.MustParseDN("hn=hostX, o=grid")).
+		Add("objectclass", "computer", "top").
+		Add("hn", "hostX").
+		Add("cpucount", "64").
+		Add("load5", "3.2").
+		Add("online", "true")
+	ad := FromEntry(e)
+	if ad.Get("cpucount") != 64.0 {
+		t.Errorf("cpucount = %v", ad.Get("cpucount"))
+	}
+	if ad.Get("load5") != 3.2 {
+		t.Errorf("load5 = %v", ad.Get("load5"))
+	}
+	if ad.Get("online") != true {
+		t.Errorf("online = %v", ad.Get("online"))
+	}
+	if ad.Get("hn") != "hostX" {
+		t.Errorf("hn = %v", ad.Get("hn"))
+	}
+	if ad.Get("objectclass") != "computer top" {
+		t.Errorf("objectclass = %v", ad.Get("objectclass"))
+	}
+	if ad.Get("dn") != "hn=hostX, o=grid" {
+		t.Errorf("dn = %v", ad.Get("dn"))
+	}
+	// The join-like query of §5.3 works over converted entries.
+	req := &Ad{
+		Attrs:        map[string]Value{"needcpus": 32.0},
+		Requirements: "other.cpucount >= needcpus && other.load5 <= 4.0",
+	}
+	if ok, err := Match(req, ad); err != nil || !ok {
+		t.Errorf("entry-backed match: %v %v", ok, err)
+	}
+}
+
+func TestNilOtherAd(t *testing.T) {
+	v := evalOK(t, "other.x == 1", NewAd(), nil)
+	if !isUndef(v) {
+		t.Errorf("nil other should be undefined: %v", v)
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	job := &Ad{
+		Attrs:        map[string]Value{"imagesize": 512.0},
+		Requirements: `other.arch == "ia32" && other.memory >= imagesize && other.load5 < 1.0`,
+	}
+	host := NewAd().Set("arch", "ia32").Set("memory", 2048).Set("load5", 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, err := Match(job, host); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}

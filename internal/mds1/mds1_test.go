@@ -1,0 +1,136 @@
+package mds1
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/providers"
+	"mds2/internal/softstate"
+)
+
+func newHostPusher(name string, central *Central, clock softstate.Clock, interval time.Duration) (*Pusher, *hostinfo.Host) {
+	h := hostinfo.New(name, hostinfo.Spec{
+		OS: "linux redhat", OSVer: "6.2", CPUType: "ia32", CPUCount: 4, MemoryMB: 1024,
+	}, 1)
+	suffix := ldap.MustParseDN("hn=" + name + ", o=grid")
+	return NewPusher(suffix, providers.HostBackends(h, suffix), central, interval, clock), h
+}
+
+func TestPushOnceAndSearch(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	central := New(clock)
+	p, _ := newHostPusher("hostA", central, clock, time.Minute)
+	if err := p.PushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	got := central.Search(ldap.MustParseDN("o=grid"), ldap.ScopeWholeSubtree,
+		ldap.MustParseFilter("(objectclass=computer)"))
+	if len(got) != 1 || got[0].First("hn") != "hostA" {
+		t.Fatalf("search = %v", got)
+	}
+	if central.Updates.Value() != 1 {
+		t.Errorf("updates = %d", central.Updates.Value())
+	}
+	if central.EntriesPushed.Value() < 5 {
+		t.Errorf("entries pushed = %d", central.EntriesPushed.Value())
+	}
+}
+
+func TestPushReplacesSubtree(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	central := New(clock)
+	p, h := newHostPusher("hostA", central, clock, time.Minute)
+	if err := p.PushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	before := central.Search(ldap.MustParseDN("o=grid"), ldap.ScopeWholeSubtree,
+		ldap.MustParseFilter("(objectclass=loadaverage)"))
+	h.Step(3 * time.Hour)
+	if err := p.PushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	after := central.Search(ldap.MustParseDN("o=grid"), ldap.ScopeWholeSubtree,
+		ldap.MustParseFilter("(objectclass=loadaverage)"))
+	if len(before) != 1 || len(after) != 1 {
+		t.Fatalf("load entries before=%d after=%d (replacement failed)", len(before), len(after))
+	}
+	if before[0].First("load5") == after[0].First("load5") {
+		t.Error("second push should carry updated dynamics")
+	}
+}
+
+func TestStalenessMeasurement(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	central := New(clock)
+	p, _ := newHostPusher("hostA", central, clock, time.Minute)
+	if err := p.PushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(42 * time.Second)
+	got := central.Search(ldap.MustParseDN("o=grid"), ldap.ScopeWholeSubtree,
+		ldap.MustParseFilter("(objectclass=computer)"))
+	age, ok := central.Staleness(got[0])
+	if !ok || age != 42*time.Second {
+		t.Fatalf("staleness = %v, %v", age, ok)
+	}
+	if _, ok := central.Staleness(ldap.NewEntry(ldap.MustParseDN("x=1"))); ok {
+		t.Error("unstamped entry should report !ok")
+	}
+}
+
+func TestPeriodicPushLoop(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	central := New(clock)
+	p, _ := newHostPusher("hostA", central, clock, time.Minute)
+	p.Start()
+	defer p.Stop()
+	waitFor(t, func() bool { return central.Updates.Value() >= 1 })
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Minute)
+		want := int64(i + 2)
+		waitFor(t, func() bool { return central.Updates.Value() >= want })
+	}
+	p.Stop() // idempotent with deferred Stop
+	base := central.Updates.Value()
+	clock.Advance(10 * time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if central.Updates.Value() != base {
+		t.Error("pusher kept running after Stop")
+	}
+}
+
+func TestManyPushersScale(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	central := New(clock)
+	const n = 30
+	for i := 0; i < n; i++ {
+		p, _ := newHostPusher(fmt.Sprintf("host%02d", i), central, clock, time.Minute)
+		if err := p.PushOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := central.Search(ldap.MustParseDN("o=grid"), ldap.ScopeWholeSubtree,
+		ldap.MustParseFilter("(objectclass=computer)"))
+	if len(got) != n {
+		t.Fatalf("computers = %d", len(got))
+	}
+	// Update load grows linearly with resources — the E4 claim.
+	if central.Updates.Value() != n {
+		t.Errorf("updates = %d", central.Updates.Value())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

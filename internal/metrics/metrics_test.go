@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, ok := h.Quantile(0.5)
+	if !ok || p50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	p99, _ := h.Quantile(0.99)
+	if p99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if min, _ := h.Quantile(0); min != time.Millisecond {
+		t.Errorf("min = %v", min)
+	}
+	if max, _ := h.Quantile(1); max != 100*time.Millisecond {
+		t.Errorf("max = %v", max)
+	}
+	if mean := h.Mean(); mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("empty quantile should report !ok")
+	}
+	if h.Mean() != 0 {
+		t.Error("empty mean should be zero")
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Error("summary should render empty histograms")
+	}
+}
+
+func TestHistogramInterleavedObserveQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.Quantile(0.5) // forces sort
+	h.Observe(time.Millisecond)
+	if p0, _ := h.Quantile(0); p0 != time.Millisecond {
+		t.Errorf("min after resort = %v", p0)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(time.Duration(i))
+				h.Quantile(0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 1000 {
+		t.Errorf("value = %d", c.Value())
+	}
+	c.Add(-1000)
+	if c.Value() != 0 {
+		t.Errorf("value = %d", c.Value())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E2: cache TTL sweep", "ttl", "hit-rate", "latency")
+	tab.AddRow("10s", 0.91234, 1500*time.Microsecond)
+	tab.AddRow("longer-ttl-value", 1.0, time.Millisecond)
+	out := tab.String()
+	if !strings.Contains(out, "E2: cache TTL sweep") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0.912") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Errorf("duration formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, ===, header, ---, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header line.
+	if tab.Rows() != 2 {
+		t.Errorf("rows = %d", tab.Rows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2)
+	out := tab.String()
+	if strings.HasPrefix(out, "\n") || strings.Contains(out, "=") {
+		t.Errorf("unexpected title decoration:\n%s", out)
+	}
+}

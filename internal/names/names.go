@@ -1,0 +1,162 @@
+// Package names implements the naming approaches of §8 of the paper: a
+// naming-authority service generating names unique within its scope
+// (optionally organized hierarchically, mirroring the aggregate directory
+// hierarchy of §5.1) and probabilistic globally unique identifiers (GUIDs).
+package names
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"strings"
+	"sync"
+)
+
+// GUID is a 128-bit random identifier. Per §8, such names are highly likely
+// unique but carry no structural information: they cannot scope searches,
+// so systems combine them with hierarchical names when scoping is needed.
+type GUID [16]byte
+
+// NewGUID draws a GUID from crypto/rand.
+func NewGUID() (GUID, error) {
+	var g GUID
+	if _, err := rand.Read(g[:]); err != nil {
+		return GUID{}, err
+	}
+	return g, nil
+}
+
+// String renders the GUID as 32 hex digits.
+func (g GUID) String() string { return hex.EncodeToString(g[:]) }
+
+// ParseGUID parses the hex form.
+func ParseGUID(s string) (GUID, error) {
+	var g GUID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 16 {
+		return g, fmt.Errorf("names: bad GUID %q", s)
+	}
+	copy(g[:], b)
+	return g, nil
+}
+
+// GUIDSource generates GUIDs; the deterministic variant supports
+// reproducible simulations.
+type GUIDSource struct {
+	mu  sync.Mutex
+	rng *mrand.Rand // nil = crypto/rand
+}
+
+// NewGUIDSource returns a cryptographically random source.
+func NewGUIDSource() *GUIDSource { return &GUIDSource{} }
+
+// NewDeterministicGUIDSource returns a seeded source for simulations.
+func NewDeterministicGUIDSource(seed int64) *GUIDSource {
+	return &GUIDSource{rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// Next returns a fresh GUID.
+func (s *GUIDSource) Next() GUID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var g GUID
+	if s.rng == nil {
+		if _, err := rand.Read(g[:]); err != nil {
+			// crypto/rand failure is unrecoverable for a naming service.
+			panic(err)
+		}
+		return g
+	}
+	for i := 0; i < 16; i += 8 {
+		v := s.rng.Uint64()
+		for j := 0; j < 8; j++ {
+			g[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return g
+}
+
+// CollisionProbability returns the birthday-bound estimate of at least one
+// collision after n draws from a 2^128 space: ~ n(n-1)/2 / 2^128. Exposed
+// so experiments can report why the probabilistic approach is "the
+// preferred approach" (§8).
+func CollisionProbability(n int64) *big.Float {
+	if n < 2 {
+		return big.NewFloat(0)
+	}
+	pairs := new(big.Float).SetInt64(n)
+	pairs.Mul(pairs, new(big.Float).SetInt64(n-1))
+	pairs.Quo(pairs, big.NewFloat(2))
+	space := new(big.Float).SetInt(new(big.Int).Lsh(big.NewInt(1), 128))
+	return pairs.Quo(pairs, space)
+}
+
+// Authority generates names guaranteed unique within its scope (§8's first
+// approach). Authorities form a hierarchy: each child authority manages a
+// sub-scope, so a VO can run one per aggregate directory with low
+// administrative overhead — at the cost of names being only relatively
+// unique across hierarchies.
+type Authority struct {
+	scope string
+
+	mu       sync.Mutex
+	issued   map[string]bool
+	counter  uint64
+	children map[string]*Authority
+}
+
+// NewAuthority creates a root authority for the given scope label.
+func NewAuthority(scope string) *Authority {
+	return &Authority{scope: scope, issued: map[string]bool{}, children: map[string]*Authority{}}
+}
+
+// Scope returns the authority's fully qualified scope.
+func (a *Authority) Scope() string { return a.scope }
+
+// Issue returns a name of the form scope/prefix-N guaranteed unique within
+// this authority.
+func (a *Authority) Issue(prefix string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		a.counter++
+		name := fmt.Sprintf("%s/%s-%d", a.scope, prefix, a.counter)
+		if !a.issued[name] {
+			a.issued[name] = true
+			return name
+		}
+	}
+}
+
+// Claim reserves an externally chosen name, reporting whether it was free.
+func (a *Authority) Claim(name string) bool {
+	full := a.scope + "/" + name
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.issued[full] {
+		return false
+	}
+	a.issued[full] = true
+	return true
+}
+
+// Child returns (creating on demand) the sub-authority for a label; its
+// scope nests under this authority's scope.
+func (a *Authority) Child(label string) *Authority {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c, ok := a.children[label]; ok {
+		return c
+	}
+	c := NewAuthority(a.scope + "/" + label)
+	a.children[label] = c
+	return c
+}
+
+// Within reports whether a name was issued under this authority's scope
+// (itself or any descendant).
+func (a *Authority) Within(name string) bool {
+	return strings.HasPrefix(name, a.scope+"/")
+}

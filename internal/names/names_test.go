@@ -1,0 +1,150 @@
+package names
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGUIDStringRoundTrip(t *testing.T) {
+	g, err := NewGUID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	if len(s) != 32 {
+		t.Fatalf("len = %d", len(s))
+	}
+	back, err := ParseGUID(s)
+	if err != nil || back != g {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	if _, err := ParseGUID("zz"); err == nil {
+		t.Error("bad hex should fail")
+	}
+	if _, err := ParseGUID("00"); err == nil {
+		t.Error("short GUID should fail")
+	}
+}
+
+func TestDeterministicGUIDSource(t *testing.T) {
+	a, b := NewDeterministicGUIDSource(7), NewDeterministicGUIDSource(7)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewDeterministicGUIDSource(8)
+	if a.Next() == c.Next() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGUIDUniquenessEmpirical(t *testing.T) {
+	src := NewDeterministicGUIDSource(1)
+	seen := map[GUID]bool{}
+	for i := 0; i < 100000; i++ {
+		g := src.Next()
+		if seen[g] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[g] = true
+	}
+}
+
+func TestCryptoGUIDSource(t *testing.T) {
+	src := NewGUIDSource()
+	if src.Next() == src.Next() {
+		t.Error("consecutive crypto GUIDs equal")
+	}
+}
+
+func TestCollisionProbability(t *testing.T) {
+	if p, _ := CollisionProbability(1).Float64(); p != 0 {
+		t.Errorf("P(1) = %f", p)
+	}
+	p, _ := CollisionProbability(1 << 30).Float64() // a billion names
+	if p > 1e-18 {
+		t.Errorf("P(2^30) = %g, expected astronomically small", p)
+	}
+	big, _ := CollisionProbability(1 << 62).Float64()
+	if big <= p {
+		t.Error("collision probability should grow with n")
+	}
+}
+
+func TestAuthorityIssueUnique(t *testing.T) {
+	a := NewAuthority("vo=alliance")
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		n := a.Issue("res")
+		if seen[n] {
+			t.Fatalf("duplicate %q", n)
+		}
+		if !strings.HasPrefix(n, "vo=alliance/res-") {
+			t.Fatalf("name form %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAuthorityClaim(t *testing.T) {
+	a := NewAuthority("vo=x")
+	if !a.Claim("hostA") {
+		t.Fatal("first claim should succeed")
+	}
+	if a.Claim("hostA") {
+		t.Fatal("second claim should fail")
+	}
+}
+
+func TestAuthorityHierarchy(t *testing.T) {
+	vo := NewAuthority("vo=alliance")
+	c1 := vo.Child("center1")
+	c1again := vo.Child("center1")
+	if c1 != c1again {
+		t.Error("child should be memoized")
+	}
+	n := c1.Issue("host")
+	if !strings.HasPrefix(n, "vo=alliance/center1/host-") {
+		t.Errorf("nested name %q", n)
+	}
+	if !vo.Within(n) {
+		t.Error("vo should contain nested names")
+	}
+	c2 := vo.Child("center2")
+	if c2.Within(n) {
+		t.Error("sibling scope should not contain name")
+	}
+	// Relative uniqueness (§8): the same label can be claimed in two
+	// different hierarchies — names are only unique within a scope.
+	if !c1.Claim("dup") || !c2.Claim("dup") {
+		t.Error("same leaf name must be claimable in sibling scopes")
+	}
+}
+
+func TestAuthorityConcurrentIssue(t *testing.T) {
+	a := NewAuthority("s")
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := a.Issue("x")
+				mu.Lock()
+				if seen[n] {
+					t.Error("concurrent duplicate")
+				}
+				seen[n] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1600 {
+		t.Errorf("issued %d", len(seen))
+	}
+}

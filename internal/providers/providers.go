@@ -1,0 +1,367 @@
+// Package providers supplies the concrete GRIS backends listed in §10.3:
+// static host information (OS version, CPU type, number of processors),
+// dynamic host information (load averages, queue entries), storage system
+// information (free/total disk), and network information via the Network
+// Weather Service. It also implements both provider API variants the paper
+// describes: in-process "loadable module" backends and out-of-process
+// "script" backends that emit LDIF.
+package providers
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/ldap/ldif"
+	"mds2/internal/nws"
+)
+
+// StaticHost publishes a host's static configuration as the computer object
+// at the GRIS suffix. Static data gets a long cache TTL.
+type StaticHost struct {
+	Host *hostinfo.Host
+	Base ldap.DN // the host entry DN (usually the GRIS suffix)
+	TTL  time.Duration
+}
+
+// Name implements gris.Backend.
+func (p *StaticHost) Name() string { return "static-host" }
+
+// Suffix implements gris.Backend.
+func (p *StaticHost) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend.
+func (p *StaticHost) Attributes() []string {
+	return []string{"hn", "system", "osversion", "cputype", "cpucount", "memorymb"}
+}
+
+// CacheTTL implements gris.Backend. A negative TTL disables caching
+// entirely (every query invokes the provider).
+func (p *StaticHost) CacheTTL() time.Duration {
+	if p.TTL < 0 {
+		return 0
+	}
+	if p.TTL > 0 {
+		return p.TTL
+	}
+	return time.Hour
+}
+
+// Entries implements gris.Backend.
+func (p *StaticHost) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	s := p.Host.Snapshot()
+	e := ldap.NewEntry(p.Base).
+		Add("objectclass", "computer").
+		Add("hn", p.Host.Name).
+		Add("system", s.Spec.OS).
+		Add("osversion", s.Spec.OSVer).
+		Add("cputype", s.Spec.CPUType).
+		Add("cpucount", fmt.Sprintf("%d", s.Spec.CPUCount)).
+		Add("memorymb", fmt.Sprintf("%d", s.Spec.MemoryMB))
+	return []*ldap.Entry{e}, nil
+}
+
+// DynamicHost publishes load averages and free-CPU estimates as perf
+// objects under the host entry; highly dynamic, short TTL.
+type DynamicHost struct {
+	Host *hostinfo.Host
+	Base ldap.DN
+	TTL  time.Duration
+}
+
+// Name implements gris.Backend.
+func (p *DynamicHost) Name() string { return "dynamic-host" }
+
+// Suffix implements gris.Backend.
+func (p *DynamicHost) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend.
+func (p *DynamicHost) Attributes() []string {
+	return []string{"perf", "period", "load1", "load5", "load15", "freecpus"}
+}
+
+// CacheTTL implements gris.Backend. A negative TTL disables caching
+// entirely (every query invokes the provider).
+func (p *DynamicHost) CacheTTL() time.Duration {
+	if p.TTL < 0 {
+		return 0
+	}
+	if p.TTL > 0 {
+		return p.TTL
+	}
+	return 10 * time.Second
+}
+
+// Entries implements gris.Backend.
+func (p *DynamicHost) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	s := p.Host.Snapshot()
+	load := ldap.NewEntry(p.Base.ChildAVA("perf", "load")).
+		Add("objectclass", "perf", "loadaverage").
+		Add("perf", "load").
+		Add("period", "10").
+		Add("load1", fmt.Sprintf("%.2f", s.Load1)).
+		Add("load5", fmt.Sprintf("%.2f", s.Load5)).
+		Add("load15", fmt.Sprintf("%.2f", s.Load15)).
+		Add("freecpus", fmt.Sprintf("%d", s.FreeCPUs()))
+	return []*ldap.Entry{load}, nil
+}
+
+// Storage publishes filesystem objects (free/total disk space).
+type Storage struct {
+	Host *hostinfo.Host
+	Base ldap.DN
+	TTL  time.Duration
+}
+
+// Name implements gris.Backend.
+func (p *Storage) Name() string { return "storage" }
+
+// Suffix implements gris.Backend.
+func (p *Storage) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend.
+func (p *Storage) Attributes() []string {
+	return []string{"store", "path", "free", "total", "mounted"}
+}
+
+// CacheTTL implements gris.Backend. A negative TTL disables caching
+// entirely (every query invokes the provider).
+func (p *Storage) CacheTTL() time.Duration {
+	if p.TTL < 0 {
+		return 0
+	}
+	if p.TTL > 0 {
+		return p.TTL
+	}
+	return time.Minute
+}
+
+// Entries implements gris.Backend.
+func (p *Storage) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	s := p.Host.Snapshot()
+	var out []*ldap.Entry
+	for _, fs := range s.FS {
+		out = append(out, ldap.NewEntry(p.Base.ChildAVA("store", fs.Name)).
+			Add("objectclass", "storage", "filesystem").
+			Add("store", fs.Name).
+			Add("path", fs.Path).
+			Add("free", fmt.Sprintf("%d", fs.FreeMB)).
+			Add("total", fmt.Sprintf("%d", fs.TotalMB)))
+	}
+	return out, nil
+}
+
+// Queues publishes batch-queue service objects.
+type Queues struct {
+	Host *hostinfo.Host
+	Base ldap.DN
+	TTL  time.Duration
+}
+
+// Name implements gris.Backend.
+func (p *Queues) Name() string { return "queues" }
+
+// Suffix implements gris.Backend.
+func (p *Queues) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend.
+func (p *Queues) Attributes() []string {
+	return []string{"queue", "url", "dispatchtype", "maxjobs", "runningjobs", "queuedjobs"}
+}
+
+// CacheTTL implements gris.Backend. A negative TTL disables caching
+// entirely (every query invokes the provider).
+func (p *Queues) CacheTTL() time.Duration {
+	if p.TTL < 0 {
+		return 0
+	}
+	if p.TTL > 0 {
+		return p.TTL
+	}
+	return 30 * time.Second
+}
+
+// Entries implements gris.Backend.
+func (p *Queues) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	s := p.Host.Snapshot()
+	var out []*ldap.Entry
+	for _, q := range s.Queues {
+		out = append(out, ldap.NewEntry(p.Base.ChildAVA("queue", q.Name)).
+			Add("objectclass", "service", "queue").
+			Add("queue", q.Name).
+			Add("url", fmt.Sprintf("gram://%s/%s", p.Host.Name, q.Name)).
+			Add("dispatchtype", q.Dispatch).
+			Add("maxjobs", fmt.Sprintf("%d", q.MaxJobs)).
+			Add("runningjobs", fmt.Sprintf("%d", q.Running)).
+			Add("queuedjobs", fmt.Sprintf("%d", q.Queued)))
+	}
+	return out, nil
+}
+
+// Network exposes the NWS link namespace (§4.1's worked example): entries
+// describing bandwidth between specified endpoints, generated lazily. The
+// namespace is parametric and non-enumerable, so queries must pin src and
+// dst via equality terms in the filter; wider queries get ErrScopeTooWide.
+// Results are never cached (CacheTTL 0): each query may trigger an
+// experiment, exactly as the paper describes the NWS hand-off.
+type Network struct {
+	Service *nws.Service
+	Base    ldap.DN // subtree root for link entries, e.g. "net=links, hn=h"
+}
+
+// Name implements gris.Backend.
+func (p *Network) Name() string { return "nws-network" }
+
+// Suffix implements gris.Backend.
+func (p *Network) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend.
+func (p *Network) Attributes() []string {
+	return []string{"src", "dst", "bandwidthmbps", "latencyms",
+		"predictedbandwidthmbps", "forecaster", "measuredat"}
+}
+
+// CacheTTL implements gris.Backend.
+func (p *Network) CacheTTL() time.Duration { return 0 }
+
+// Entries implements gris.Backend.
+func (p *Network) Entries(q *gris.Query) ([]*ldap.Entry, error) {
+	src, dst := extractEndpoints(q)
+	if src == "" || dst == "" {
+		return nil, gris.ErrScopeTooWide
+	}
+	m := p.Service.Measure(src, dst, q.Now)
+	e := ldap.NewEntry(p.Base.Child(ldap.RDN{{Attr: "src", Value: src}, {Attr: "dst", Value: dst}})).
+		Add("objectclass", "networklink").
+		Add("src", src).
+		Add("dst", dst).
+		Add("bandwidthmbps", fmt.Sprintf("%.2f", m.BandwidthMbps)).
+		Add("latencyms", fmt.Sprintf("%.2f", m.LatencyMs)).
+		Add("measuredat", m.At.UTC().Format(time.RFC3339))
+	if pred, name, ok := p.Service.Forecast(src, dst); ok {
+		e.Add("predictedbandwidthmbps", fmt.Sprintf("%.2f", pred)).
+			Add("forecaster", name)
+	}
+	return []*ldap.Entry{e}, nil
+}
+
+// extractEndpoints pulls src/dst from conjunctive equality terms of the
+// filter, or from a base DN naming a specific link.
+func extractEndpoints(q *gris.Query) (src, dst string) {
+	if leaf := q.Base.Leaf(); leaf != nil {
+		for _, ava := range leaf {
+			switch strings.ToLower(ava.Attr) {
+			case "src":
+				src = ava.Value
+			case "dst":
+				dst = ava.Value
+			}
+		}
+	}
+	var walk func(*ldap.Filter)
+	walk = func(f *ldap.Filter) {
+		if f == nil {
+			return
+		}
+		switch f.Kind {
+		case ldap.FilterAnd:
+			for _, sub := range f.Subs {
+				walk(sub)
+			}
+		case ldap.FilterEquality:
+			switch strings.ToLower(f.Attr) {
+			case "src":
+				src = f.Value
+			case "dst":
+				dst = f.Value
+			}
+		}
+	}
+	walk(q.Filter)
+	return src, dst
+}
+
+// Script is the out-of-process provider variant (§10.3: "implemented via a
+// set of scripts ... called by the back end"): each invocation runs a
+// command whose stdout is parsed as LDIF. Entries with relative DNs are
+// grafted under Base.
+type Script struct {
+	Label   string
+	Base    ldap.DN
+	Command []string // argv; run per invocation
+	TTL     time.Duration
+	Timeout time.Duration
+}
+
+// Name implements gris.Backend.
+func (p *Script) Name() string { return "script:" + p.Label }
+
+// Suffix implements gris.Backend.
+func (p *Script) Suffix() ldap.DN { return p.Base }
+
+// Attributes implements gris.Backend (unknown: scripts are opaque).
+func (p *Script) Attributes() []string { return nil }
+
+// CacheTTL implements gris.Backend.
+func (p *Script) CacheTTL() time.Duration { return p.TTL }
+
+// Entries implements gris.Backend.
+func (p *Script) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	if len(p.Command) == 0 {
+		return nil, fmt.Errorf("providers: script %q has no command", p.Label)
+	}
+	cmd := exec.Command(p.Command[0], p.Command[1:]...)
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("providers: script %q: %w", p.Label, err)
+	}
+	entries, err := ldif.ParseString(string(out))
+	if err != nil {
+		return nil, fmt.Errorf("providers: script %q output: %w", p.Label, err)
+	}
+	for _, e := range entries {
+		if !e.DN.Equal(p.Base) && !e.DN.IsDescendantOf(p.Base) {
+			e.DN = e.DN.Under(p.Base)
+		}
+	}
+	return entries, nil
+}
+
+// Func adapts a closure to gris.Backend — the "loadable module" variant
+// (§10.3), executing within the server without process-creation overhead.
+type Func struct {
+	Label     string
+	Subtree   ldap.DN
+	AttrNames []string
+	TTL       time.Duration
+	Generate  func(q *gris.Query) ([]*ldap.Entry, error)
+}
+
+// Name implements gris.Backend.
+func (p *Func) Name() string { return p.Label }
+
+// Suffix implements gris.Backend.
+func (p *Func) Suffix() ldap.DN { return p.Subtree }
+
+// Attributes implements gris.Backend.
+func (p *Func) Attributes() []string { return p.AttrNames }
+
+// CacheTTL implements gris.Backend.
+func (p *Func) CacheTTL() time.Duration { return p.TTL }
+
+// Entries implements gris.Backend.
+func (p *Func) Entries(q *gris.Query) ([]*ldap.Entry, error) { return p.Generate(q) }
+
+// HostBackends bundles the four standard backends for one host.
+func HostBackends(h *hostinfo.Host, base ldap.DN) []gris.Backend {
+	return []gris.Backend{
+		&StaticHost{Host: h, Base: base},
+		&DynamicHost{Host: h, Base: base},
+		&Storage{Host: h, Base: base},
+		&Queues{Host: h, Base: base},
+	}
+}

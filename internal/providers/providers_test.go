@@ -1,0 +1,312 @@
+package providers
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/nws"
+)
+
+func testHost() *hostinfo.Host {
+	return hostinfo.New("hostX", hostinfo.Spec{
+		OS: "mips irix", OSVer: "6.5", CPUType: "mips", CPUCount: 64, MemoryMB: 16384,
+	}, 42)
+}
+
+func base() ldap.DN { return ldap.MustParseDN("hn=hostX, o=center1") }
+
+func TestStaticHostEntries(t *testing.T) {
+	p := &StaticHost{Host: testHost(), Base: base()}
+	entries, err := p.Entries(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if !e.IsA("computer") || e.First("system") != "mips irix" || e.First("cpucount") != "64" {
+		t.Fatalf("entry = %s", e)
+	}
+	if !e.DN.Equal(base()) {
+		t.Errorf("dn = %q", e.DN)
+	}
+	if p.CacheTTL() < time.Minute {
+		t.Error("static data should have long TTL")
+	}
+	schema := ldap.NewGridSchema()
+	if err := schema.Validate(e); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+}
+
+func TestDynamicHostEntries(t *testing.T) {
+	h := testHost()
+	h.Step(30 * time.Minute)
+	p := &DynamicHost{Host: h, Base: base()}
+	entries, err := p.Entries(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[0]
+	if !e.IsA("loadaverage") {
+		t.Fatalf("entry = %s", e)
+	}
+	if _, ok := e.Float("load5"); !ok {
+		t.Error("load5 not numeric")
+	}
+	if _, ok := e.Int("freecpus"); !ok {
+		t.Error("freecpus not numeric")
+	}
+	if !e.DN.IsDescendantOf(base()) {
+		t.Errorf("dn = %q", e.DN)
+	}
+	if p.CacheTTL() > time.Minute {
+		t.Error("dynamic data should have short TTL")
+	}
+	if err := ldap.NewGridSchema().Validate(e); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+}
+
+func TestStorageAndQueueEntries(t *testing.T) {
+	h := testHost()
+	schema := ldap.NewGridSchema()
+	st := &Storage{Host: h, Base: base()}
+	entries, err := st.Entries(nil)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("storage: %v %v", entries, err)
+	}
+	for _, e := range entries {
+		if !e.IsA("filesystem") || !e.Has("free") || !e.Has("path") {
+			t.Errorf("fs entry = %s", e)
+		}
+		if err := schema.Validate(e); err != nil {
+			t.Errorf("schema: %v", err)
+		}
+	}
+	q := &Queues{Host: h, Base: base()}
+	qents, err := q.Entries(nil)
+	if err != nil || len(qents) != 2 {
+		t.Fatalf("queues: %v %v", qents, err)
+	}
+	for _, e := range qents {
+		if !e.IsA("queue") || !e.Has("url") {
+			t.Errorf("queue entry = %s", e)
+		}
+		if err := schema.Validate(e); err != nil {
+			t.Errorf("schema: %v", err)
+		}
+	}
+}
+
+func TestNetworkBackendParametricNamespace(t *testing.T) {
+	svc := nws.NewService()
+	p := &Network{Service: svc, Base: base().ChildAVA("net", "links")}
+	now := time.Date(2001, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	// Wide query: scope too wide.
+	_, err := p.Entries(&gris.Query{Base: p.Base, Scope: ldap.ScopeWholeSubtree, Now: now})
+	if err != gris.ErrScopeTooWide {
+		t.Fatalf("wide query err = %v", err)
+	}
+	// Filter pins endpoints: entry generated, experiment run.
+	q := &gris.Query{Base: p.Base, Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(&(src=ufl.edu)(dst=anl.gov))"), Now: now}
+	entries, err := p.Entries(q)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("pinned query: %v %v", entries, err)
+	}
+	e := entries[0]
+	if !e.IsA("networklink") || e.First("src") != "ufl.edu" {
+		t.Fatalf("entry = %s", e)
+	}
+	if svc.Measured() != 1 {
+		t.Errorf("measured = %d, want on-demand experiment", svc.Measured())
+	}
+	if err := ldap.NewGridSchema().Validate(e); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+	// After some measurements a forecast appears.
+	for i := 0; i < 30; i++ {
+		entries, _ = p.Entries(q)
+	}
+	if !entries[0].Has("predictedbandwidthmbps") || !entries[0].Has("forecaster") {
+		t.Errorf("no forecast after history: %s", entries[0])
+	}
+}
+
+func TestNetworkEndpointFromBaseDN(t *testing.T) {
+	svc := nws.NewService()
+	linkBase := base().ChildAVA("net", "links")
+	p := &Network{Service: svc, Base: linkBase}
+	linkDN := linkBase.Child(ldap.RDN{{Attr: "src", Value: "a"}, {Attr: "dst", Value: "b"}})
+	entries, err := p.Entries(&gris.Query{Base: linkDN, Scope: ldap.ScopeBaseObject,
+		Now: time.Now()})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("base-DN query: %v %v", entries, err)
+	}
+	if entries[0].First("dst") != "b" {
+		t.Errorf("entry = %s", entries[0])
+	}
+}
+
+func TestScriptBackend(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("shell script provider requires a POSIX shell")
+	}
+	p := &Script{
+		Label: "host-ldif",
+		Base:  base(),
+		Command: []string{"/bin/sh", "-c",
+			`printf 'dn: app=sim\nobjectclass: application\napp: sim\nstatus: running\n'`},
+	}
+	entries, err := p.Entries(&gris.Query{Base: base(), Scope: ldap.ScopeWholeSubtree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	// Relative DN grafted under the base.
+	if e.DN.String() != "app=sim, hn=hostX, o=center1" {
+		t.Errorf("dn = %q", e.DN)
+	}
+	if e.First("status") != "running" {
+		t.Errorf("entry = %s", e)
+	}
+}
+
+func TestScriptBackendErrors(t *testing.T) {
+	empty := &Script{Label: "none", Base: base()}
+	if _, err := empty.Entries(nil); err == nil {
+		t.Error("missing command should fail")
+	}
+	bad := &Script{Label: "bad", Base: base(), Command: []string{"/bin/sh", "-c", "exit 3"}}
+	if _, err := bad.Entries(nil); err == nil {
+		t.Error("failing script should fail")
+	}
+	garbage := &Script{Label: "garbage", Base: base(),
+		Command: []string{"/bin/sh", "-c", "echo 'not ldif at all'"}}
+	if _, err := garbage.Entries(nil); err == nil {
+		t.Error("non-LDIF output should fail")
+	}
+}
+
+func TestFuncBackend(t *testing.T) {
+	called := 0
+	p := &Func{
+		Label: "module", Subtree: base(), AttrNames: []string{"x"}, TTL: time.Minute,
+		Generate: func(*gris.Query) ([]*ldap.Entry, error) {
+			called++
+			return []*ldap.Entry{ldap.NewEntry(base()).Add("objectclass", "top").Add("x", "1")}, nil
+		},
+	}
+	if p.Name() != "module" || p.CacheTTL() != time.Minute || p.Attributes()[0] != "x" {
+		t.Error("accessors wrong")
+	}
+	entries, err := p.Entries(nil)
+	if err != nil || len(entries) != 1 || called != 1 {
+		t.Fatalf("entries=%v err=%v called=%d", entries, err, called)
+	}
+}
+
+func TestHostBackendsBundle(t *testing.T) {
+	bs := HostBackends(testHost(), base())
+	if len(bs) != 4 {
+		t.Fatalf("backends = %d", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name()] = true
+		if !b.Suffix().Equal(base()) {
+			t.Errorf("%s suffix = %q", b.Name(), b.Suffix())
+		}
+	}
+	for _, want := range []string{"static-host", "dynamic-host", "storage", "queues"} {
+		if !names[want] {
+			t.Errorf("missing backend %s", want)
+		}
+	}
+}
+
+// TestFullGRISIntegration mounts all providers on a GRIS and exercises the
+// §10.3 flow end to end (in-process handler level).
+func TestFullGRISIntegration(t *testing.T) {
+	h := testHost()
+	s := gris.New(gris.Config{Suffix: base()})
+	for _, b := range HostBackends(h, base()) {
+		s.Register(b)
+	}
+	s.Register(&Network{Service: nws.NewService(), Base: base().ChildAVA("net", "links")})
+
+	search := func(filter string) []*ldap.Entry {
+		t.Helper()
+		w := &captureSink{}
+		res := s.Search(reqNoAuth(), &ldap.SearchRequest{
+			BaseDN: base().String(), Scope: ldap.ScopeWholeSubtree,
+			Filter: ldap.MustParseFilter(filter)}, w)
+		if res.Code != ldap.ResultSuccess {
+			t.Fatalf("search %s: %+v", filter, res)
+		}
+		return w.entries
+	}
+	if got := search("(objectclass=computer)"); len(got) != 1 {
+		t.Fatalf("computers = %d", len(got))
+	}
+	if got := search("(objectclass=filesystem)"); len(got) != 2 {
+		t.Fatalf("filesystems = %d", len(got))
+	}
+	if got := search("(&(objectclass=networklink)(src=a)(dst=b))"); len(got) != 1 {
+		t.Fatalf("links = %d", len(got))
+	}
+	// The whole namespace in one query.
+	if got := search("(objectclass=*)"); len(got) < 5 {
+		t.Fatalf("all = %d", len(got))
+	}
+}
+
+type captureSink struct{ entries []*ldap.Entry }
+
+func (c *captureSink) SendEntry(e *ldap.Entry, _ ...ldap.Control) error {
+	c.entries = append(c.entries, e)
+	return nil
+}
+func (c *captureSink) SendReferral(...string) error { return nil }
+
+func reqNoAuth() *ldap.Request {
+	return &ldap.Request{State: &ldap.ConnState{}}
+}
+
+// BenchmarkProviderInvocation compares the module-style (in-process) and
+// script-style (fork/exec) provider variants — experiment E10.
+func BenchmarkProviderInvocation(b *testing.B) {
+	h := testHost()
+	module := &DynamicHost{Host: h, Base: base()}
+	b.Run("module", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := module.Entries(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if runtime.GOOS != "windows" {
+		script := &Script{Label: "bench", Base: base(),
+			Command: []string{"/bin/sh", "-c",
+				`printf 'dn: perf=load\nobjectclass: perf\nperf: load\n'`}}
+		b.Run("script", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := script.Entries(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

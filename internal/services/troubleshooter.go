@@ -1,0 +1,192 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mds2/internal/detect"
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+// AlertKind classifies troubleshooter findings.
+type AlertKind int
+
+// Alert kinds (§1: "looking for anomalous behaviors such as excessive load
+// or extended failure of critical services").
+const (
+	// AlertOverload: sustained load above the configured threshold.
+	AlertOverload AlertKind = iota
+	// AlertSilent: a provider's registration stream went quiet.
+	AlertSilent
+	// AlertRecovered: a previously alerted condition cleared.
+	AlertRecovered
+	// AlertDiskFull: free space under the configured floor.
+	AlertDiskFull
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertOverload:
+		return "overload"
+	case AlertSilent:
+		return "silent"
+	case AlertRecovered:
+		return "recovered"
+	case AlertDiskFull:
+		return "disk-full"
+	}
+	return "unknown"
+}
+
+// Alert is one finding.
+type Alert struct {
+	Kind    AlertKind
+	Subject string // host or provider identifier
+	Detail  string
+	At      time.Time
+}
+
+// TroubleshooterConfig tunes thresholds.
+type TroubleshooterConfig struct {
+	Clock softstate.Clock
+	// OverloadFactor: load5 > factor × cpucount raises AlertOverload
+	// (default 1.5).
+	OverloadFactor float64
+	// SilenceTimeout feeds the failure detector (default 60s).
+	SilenceTimeout time.Duration
+	// DiskFloorMB raises AlertDiskFull below this free space (default 256).
+	DiskFloorMB int64
+}
+
+// Troubleshooter ingests monitoring updates (from GRIP subscriptions or
+// polls) and registration observations (from GRRP streams), emitting alerts
+// on state transitions only — a flapping host does not spam.
+type Troubleshooter struct {
+	cfg      TroubleshooterConfig
+	detector *detect.Detector
+
+	mu        sync.Mutex
+	active    map[string]AlertKind // subject -> outstanding alert
+	alerts    []Alert
+	cpuCounts map[string]int64
+}
+
+// NewTroubleshooter builds a troubleshooter.
+func NewTroubleshooter(cfg TroubleshooterConfig) *Troubleshooter {
+	if cfg.Clock == nil {
+		cfg.Clock = softstate.RealClock{}
+	}
+	if cfg.OverloadFactor == 0 {
+		cfg.OverloadFactor = 1.5
+	}
+	if cfg.SilenceTimeout == 0 {
+		cfg.SilenceTimeout = time.Minute
+	}
+	if cfg.DiskFloorMB == 0 {
+		cfg.DiskFloorMB = 256
+	}
+	return &Troubleshooter{
+		cfg:       cfg,
+		detector:  detect.New(cfg.SilenceTimeout, cfg.Clock),
+		active:    map[string]AlertKind{},
+		cpuCounts: map[string]int64{},
+	}
+}
+
+// ObserveRegistration records a life sign from a provider's GRRP stream.
+func (t *Troubleshooter) ObserveRegistration(provider string) {
+	if tr := t.detector.Observe(provider); tr != nil && tr.To == detect.StatusAlive {
+		t.clear(provider, AlertSilent)
+	}
+}
+
+// ObserveEntry ingests one monitoring entry (computer, loadaverage, or
+// filesystem object) attributed to a host.
+func (t *Troubleshooter) ObserveEntry(host string, e *ldap.Entry) {
+	switch {
+	case e.IsA("computer"):
+		if cpus, ok := e.Int("cpucount"); ok {
+			t.mu.Lock()
+			t.cpuCounts[host] = cpus
+			t.mu.Unlock()
+		}
+	case e.IsA("loadaverage"):
+		load, ok := e.Float("load5")
+		if !ok {
+			return
+		}
+		t.mu.Lock()
+		cpus := t.cpuCounts[host]
+		t.mu.Unlock()
+		if cpus == 0 {
+			cpus = 1
+		}
+		if load > t.cfg.OverloadFactor*float64(cpus) {
+			t.raise(host, AlertOverload, fmt.Sprintf("load5=%.2f on %d cpus", load, cpus))
+		} else {
+			t.clear(host, AlertOverload)
+		}
+	case e.IsA("filesystem"):
+		free, ok := e.Int("free")
+		if !ok {
+			return
+		}
+		subject := host + ":" + e.First("store")
+		if free < t.cfg.DiskFloorMB {
+			t.raise(subject, AlertDiskFull, fmt.Sprintf("free=%dMB", free))
+		} else {
+			t.clear(subject, AlertDiskFull)
+		}
+	}
+}
+
+// Check sweeps the failure detector, raising silence alerts.
+func (t *Troubleshooter) Check() {
+	for _, tr := range t.detector.Check() {
+		if tr.To == detect.StatusSuspected {
+			t.raise(tr.Key, AlertSilent, fmt.Sprintf("no registration for %v", tr.SilentFor))
+		}
+	}
+}
+
+func (t *Troubleshooter) raise(subject string, kind AlertKind, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := subject + "/" + kind.String()
+	if _, outstanding := t.active[key]; outstanding {
+		return
+	}
+	t.active[key] = kind
+	t.alerts = append(t.alerts, Alert{Kind: kind, Subject: subject, Detail: detail,
+		At: t.cfg.Clock.Now()})
+}
+
+func (t *Troubleshooter) clear(subject string, kind AlertKind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := subject + "/" + kind.String()
+	if _, outstanding := t.active[key]; !outstanding {
+		return
+	}
+	delete(t.active, key)
+	t.alerts = append(t.alerts, Alert{Kind: AlertRecovered, Subject: subject,
+		Detail: "cleared " + kind.String(), At: t.cfg.Clock.Now()})
+}
+
+// Alerts drains the alert log.
+func (t *Troubleshooter) Alerts() []Alert {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.alerts
+	t.alerts = nil
+	return out
+}
+
+// Outstanding returns the number of currently active conditions.
+func (t *Troubleshooter) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}

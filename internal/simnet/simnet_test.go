@@ -1,0 +1,279 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDatagramDelivery(t *testing.T) {
+	n := New(1)
+	var mu sync.Mutex
+	var got []string
+	n.HandleDatagrams("b", func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, from+":"+string(payload))
+		mu.Unlock()
+	})
+	if !n.SendDatagram("a", "b", []byte("hello")) {
+		t.Fatal("delivery failed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "a:hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDatagramToUnhandledNodeDropped(t *testing.T) {
+	n := New(1)
+	if n.SendDatagram("a", "nobody", []byte("x")) {
+		t.Error("delivery to unhandled node should fail")
+	}
+	sent, dropped := n.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Errorf("stats = %d, %d", sent, dropped)
+	}
+}
+
+func TestDatagramPayloadIsolated(t *testing.T) {
+	n := New(1)
+	var captured []byte
+	n.HandleDatagrams("b", func(_ string, p []byte) { captured = p })
+	buf := []byte("orig")
+	n.SendDatagram("a", "b", buf)
+	buf[0] = 'X'
+	if string(captured) != "orig" {
+		t.Error("handler payload aliases sender buffer")
+	}
+}
+
+func TestPartitionBlocksDatagrams(t *testing.T) {
+	n := New(1)
+	delivered := 0
+	n.HandleDatagrams("b", func(string, []byte) { delivered++ })
+	n.SetPartitions([]string{"a"}, []string{"b"})
+	if n.SendDatagram("a", "b", nil) {
+		t.Error("cross-partition datagram should drop")
+	}
+	if n.Connected("a", "b") {
+		t.Error("Connected should report false")
+	}
+	n.Heal()
+	if !n.SendDatagram("a", "b", nil) {
+		t.Error("post-heal datagram should deliver")
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestLossRates(t *testing.T) {
+	n := New(42)
+	n.HandleDatagrams("b", func(string, []byte) {})
+	n.SetLoss(0.5)
+	delivered := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if n.SendDatagram("a", "b", nil) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / total
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("delivery fraction %f, want ~0.5", frac)
+	}
+}
+
+func TestLinkLossOverride(t *testing.T) {
+	n := New(42)
+	n.HandleDatagrams("b", func(string, []byte) {})
+	n.HandleDatagrams("c", func(string, []byte) {})
+	n.SetLoss(0)
+	n.SetLinkLoss("a", "b", 1.0) // a<->b always drops
+	if n.SendDatagram("a", "b", nil) {
+		t.Error("lossy link should drop")
+	}
+	if n.SendDatagram("b", "a", nil) == true {
+		// direction independent; b has no handler for a either way
+		t.Error("lossy link should drop in both directions")
+	}
+	if !n.SendDatagram("a", "c", nil) {
+		t.Error("other link should deliver")
+	}
+}
+
+func TestStreamDialListen(t *testing.T) {
+	n := New(1)
+	l, err := n.Listen("server", "389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan string, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- "accept: " + err.Error()
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 16)
+		k, err := c.Read(buf)
+		if err != nil {
+			done <- "read: " + err.Error()
+			return
+		}
+		c.Write([]byte("pong"))
+		done <- string(buf[:k])
+	}()
+	c, err := n.Dial("client", "server:389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	k, err := c.Read(buf)
+	if err != nil || string(buf[:k]) != "pong" {
+		t.Fatalf("read %q, %v", buf[:k], err)
+	}
+	if got := <-done; got != "ping" {
+		t.Fatalf("server saw %q", got)
+	}
+	if c.LocalAddr().String() != "client" || c.RemoteAddr().String() != "server:389" {
+		t.Errorf("addrs %v %v", c.LocalAddr(), c.RemoteAddr())
+	}
+	if c.LocalAddr().Network() != "sim" {
+		t.Error("network name")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := New(1)
+	if _, err := n.Dial("a", "nowhere:1"); err == nil {
+		t.Error("dial to nothing should fail")
+	}
+	l, _ := n.Listen("s", "1")
+	n.SetPartitions([]string{"a"}, []string{"s"})
+	if _, err := n.Dial("a", "s:1"); err == nil {
+		t.Error("cross-partition dial should fail")
+	}
+	l.Close()
+	n.Heal()
+	if _, err := n.Dial("a", "s:1"); err == nil {
+		t.Error("dial to closed listener should fail")
+	}
+	if _, err := n.Listen("s", "1"); err != nil {
+		t.Errorf("relisten after close: %v", err)
+	}
+}
+
+func TestListenConflict(t *testing.T) {
+	n := New(1)
+	if _, err := n.Listen("s", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("s", "1"); err == nil {
+		t.Error("duplicate listen should fail")
+	}
+}
+
+func TestPartitionSeversEstablishedConns(t *testing.T) {
+	n := New(1)
+	l, err := n.Listen("s", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan struct{})
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			close(accepted)
+			buf := make([]byte, 1)
+			c.Read(buf) // wait for sever
+		}
+	}()
+	c, err := n.Dial("a", "s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	n.SetPartitions([]string{"a"}, []string{"s"})
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("read on severed conn should fail")
+	}
+}
+
+func TestPartitionLeavesIntraPartitionConnsAlive(t *testing.T) {
+	n := New(1)
+	l, _ := n.Listen("s", "1")
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4)
+				k, _ := c.Read(buf)
+				c.Write(buf[:k])
+			}()
+		}
+	}()
+	c, err := n.Dial("a", "s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and s stay together; z is isolated.
+	n.SetPartitions([]string{"a", "s"}, []string{"z"})
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if k, err := c.Read(buf); err != nil || string(buf[:k]) != "ok" {
+		t.Fatalf("intra-partition conn broken: %q %v", buf[:k], err)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	n := New(1)
+	l, _ := n.Listen("s", "1")
+	go l.Accept()
+	c, err := n.Dial("a", "s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	l.Close()
+	l.Close()
+}
+
+func TestDeterministicLossSequence(t *testing.T) {
+	run := func() []bool {
+		n := New(99)
+		n.HandleDatagrams("b", func(string, []byte) {})
+		n.SetLoss(0.3)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			out = append(out, n.SendDatagram("a", "b", nil))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package softstate implements the time-to-live registry semantics at the
+// heart of GRRP (§4.3 of the paper): state established by a notification is
+// discarded unless refreshed by a stream of subsequent notifications. The
+// registry is the building block for GIIS provider indices, GRIS caches,
+// and the unreliable failure detector.
+//
+// All timing flows through the Clock interface so that simulations and
+// tests drive expiry deterministically; production code passes RealClock.
+package softstate
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies current time and timer channels. Implementations must be
+// safe for concurrent use.
+type Clock interface {
+	Now() time.Time
+	// After behaves like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock adapts the wall clock.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced clock for deterministic tests and
+// discrete-time simulations.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a fake clock starting at a fixed, arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2001, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires once Advance moves the clock past d.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing any timers that come due.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var remaining []fakeWaiter
+	var due []fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			due = append(due, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	c.waiters = remaining
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,279 @@
+package softstate
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event describes a registry membership change.
+type Event struct {
+	Key     string
+	Type    EventType
+	Payload any
+	At      time.Time
+}
+
+// EventType enumerates registry transitions.
+type EventType int
+
+// Registry transitions.
+const (
+	// EventJoined fires when a key first appears (or reappears after expiry).
+	EventJoined EventType = iota
+	// EventRefreshed fires on every refresh of a live key.
+	EventRefreshed
+	// EventExpired fires when a key's TTL elapses without refresh.
+	EventExpired
+	// EventRemoved fires on explicit removal.
+	EventRemoved
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventJoined:
+		return "joined"
+	case EventRefreshed:
+		return "refreshed"
+	case EventExpired:
+		return "expired"
+	case EventRemoved:
+		return "removed"
+	}
+	return "unknown"
+}
+
+// Item is a live registry entry.
+type Item struct {
+	Key       string
+	Payload   any
+	ExpiresAt time.Time
+	// Refreshes counts notifications received for this key since it joined.
+	Refreshes int
+	// JoinedAt records when the key last transitioned to live.
+	JoinedAt time.Time
+}
+
+// Registry is a TTL-keyed soft-state table. Entries are established and kept
+// alive solely by Refresh calls; once a TTL elapses without refresh the
+// entry expires and observers are notified. This is exactly the directory
+// behaviour of §4.3: "after some time without a refresh, the directory can
+// assume the provider has become unavailable, and purge knowledge of it".
+type Registry struct {
+	clock Clock
+
+	mu      sync.Mutex
+	items   map[string]*Item
+	subs    map[int]chan Event
+	nextSub int
+	// sweepGen invalidates scheduled sweeps that have been superseded;
+	// sweepAt is when the currently scheduled sweep fires (zero: none).
+	sweepGen uint64
+	sweepAt  time.Time
+	closed   bool
+}
+
+// NewRegistry returns a registry driven by the given clock.
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Registry{clock: clock, items: map[string]*Item{}, subs: map[int]chan Event{}}
+}
+
+// Refresh establishes or renews key with the given TTL and payload,
+// returning true if the key newly joined (was absent or expired).
+// A non-positive TTL is rejected, returning false without establishing
+// state, because it could never be observed live.
+func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
+	if ttl <= 0 {
+		return false
+	}
+	now := r.clock.Now()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.expireLocked(now)
+	it, exists := r.items[key]
+	joined := !exists
+	if joined {
+		it = &Item{Key: key, JoinedAt: now}
+		r.items[key] = it
+	}
+	it.Payload = payload
+	it.ExpiresAt = now.Add(ttl)
+	it.Refreshes++
+	typ := EventRefreshed
+	if joined {
+		typ = EventJoined
+	}
+	r.notifyLocked(Event{Key: key, Type: typ, Payload: payload, At: now})
+	r.scheduleSweepLocked()
+	r.mu.Unlock()
+	return joined
+}
+
+// Remove explicitly deletes a key (soft-state protocols do not require
+// this — expiry handles the common case — but invitation revocation and
+// administrative removal use it).
+func (r *Registry) Remove(key string) bool {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it, ok := r.items[key]
+	if !ok {
+		return false
+	}
+	delete(r.items, key)
+	r.notifyLocked(Event{Key: key, Type: EventRemoved, Payload: it.Payload, At: now})
+	return true
+}
+
+// Get returns the live item for key, if present and unexpired.
+func (r *Registry) Get(key string) (Item, bool) {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	it, ok := r.items[key]
+	if !ok {
+		return Item{}, false
+	}
+	return *it, true
+}
+
+// Live returns a snapshot of all unexpired items, sorted by key.
+func (r *Registry) Live() []Item {
+	now := r.clock.Now()
+	r.mu.Lock()
+	r.expireLocked(now)
+	out := make([]Item, 0, len(r.items))
+	for _, it := range r.items {
+		out = append(out, *it)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of live entries.
+func (r *Registry) Len() int {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	return len(r.items)
+}
+
+// Sweep forces expiry processing now; callers using a FakeClock invoke it
+// after advancing time. It returns the keys expired by this call.
+func (r *Registry) Sweep() []string {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expireLocked(now)
+}
+
+// Subscribe returns a channel of registry events and a cancel function.
+// Delivery is best-effort: a full subscriber buffer drops events, because
+// soft-state observers recover current truth from Live() at any time.
+func (r *Registry) Subscribe() (<-chan Event, func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextSub
+	r.nextSub++
+	ch := make(chan Event, 256)
+	r.subs[id] = ch
+	cancel := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if c, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// Close expires nothing further and closes all subscriptions.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.sweepGen++
+	for id, ch := range r.subs {
+		delete(r.subs, id)
+		close(ch)
+	}
+}
+
+func (r *Registry) notifyLocked(ev Event) {
+	for _, ch := range r.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (r *Registry) expireLocked(now time.Time) []string {
+	var expired []string
+	for key, it := range r.items {
+		if !it.ExpiresAt.After(now) {
+			expired = append(expired, key)
+		}
+	}
+	sort.Strings(expired)
+	for _, key := range expired {
+		it := r.items[key]
+		delete(r.items, key)
+		r.notifyLocked(Event{Key: key, Type: EventExpired, Payload: it.Payload, At: now})
+	}
+	return expired
+}
+
+// scheduleSweepLocked arranges a background sweep at the earliest expiry so
+// that expiry events fire promptly even when nobody polls. Each call
+// supersedes prior schedules.
+func (r *Registry) scheduleSweepLocked() {
+	var earliest time.Time
+	for _, it := range r.items {
+		if earliest.IsZero() || it.ExpiresAt.Before(earliest) {
+			earliest = it.ExpiresAt
+		}
+	}
+	if earliest.IsZero() {
+		return
+	}
+	// If a sweep is already scheduled at or before the new earliest expiry,
+	// it will run first and reschedule; spawning another would only leak
+	// timer goroutines under high refresh rates.
+	if !r.sweepAt.IsZero() && !earliest.Before(r.sweepAt) {
+		return
+	}
+	r.sweepGen++
+	gen := r.sweepGen
+	r.sweepAt = earliest
+	wait := earliest.Sub(r.clock.Now())
+	if wait < 0 {
+		wait = 0
+	}
+	timer := r.clock.After(wait)
+	go func() {
+		<-timer
+		r.mu.Lock()
+		if r.sweepGen != gen || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.sweepAt = time.Time{}
+		r.expireLocked(r.clock.Now())
+		r.scheduleSweepLocked()
+		r.mu.Unlock()
+	}()
+}

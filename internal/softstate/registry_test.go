@@ -1,0 +1,293 @@
+package softstate
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRefreshEstablishesAndExpires(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRegistry(clock)
+	defer r.Close()
+
+	if joined := r.Refresh("p1", "payload", 30*time.Second); !joined {
+		t.Error("first refresh should report joined")
+	}
+	if joined := r.Refresh("p1", "payload", 30*time.Second); joined {
+		t.Error("second refresh should not report joined")
+	}
+	if it, ok := r.Get("p1"); !ok || it.Payload != "payload" || it.Refreshes != 2 {
+		t.Fatalf("get = %+v, %v", it, ok)
+	}
+	clock.Advance(29 * time.Second)
+	if _, ok := r.Get("p1"); !ok {
+		t.Fatal("should survive until TTL")
+	}
+	clock.Advance(2 * time.Second)
+	if _, ok := r.Get("p1"); ok {
+		t.Fatal("should expire after TTL")
+	}
+	// Re-registration after expiry counts as a fresh join.
+	if joined := r.Refresh("p1", "v2", 30*time.Second); !joined {
+		t.Error("post-expiry refresh should report joined")
+	}
+}
+
+func TestRefreshExtendsLifetime(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRegistry(clock)
+	defer r.Close()
+	r.Refresh("p", nil, 10*time.Second)
+	for i := 0; i < 10; i++ {
+		clock.Advance(8 * time.Second)
+		r.Refresh("p", nil, 10*time.Second)
+	}
+	if _, ok := r.Get("p"); !ok {
+		t.Fatal("steady refresh stream should keep entry alive")
+	}
+	clock.Advance(11 * time.Second)
+	if _, ok := r.Get("p"); ok {
+		t.Fatal("stopping the stream should expire the entry")
+	}
+}
+
+func TestZeroTTLRejected(t *testing.T) {
+	r := NewRegistry(NewFakeClock())
+	defer r.Close()
+	if r.Refresh("p", nil, 0) {
+		t.Error("zero TTL should be rejected")
+	}
+	if r.Len() != 0 {
+		t.Error("no state should be established")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := NewRegistry(NewFakeClock())
+	defer r.Close()
+	r.Refresh("p", nil, time.Minute)
+	if !r.Remove("p") {
+		t.Error("remove live entry")
+	}
+	if r.Remove("p") {
+		t.Error("remove absent entry")
+	}
+}
+
+func TestLiveSnapshotSorted(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRegistry(clock)
+	defer r.Close()
+	for _, k := range []string{"c", "a", "b"} {
+		r.Refresh(k, nil, time.Minute)
+	}
+	r.Refresh("dead", nil, time.Second)
+	clock.Advance(2 * time.Second)
+	live := r.Live()
+	if len(live) != 3 {
+		t.Fatalf("live = %d", len(live))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if live[i].Key != want {
+			t.Errorf("live[%d] = %q", i, live[i].Key)
+		}
+	}
+}
+
+func TestEvents(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRegistry(clock)
+	defer r.Close()
+	events, cancel := r.Subscribe()
+	defer cancel()
+
+	r.Refresh("p", 1, time.Second)
+	r.Refresh("p", 2, time.Second)
+	clock.Advance(2 * time.Second)
+	r.Sweep()
+	r.Refresh("q", 3, time.Minute)
+	r.Remove("q")
+
+	want := []struct {
+		key string
+		typ EventType
+	}{
+		{"p", EventJoined}, {"p", EventRefreshed}, {"p", EventExpired},
+		{"q", EventJoined}, {"q", EventRemoved},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-events:
+			if ev.Key != w.key || ev.Type != w.typ {
+				t.Fatalf("event %d = %s/%s, want %s/%s", i, ev.Key, ev.Type, w.key, w.typ)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing event %d (%s/%s)", i, w.key, w.typ)
+		}
+	}
+}
+
+func TestBackgroundSweepWithFakeClock(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRegistry(clock)
+	defer r.Close()
+	events, cancel := r.Subscribe()
+	defer cancel()
+	r.Refresh("p", nil, 5*time.Second)
+	// Advance past expiry; the scheduled background sweep should fire the
+	// expiry event without anyone calling Get/Sweep.
+	clock.Advance(6 * time.Second)
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Type == EventExpired && ev.Key == "p" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("background sweep did not fire")
+		}
+	}
+}
+
+func TestBackgroundSweepRealClock(t *testing.T) {
+	r := NewRegistry(RealClock{})
+	defer r.Close()
+	events, cancel := r.Subscribe()
+	defer cancel()
+	r.Refresh("p", nil, 30*time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Type == EventExpired && ev.Key == "p" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("real-clock sweep did not fire")
+		}
+	}
+}
+
+func TestConcurrentRefreshers(t *testing.T) {
+	r := NewRegistry(RealClock{})
+	defer r.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("p%d", g%4)
+			for i := 0; i < 200; i++ {
+				r.Refresh(key, g, time.Minute)
+				r.Get(key)
+				r.Live()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 4 {
+		t.Errorf("live = %d, want 4", r.Len())
+	}
+}
+
+func TestCloseStopsEverything(t *testing.T) {
+	r := NewRegistry(NewFakeClock())
+	events, cancel := r.Subscribe()
+	defer cancel()
+	r.Refresh("p", nil, time.Minute)
+	r.Close()
+	r.Close() // idempotent
+	if r.Refresh("q", nil, time.Minute) {
+		t.Error("refresh after close should fail")
+	}
+	// Subscription channel closes.
+	for {
+		if _, ok := <-events; !ok {
+			break
+		}
+	}
+}
+
+// TestExpiryMonotonicityProperty: for any TTL and any advance pattern, an
+// entry is live iff the sum of advances since its last refresh is < TTL.
+func TestExpiryMonotonicityProperty(t *testing.T) {
+	f := func(ttlSec uint8, steps []uint8) bool {
+		ttl := time.Duration(ttlSec%60+1) * time.Second
+		clock := NewFakeClock()
+		r := NewRegistry(clock)
+		defer r.Close()
+		r.Refresh("k", nil, ttl)
+		var since time.Duration
+		for _, s := range steps {
+			step := time.Duration(s%10) * time.Second
+			clock.Advance(step)
+			since += step
+			_, live := r.Get("k")
+			if want := since < ttl; live != want {
+				return false
+			}
+			if !live {
+				return true // expired stays expired; done
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFakeClockAfter(t *testing.T) {
+	c := NewFakeClock()
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire")
+	}
+	// Non-positive durations fire immediately.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("zero-duration timer should be ready")
+	}
+}
+
+func BenchmarkRefresh(b *testing.B) {
+	r := NewRegistry(RealClock{})
+	defer r.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Refresh("provider-42", nil, time.Minute)
+	}
+}
+
+func BenchmarkRefreshManyKeys(b *testing.B) {
+	r := NewRegistry(RealClock{})
+	defer r.Close()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("provider-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Refresh(keys[i%len(keys)], nil, time.Minute)
+	}
+}
