@@ -29,6 +29,8 @@ func main() {
 		listen   = flag.String("listen", ":2136", "LDAP listen address")
 		strategy = flag.String("strategy", "chain", "search strategy: chain | cache | referral | bloom")
 		cacheTTL = flag.Duration("cache-ttl", 30*time.Second, "index freshness for cache/bloom strategies")
+		fanout   = flag.Int("max-fanout", giis.DefaultMaxFanout, "chain strategy: max concurrent child searches")
+		hedge    = flag.Duration("hedge", 0, "chain strategy: return partial results after this deadline (0 = wait for all children)")
 		parent   = flag.String("parent", "", "parent GIIS address to register with")
 		vo       = flag.String("vo", "", "VO name for admission and upward registration")
 		interval = flag.Duration("interval", 30*time.Second, "upward registration interval")
@@ -44,10 +46,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("giis: bad suffix: %v", err)
 	}
+	if *fanout < 1 {
+		log.Fatalf("giis: -max-fanout must be >= 1, got %d", *fanout)
+	}
+	if *hedge < 0 {
+		log.Fatalf("giis: -hedge must be >= 0, got %v", *hedge)
+	}
 	var strat giis.Strategy
 	switch *strategy {
 	case "chain":
-		strat = giis.NewChaining()
+		chain := giis.NewChaining()
+		chain.MaxFanout = *fanout
+		chain.HedgeDeadline = *hedge
+		strat = chain
 	case "cache":
 		strat = giis.NewCachedIndex(*cacheTTL)
 	case "referral":

@@ -220,6 +220,13 @@ func Marshal(p *Packet) []byte {
 	return appendPacket(nil, p)
 }
 
+// Append serializes the element tree onto dst and returns the extended
+// slice. Hot encode paths (the LDAP client and server write loops) use it
+// with pooled buffers to avoid a fresh allocation per message.
+func Append(dst []byte, p *Packet) []byte {
+	return appendPacket(dst, p)
+}
+
 func appendPacket(dst []byte, p *Packet) []byte {
 	dst = appendIdentifier(dst, p)
 	if p.Constructed {

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+	"mds2/internal/softstate"
+)
+
+func init() {
+	register("stampede", "E8 (§10.3): cache-stampede coalescing — concurrent expired-TTL misses per provider invocation", runStampede)
+}
+
+// costedBackend charges a real (wall-clock) provider execution cost and is
+// safe for concurrent invocation — the stampede experiment needs true
+// parallelism, so it runs on the real clock unlike the simulated-time E2.
+type costedBackend struct {
+	suffix ldap.DN
+	cost   time.Duration
+	calls  atomic.Int64
+}
+
+func (b *costedBackend) Name() string            { return "costed" }
+func (b *costedBackend) Suffix() ldap.DN         { return b.suffix }
+func (b *costedBackend) Attributes() []string    { return nil }
+func (b *costedBackend) CacheTTL() time.Duration { return time.Hour }
+func (b *costedBackend) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	b.calls.Add(1)
+	time.Sleep(b.cost)
+	return []*ldap.Entry{ldap.NewEntry(b.suffix).
+		Add("objectclass", "computer").
+		Add("hn", "h")}, nil
+}
+
+func runStampede(w io.Writer) error {
+	const providerCost = 5 * time.Millisecond
+	tab := metrics.NewTable(
+		"E8 — cache-stampede coalescing (cold cache, provider execution costs 5ms real time)",
+		"concurrent clients", "provider invocations", "cache hits", "wall time")
+
+	for _, clients := range []int{1, 8, 32, 128} {
+		suffix := ldap.MustParseDN("hn=h, o=g")
+		backend := &costedBackend{suffix: suffix, cost: providerCost}
+		srv := gris.New(gris.Config{Suffix: suffix, Clock: softstate.RealClock{}})
+		srv.Register(backend)
+
+		req := &ldap.SearchRequest{BaseDN: suffix.String(), Scope: ldap.ScopeWholeSubtree}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				srv.Search(&ldap.Request{State: &ldap.ConnState{}}, req, &discard{})
+			}()
+		}
+		began := time.Now()
+		close(start)
+		wg.Wait()
+		tab.AddRow(clients, backend.calls.Load(), srv.CacheHits.Value(),
+			time.Since(began).Round(time.Millisecond))
+	}
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}

@@ -117,7 +117,8 @@ type Server struct {
 	strategy Strategy
 
 	poolMu sync.Mutex
-	pool   map[string]*ldap.Client
+	pool   map[string]*poolEntry
+	closed bool
 
 	// Stats
 	Registrations metrics.Counter // accepted GRRP messages
@@ -138,7 +139,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		clock: cfg.Clock,
-		pool:  map[string]*ldap.Client{},
+		pool:  map[string]*poolEntry{},
 	}
 	if cfg.Keys != nil && cfg.Trust != nil {
 		s.sasl = gsi.NewSASLBinder(cfg.Keys, cfg.Trust, cfg.Clock.Now, cfg.TrustedDirectories)
@@ -233,26 +234,53 @@ func (s *Server) Children() []Child {
 	return out
 }
 
-// Close releases pooled connections and the registry.
+// poolEntry is one pooled child connection plus a reference count. Fan-out
+// goroutines borrow entries with acquire and return them with release;
+// evicting a broken entry only removes it from the pool — the connection is
+// closed when the last borrower releases it, never out from under a
+// concurrent chained Search (the old dropClient use-after-close race).
+type poolEntry struct {
+	c       *ldap.Client
+	key     string
+	refs    int
+	evicted bool
+}
+
+// Close releases pooled connections and the registry. Connections still
+// borrowed by in-flight chains close on their final release.
 func (s *Server) Close() {
 	s.receiver.Close()
 	s.poolMu.Lock()
-	defer s.poolMu.Unlock()
-	for k, c := range s.pool {
-		c.Close()
+	s.closed = true
+	var idle []*ldap.Client
+	for k, pe := range s.pool {
+		pe.evicted = true
+		if pe.refs == 0 {
+			idle = append(idle, pe.c)
+		}
 		delete(s.pool, k)
+	}
+	s.poolMu.Unlock()
+	for _, c := range idle {
+		c.Close()
 	}
 }
 
-// client returns a pooled connection to a child, dialing on demand.
-func (s *Server) client(url ldap.URL) (*ldap.Client, error) {
+// acquire borrows a pooled connection to a child, dialing on demand. Every
+// successful acquire must be paired with a release.
+func (s *Server) acquire(url ldap.URL) (*poolEntry, error) {
 	key := url.ServiceKey()
 	s.poolMu.Lock()
-	c := s.pool[key]
-	s.poolMu.Unlock()
-	if c != nil {
-		return c, nil
+	if s.closed {
+		s.poolMu.Unlock()
+		return nil, fmt.Errorf("giis: directory closed")
 	}
+	if pe := s.pool[key]; pe != nil {
+		pe.refs++
+		s.poolMu.Unlock()
+		return pe, nil
+	}
+	s.poolMu.Unlock()
 	c, err := s.cfg.Dial(url)
 	if err != nil {
 		return nil, err
@@ -263,24 +291,47 @@ func (s *Server) client(url ldap.URL) (*ldap.Client, error) {
 			return nil, fmt.Errorf("giis: authenticating to %s: %w", url, err)
 		}
 	}
+	pe := &poolEntry{c: c, key: key, refs: 1}
 	s.poolMu.Lock()
 	if existing := s.pool[key]; existing != nil {
+		// Another chain won the dial race; use its connection.
+		existing.refs++
 		s.poolMu.Unlock()
 		c.Close()
 		return existing, nil
 	}
-	s.pool[key] = c
+	if s.closed {
+		s.poolMu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("giis: directory closed")
+	}
+	s.pool[key] = pe
 	s.poolMu.Unlock()
-	return c, nil
+	return pe, nil
 }
 
-// dropClient evicts a broken pooled connection.
-func (s *Server) dropClient(url ldap.URL) {
-	key := url.ServiceKey()
+// release returns a borrowed entry, closing the connection if it was
+// evicted and this was the last borrower.
+func (s *Server) release(pe *poolEntry) {
 	s.poolMu.Lock()
-	if c := s.pool[key]; c != nil {
-		c.Close()
-		delete(s.pool, key)
+	pe.refs--
+	dead := pe.evicted && pe.refs == 0
+	s.poolMu.Unlock()
+	if dead {
+		pe.c.Close()
+	}
+}
+
+// evict removes a broken entry from the pool so no future chain borrows
+// it. The caller still holds its reference; the connection closes once all
+// current borrowers release.
+func (s *Server) evict(pe *poolEntry) {
+	s.poolMu.Lock()
+	if !pe.evicted {
+		pe.evicted = true
+		if s.pool[pe.key] == pe {
+			delete(s.pool, pe.key)
+		}
 	}
 	s.poolMu.Unlock()
 }
@@ -307,23 +358,26 @@ func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
 	// since healed; a connection-level failure is retried once on a fresh
 	// dial before the child is reported unreachable.
 	for attempt := 0; attempt < 2; attempt++ {
-		var c *ldap.Client
-		c, err = s.client(child.URL)
+		var pe *poolEntry
+		pe, err = s.acquire(child.URL)
 		if err != nil {
 			return nil, err
 		}
 		s.ChainedOps.Inc()
-		res, err = c.Search(req)
+		res, err = pe.c.Search(req)
 		if err == nil || (ldap.IsCode(err, ldap.ResultSizeLimitExceeded) && res != nil) {
 			// Success, or the child truncated at its size limit — partial
 			// entries still count.
 			err = nil
+			s.release(pe)
 			break
 		}
 		if ldap.IsCode(err, ldap.ResultNoSuchObject) {
+			s.release(pe)
 			return nil, nil
 		}
-		s.dropClient(child.URL)
+		s.evict(pe)
+		s.release(pe)
 	}
 	if err != nil {
 		return nil, err

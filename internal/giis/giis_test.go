@@ -126,10 +126,17 @@ func TestChainingMergesChildren(t *testing.T) {
 	if len(entries) != 2 {
 		t.Fatalf("computers = %d", len(entries))
 	}
-	// DNs are translated into the VO view namespace.
+	// DNs are translated into the VO view namespace. Child replies stream
+	// in arrival order, so check membership rather than position.
 	want := "hn=hostA, o=center1, vo=alliance"
-	if entries[0].DN.String() != want {
-		t.Errorf("dn = %q, want %q", entries[0].DN, want)
+	found := false
+	for _, e := range entries {
+		if e.DN.String() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing %q in %v", want, entries)
 	}
 }
 

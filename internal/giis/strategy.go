@@ -43,13 +43,34 @@ type Strategy interface {
 // intersects the query region and merges results — the simple aggregate
 // directory MDS-2.1 ships (§10.4: "GRIP requests directed to the GIIS are
 // simply forwarded on to the appropriate information provider").
+//
+// The fan-out is bounded and hedged: at most MaxFanout chained requests run
+// concurrently, child replies stream to the client as they arrive (no
+// full-barrier merge), and an optional hedge deadline cuts the search off
+// at a bounded latency with whatever has arrived rather than waiting on
+// the slowest or partitioned child.
 type Chaining struct {
 	// Parallel fans chained requests out concurrently.
 	Parallel bool
-	s        *Server
+	// MaxFanout bounds concurrent chained requests per search; zero means
+	// DefaultMaxFanout. Excess children queue for a free worker, so a
+	// directory with hundreds of children no longer spawns a goroutine and
+	// connection burst per query.
+	MaxFanout int
+	// HedgeDeadline is the soft deadline for child replies, measured on
+	// the directory's clock: when it expires, the replies received so far
+	// are returned and the result is marked partial, instead of the whole
+	// search blocking on a slow or partitioned child. Zero waits for every
+	// child (the pre-hedge behaviour).
+	HedgeDeadline time.Duration
+	s             *Server
 }
 
-// NewChaining returns the default strategy (parallel fan-out).
+// DefaultMaxFanout bounds chained concurrency when MaxFanout is unset.
+const DefaultMaxFanout = 16
+
+// NewChaining returns the default strategy (parallel bounded fan-out, no
+// hedge deadline).
 func NewChaining() *Chaining { return &Chaining{Parallel: true} }
 
 // Name implements Strategy.
@@ -59,56 +80,99 @@ func (c *Chaining) attach(s *Server) { c.s = s }
 
 // Search implements Strategy.
 func (c *Chaining) Search(ctx *SearchContext) ldap.Result {
-	type reply struct {
-		entries []*ldap.Entry
-		err     error
-	}
 	relevant := make([]Child, 0, len(ctx.Children))
 	for _, child := range ctx.Children {
 		if _, _, ok := translateRegion(ctx.Base, ctx.Op.Scope, child); ok {
 			relevant = append(relevant, child)
 		}
 	}
-	replies := make([]reply, len(relevant))
-	run := func(i int, child Child) {
-		entries, err := c.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
-			ctx.Op.Attributes, ctx.Op.SizeLimit)
-		replies[i] = reply{entries, err}
+	if len(relevant) == 0 {
+		return ldap.Result{Code: ldap.ResultSuccess}
 	}
-	if c.Parallel {
-		var wg sync.WaitGroup
-		for i, child := range relevant {
-			wg.Add(1)
-			go func(i int, child Child) {
-				defer wg.Done()
-				run(i, child)
-			}(i, child)
-		}
-		wg.Wait()
-	} else {
-		for i, child := range relevant {
-			run(i, child)
+
+	type reply struct {
+		entries []*ldap.Entry
+		err     error
+	}
+	// Both channels are buffered for the full fan-out so workers never
+	// block: after a hedge cutoff the search returns immediately and any
+	// straggling worker finishes into the buffer and exits.
+	jobs := make(chan Child, len(relevant))
+	for _, child := range relevant {
+		jobs <- child
+	}
+	close(jobs)
+	replies := make(chan reply, len(relevant))
+	workers := c.MaxFanout
+	if workers <= 0 {
+		workers = DefaultMaxFanout
+	}
+	if !c.Parallel {
+		workers = 1
+	}
+	if workers > len(relevant) {
+		workers = len(relevant)
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for child := range jobs {
+				entries, err := c.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
+					ctx.Op.Attributes, ctx.Op.SizeLimit)
+				replies <- reply{entries, err}
+			}
+		}()
+	}
+
+	var hedge <-chan time.Time
+	if c.HedgeDeadline > 0 {
+		hedge = c.s.clock.After(c.HedgeDeadline)
+	}
+	// A size limit imposes a global order on which entries are kept, so
+	// replies buffer and sort before streaming; otherwise each child's
+	// reply streams to the client the moment it arrives (sorted within the
+	// child for determinism).
+	ordered := ctx.Op.SizeLimit > 0
+	var buffered []*ldap.Entry
+	unreachable, hedged := false, false
+
+collect:
+	for done := 0; done < len(relevant); done++ {
+		select {
+		case r := <-replies:
+			if r.err != nil {
+				// A failed or partitioned child must not block the others
+				// (§2.2); we return what is reachable.
+				unreachable = true
+				continue
+			}
+			if ordered {
+				buffered = append(buffered, r.entries...)
+				continue
+			}
+			ldap.SortEntries(r.entries)
+			for _, e := range r.entries {
+				if err := ctx.send(e); err != nil {
+					return sizeOrUnavailable(err)
+				}
+			}
+		case <-hedge:
+			hedged = true
+			break collect
 		}
 	}
-	partial := false
-	var all []*ldap.Entry
-	for _, r := range replies {
-		if r.err != nil {
-			// A failed or partitioned child must not block the others
-			// (§2.2); we return what is reachable.
-			partial = true
-			continue
-		}
-		all = append(all, r.entries...)
-	}
-	ldap.SortEntries(all)
-	for _, e := range all {
-		if err := ctx.send(e); err != nil {
-			return sizeOrUnavailable(err)
+	if ordered {
+		ldap.SortEntries(buffered)
+		for _, e := range buffered {
+			if err := ctx.send(e); err != nil {
+				return sizeOrUnavailable(err)
+			}
 		}
 	}
 	res := ldap.Result{Code: ldap.ResultSuccess}
-	if partial {
+	switch {
+	case hedged:
+		res.Message = "partial results: hedge deadline expired before all providers replied"
+	case unreachable:
 		res.Message = "partial results: some providers unreachable"
 	}
 	return res

@@ -93,7 +93,15 @@ type Server struct {
 
 	mu       sync.Mutex
 	backends []Backend
-	cache    map[string]*cacheEntry // backend name -> cached results
+
+	// cacheMu is a read-write lock so concurrent cache hits — the common
+	// case on the query hot path — never contend on a writer lock.
+	cacheMu sync.RWMutex
+	cache   map[string]*cacheEntry // backend name -> cached results
+
+	// flightMu guards the singleflight table coalescing concurrent misses.
+	flightMu sync.Mutex
+	flights  map[string]*flight // backend name -> in-progress invocation
 
 	// Stats
 	Queries     metrics.Counter
@@ -108,6 +116,15 @@ type cacheEntry struct {
 	fetchedAt time.Time
 }
 
+// flight is one in-progress backend invocation that concurrent cache misses
+// share: the first miss runs the provider, later arrivals wait on done and
+// reuse its result instead of stampeding the backend.
+type flight struct {
+	done    chan struct{}
+	entries []*ldap.Entry
+	err     error
+}
+
 // New creates a GRIS.
 func New(cfg Config) *Server {
 	if cfg.Clock == nil {
@@ -116,7 +133,8 @@ func New(cfg Config) *Server {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 2 * time.Second
 	}
-	s := &Server{cfg: cfg, clock: cfg.Clock, cache: map[string]*cacheEntry{}}
+	s := &Server{cfg: cfg, clock: cfg.Clock,
+		cache: map[string]*cacheEntry{}, flights: map[string]*flight{}}
 	if cfg.Keys != nil && cfg.Trust != nil {
 		s.sasl = gsi.NewSASLBinder(cfg.Keys, cfg.Trust, cfg.Clock.Now, cfg.TrustedDirectories)
 	}
@@ -147,8 +165,8 @@ func (s *Server) Backends() []string {
 
 // FlushCache drops all cached provider results.
 func (s *Server) FlushCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	s.cache = map[string]*cacheEntry{}
 }
 
@@ -350,36 +368,83 @@ func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
 // maximize their performance by returning a superset of results that are
 // then processed out of the cache", §10.3). Backends with zero TTL, or
 // parametric backends (whose output depends on the filter), are invoked
-// every time.
+// every time. Concurrent queries that miss an expired TTL are coalesced
+// into a single provider invocation: without that, every TTL boundary
+// under load turns into an N× stampede on the backend.
 func (s *Server) fetch(b Backend, q *Query) ([]*ldap.Entry, error) {
 	ttl := b.CacheTTL()
 	if ttl <= 0 {
 		s.Invocations.Inc()
 		return b.Entries(q)
 	}
-	now := q.Now
-	s.mu.Lock()
-	ce, ok := s.cache[b.Name()]
-	if ok && now.Sub(ce.fetchedAt) < ttl {
-		entries := ce.entries
-		s.mu.Unlock()
+	if entries, ok := s.cached(b.Name(), q.Now, ttl); ok {
 		s.CacheHits.Inc()
 		return entries, nil
 	}
-	s.mu.Unlock()
+	return s.refresh(b, q.Now, ttl)
+}
+
+// cached returns the fresh cache contents for a backend, if any. Reads take
+// only the shared lock, so cache hits never serialize behind each other.
+func (s *Server) cached(name string, now time.Time, ttl time.Duration) ([]*ldap.Entry, bool) {
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
+	if ce := s.cache[name]; ce != nil && now.Sub(ce.fetchedAt) < ttl {
+		return ce.entries, true
+	}
+	return nil, false
+}
+
+// refresh invokes the backend once per expiry, no matter how many queries
+// miss concurrently: the first miss becomes the flight leader and runs the
+// provider; the rest wait on the flight and share its result.
+func (s *Server) refresh(b Backend, now time.Time, ttl time.Duration) ([]*ldap.Entry, error) {
+	name := b.Name()
+	s.flightMu.Lock()
+	if f := s.flights[name]; f != nil {
+		s.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		s.CacheHits.Inc()
+		return f.entries, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[name] = f
+	s.flightMu.Unlock()
+
+	// A previous leader may have refilled the cache between our miss and
+	// taking flight leadership; re-check before paying for an invocation.
+	if entries, ok := s.cached(name, now, ttl); ok {
+		f.entries = entries
+		s.finishFlight(name, f)
+		s.CacheHits.Inc()
+		return entries, nil
+	}
 
 	s.Invocations.Inc()
 	// Cacheable backends are queried for their full subtree so the cache
 	// is a superset serving any narrower query.
 	full := &Query{Base: b.Suffix(), Scope: ldap.ScopeWholeSubtree, Now: now}
 	entries, err := b.Entries(full)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		s.cacheMu.Lock()
+		s.cache[name] = &cacheEntry{entries: entries, fetchedAt: now}
+		s.cacheMu.Unlock()
 	}
-	s.mu.Lock()
-	s.cache[b.Name()] = &cacheEntry{entries: entries, fetchedAt: now}
-	s.mu.Unlock()
-	return entries, nil
+	f.entries, f.err = entries, err
+	s.finishFlight(name, f)
+	return entries, err
+}
+
+// finishFlight publishes the flight result and retires it so the next
+// expiry starts a fresh invocation.
+func (s *Server) finishFlight(name string, f *flight) {
+	s.flightMu.Lock()
+	delete(s.flights, name)
+	s.flightMu.Unlock()
+	close(f.done)
 }
 
 // persistentSearch implements push-mode GRIP on a GRIS by periodic

@@ -126,11 +126,7 @@ func (c *Client) unregister(id int64) {
 }
 
 func (c *Client) write(m *Message) error {
-	b := m.Encode()
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err := c.conn.Write(b)
-	return err
+	return writeMessage(c.conn, &c.writeMu, m)
 }
 
 // roundTrip sends op and waits for a single response message.

@@ -1,0 +1,37 @@
+package ldap
+
+import (
+	"net"
+	"sync"
+)
+
+// Message encoding sits on every chained operation, cache hit, and streamed
+// search entry, so the client and server write paths share a pool of encode
+// buffers instead of allocating wire bytes per message.
+
+// maxPooledEncodeBuf bounds what goes back in the pool: an occasional huge
+// search entry must not pin megabytes for the life of the process.
+const maxPooledEncodeBuf = 64 << 10
+
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// writeMessage encodes m into a pooled buffer and writes it to conn as one
+// frame, serialized by mu. The buffer is returned to the pool after the
+// write completes; net.Conn implementations do not retain the slice.
+func writeMessage(conn net.Conn, mu *sync.Mutex, m *Message) error {
+	bp := encodeBufPool.Get().(*[]byte)
+	b := m.AppendTo((*bp)[:0])
+	mu.Lock()
+	_, err := conn.Write(b)
+	mu.Unlock()
+	if cap(b) <= maxPooledEncodeBuf {
+		*bp = b[:0]
+	}
+	encodeBufPool.Put(bp)
+	return err
+}

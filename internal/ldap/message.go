@@ -256,6 +256,13 @@ type ExtendedResponse struct {
 
 // Encode serializes the message envelope to wire bytes.
 func (m *Message) Encode() []byte {
+	return m.AppendTo(nil)
+}
+
+// AppendTo serializes the message envelope onto dst and returns the
+// extended slice, letting the client and server write paths reuse pooled
+// buffers instead of allocating per message.
+func (m *Message) AppendTo(dst []byte) []byte {
 	env := ber.NewSequence().Append(ber.NewInteger(m.ID), m.Op.encodeOp())
 	if len(m.Controls) > 0 {
 		ctl := ber.NewConstructed(ber.ClassContext, 0)
@@ -271,7 +278,7 @@ func (m *Message) Encode() []byte {
 		}
 		env.Append(ctl)
 	}
-	return ber.Marshal(env)
+	return ber.Append(dst, env)
 }
 
 func encodeResult(tag uint32, r Result, extra ...*ber.Packet) *ber.Packet {

@@ -324,11 +324,7 @@ func (c *serverConn) abandon(id int64) {
 }
 
 func (c *serverConn) send(id int64, op Op, controls ...Control) error {
-	b := (&Message{ID: id, Op: op, Controls: controls}).Encode()
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err := c.conn.Write(b)
-	return err
+	return writeMessage(c.conn, &c.writeMu, &Message{ID: id, Op: op, Controls: controls})
 }
 
 type connSearchWriter struct {
