@@ -1,0 +1,63 @@
+// Command mdslint runs the project's custom static analyzers over the
+// tree and exits non-zero when any concurrency or determinism invariant
+// is violated (see internal/mdslint and DESIGN.md "Static analysis &
+// invariants").
+//
+// Usage:
+//
+//	go run ./cmd/mdslint ./...
+//	go run ./cmd/mdslint -rules            # list analyzers
+//	go run ./cmd/mdslint internal/gris     # one package directory
+//
+// Suppress a finding, with a reason, on the offending line or the line
+// above:
+//
+//	//mdslint:ignore lockcheck send on buffered chan, cap 1, cannot block
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"mds2/internal/mdslint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mdslint [-rules] [pattern ...]\n\npatterns are directories, .go files, or dir/... walks (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := mdslint.Analyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	files, err := mdslint.Load(fset, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdslint:", err)
+		os.Exit(2)
+	}
+	pass := &mdslint.Pass{Fset: fset, Files: files}
+	findings := mdslint.RunAll(pass, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mdslint: %d finding(s) in %d file(s)\n", len(findings), len(files))
+		os.Exit(1)
+	}
+}

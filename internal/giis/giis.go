@@ -286,7 +286,7 @@ func (s *Server) acquire(url ldap.URL) (*poolEntry, error) {
 		return nil, err
 	}
 	if s.cfg.AuthChildren && s.cfg.Keys != nil && s.cfg.Trust != nil {
-		if _, err := grip.AuthenticateLDAP(c, s.cfg.Keys, s.cfg.Trust); err != nil {
+		if _, err := grip.AuthenticateLDAP(c, s.cfg.Keys, s.cfg.Trust, s.clock.Now); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("giis: authenticating to %s: %w", url, err)
 		}

@@ -14,11 +14,15 @@ import (
 
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
+	"mds2/internal/softstate"
 )
 
 // Client is a GRIP connection to one information provider or directory.
 type Client struct {
 	c *ldap.Client
+	// now is the injected time source for credential-expiry checks during
+	// GSI authentication; nil means the wall clock (softstate.RealClock).
+	now func() time.Time
 }
 
 // Dial connects over TCP.
@@ -40,6 +44,14 @@ func (g *Client) Close() error { return g.c.Close() }
 // SetTimeout bounds each synchronous operation.
 func (g *Client) SetTimeout(d time.Duration) { g.c.Timeout = d }
 
+// SetClock injects the time source used for GSI credential-expiry checks
+// and operation timeouts, so FakeClock tests drive the same code paths
+// production runs (DESIGN.md "Static analysis & invariants").
+func (g *Client) SetClock(clock softstate.Clock) {
+	g.now = clock.Now
+	g.c.Clock = clock
+}
+
 // Raw exposes the underlying LDAP client for protocol-level operations.
 func (g *Client) Raw() *ldap.Client { return g.c }
 
@@ -48,15 +60,16 @@ func (g *Client) Raw() *ldap.Client { return g.c }
 // caller's identity for access control, and the verified server credential
 // is returned so callers can check who they are talking to.
 func (g *Client) Authenticate(keys *gsi.KeyPair, trust *gsi.TrustStore) (*gsi.Credential, error) {
-	return AuthenticateLDAP(g.c, keys, trust)
+	return AuthenticateLDAP(g.c, keys, trust, g.now)
 }
 
 // AuthenticateLDAP runs the GSI SASL exchange over an existing LDAP client
 // connection; aggregate directories use it to bind to child providers with
 // their trusted server credential (§10.4: "the GIIS can also bind using a
-// trusted server credential").
-func AuthenticateLDAP(c *ldap.Client, keys *gsi.KeyPair, trust *gsi.TrustStore) (*gsi.Credential, error) {
-	hs := gsi.NewClientHandshake(keys, trust, time.Now)
+// trusted server credential"). The injected now func drives the
+// credential-expiry checks; nil means the wall clock.
+func AuthenticateLDAP(c *ldap.Client, keys *gsi.KeyPair, trust *gsi.TrustStore, now func() time.Time) (*gsi.Credential, error) {
+	hs := gsi.NewClientHandshake(keys, trust, now)
 	hello, err := hs.Hello()
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
 	"mds2/internal/providers"
+	"mds2/internal/softstate"
 )
 
 // testSecurity bundles one CA + trust store for a test.
@@ -147,5 +148,56 @@ func testRegistration(addr string, suffix ldap.DN, now time.Time) *grrp.Message 
 		SuffixDN:   suffix.String(),
 		IssuedAt:   now,
 		ValidUntil: now.Add(time.Hour),
+	}
+}
+
+// TestAuthenticateExpiryFakeClock drives GSI credential expiry through the
+// full GRIP/LDAP stack on a FakeClock. Before PR 2, AuthenticateLDAP
+// hard-wired time.Now, so the handshake's expiry checks silently ignored
+// injected clocks and this scenario was untestable.
+func TestAuthenticateExpiryFakeClock(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ca, trust := testSecurity(t)
+	suffix := ldap.MustParseDN("hn=h, o=g")
+	serverKeys, err := ca.Issue("cn=gris.h", time.Hour, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := gris.New(gris.Config{Suffix: suffix, Keys: serverKeys, Trust: trust, Clock: clock})
+	srv := ldap.NewServer(gs)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	userKeys, err := ca.Issue("cn=user", time.Hour, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() *grip.Client {
+		t.Helper()
+		c, err := grip.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetClock(clock)
+		return c
+	}
+
+	c := dial()
+	if _, err := c.Authenticate(userKeys, trust); err != nil {
+		t.Fatalf("fresh credential rejected: %v", err)
+	}
+	c.Close()
+
+	// Both credentials lapse one fake hour in; nothing about this test
+	// depends on the wall clock.
+	clock.Advance(2 * time.Hour)
+	c = dial()
+	defer c.Close()
+	if _, err := c.Authenticate(userKeys, trust); err == nil {
+		t.Fatal("expired credential accepted after FakeClock advance")
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"mds2/internal/softstate"
 )
 
 // SASLMechanism is the mechanism name used in LDAP SASL binds.
@@ -68,7 +70,7 @@ type ClientHandshake struct {
 // NewClientHandshake prepares a client exchange.
 func NewClientHandshake(keys *KeyPair, trust *TrustStore, now func() time.Time) *ClientHandshake {
 	if now == nil {
-		now = time.Now
+		now = softstate.RealClock{}.Now
 	}
 	return &ClientHandshake{keys: keys, trust: trust, now: now}
 }
@@ -123,7 +125,7 @@ type ServerHandshake struct {
 // NewServerHandshake prepares a server exchange.
 func NewServerHandshake(keys *KeyPair, trust *TrustStore, now func() time.Time) *ServerHandshake {
 	if now == nil {
-		now = time.Now
+		now = softstate.RealClock{}.Now
 	}
 	return &ServerHandshake{keys: keys, trust: trust, now: now}
 }

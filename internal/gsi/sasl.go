@@ -3,6 +3,8 @@ package gsi
 import (
 	"sync"
 	"time"
+
+	"mds2/internal/softstate"
 )
 
 // SASLBinder manages the per-connection state of GSI SASL bind exchanges on
@@ -27,7 +29,7 @@ type SASLBinder struct {
 func NewSASLBinder(keys *KeyPair, trust *TrustStore, now func() time.Time,
 	trustedDirectories []string) *SASLBinder {
 	if now == nil {
-		now = time.Now
+		now = softstate.RealClock{}.Now
 	}
 	return &SASLBinder{
 		keys: keys, trust: trust, now: now,

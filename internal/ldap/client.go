@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mds2/internal/ber"
+	"mds2/internal/softstate"
 )
 
 // Client is an LDAP connection multiplexer: concurrent operations share one
@@ -27,6 +28,9 @@ type Client struct {
 
 	// Timeout bounds each synchronous round trip (zero means no limit).
 	Timeout time.Duration
+	// Clock supplies the timeout timer so FakeClock tests drive operation
+	// deadlines deterministically; nil means the wall clock.
+	Clock softstate.Clock
 }
 
 // ErrClientClosed reports use of a closed client.
@@ -43,7 +47,8 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established connection (TCP or simulated pipe).
 func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, nextID: 1, pending: map[int64]chan *Message{}, Timeout: 30 * time.Second}
+	c := &Client{conn: conn, nextID: 1, pending: map[int64]chan *Message{},
+		Timeout: 30 * time.Second, Clock: softstate.RealClock{}}
 	go c.readLoop()
 	return c
 }
@@ -146,9 +151,11 @@ func (c *Client) roundTrip(op Op, controls ...Control) (*Message, error) {
 func (c *Client) await(ch chan *Message) (*Message, error) {
 	var timeout <-chan time.Time
 	if c.Timeout > 0 {
-		t := time.NewTimer(c.Timeout)
-		defer t.Stop()
-		timeout = t.C
+		clock := c.Clock
+		if clock == nil {
+			clock = softstate.RealClock{}
+		}
+		timeout = clock.After(c.Timeout)
 	}
 	select {
 	case msg, ok := <-ch:

@@ -41,25 +41,25 @@ var ErrBadDN = errors.New("ldap: malformed DN")
 // joined by '+', backslash escapes for the special characters ',', '+', '=',
 // and '\', and insignificant whitespace around separators.
 func ParseDN(s string) (DN, error) {
-	s = strings.TrimSpace(s)
+	s = trimDNSpace(s)
 	if s == "" {
 		return DN{}, nil
 	}
 	var dn DN
 	for _, comp := range splitUnescaped(s, ',') {
-		comp = strings.TrimSpace(comp)
+		comp = trimDNSpace(comp)
 		if comp == "" {
 			return nil, fmt.Errorf("%w: empty RDN in %q", ErrBadDN, s)
 		}
 		var rdn RDN
 		for _, avaStr := range splitUnescaped(comp, '+') {
-			avaStr = strings.TrimSpace(avaStr)
+			avaStr = trimDNSpace(avaStr)
 			eq := indexUnescaped(avaStr, '=')
 			if eq <= 0 {
 				return nil, fmt.Errorf("%w: %q lacks '='", ErrBadDN, avaStr)
 			}
-			attr := strings.TrimSpace(avaStr[:eq])
-			val := strings.TrimSpace(avaStr[eq+1:])
+			attr := trimDNSpace(avaStr[:eq])
+			val := trimDNSpace(avaStr[eq+1:])
 			if attr == "" || val == "" {
 				return nil, fmt.Errorf("%w: empty attribute or value in %q", ErrBadDN, avaStr)
 			}
@@ -77,6 +77,31 @@ func MustParseDN(s string) DN {
 		panic(err)
 	}
 	return dn
+}
+
+// dnSpace is the byte set treated as insignificant whitespace around DN
+// separators. Kept ASCII so backslash escapes stay byte-oriented.
+const dnSpace = " \t\r\n"
+
+func isDNSpace(c byte) bool { return strings.IndexByte(dnSpace, c) >= 0 }
+
+// trimDNSpace strips insignificant whitespace from both ends, leaving
+// escaped whitespace (e.g. "cn=a\ ") intact: an escaped boundary space is
+// part of the value, and a naive TrimSpace would strand its backslash.
+func trimDNSpace(s string) string {
+	s = strings.TrimLeft(s, dnSpace)
+	end := 0 // bytes to keep
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			end = i + 1
+			continue
+		}
+		if !isDNSpace(s[i]) {
+			end = i + 1
+		}
+	}
+	return s[:end]
 }
 
 func splitUnescaped(s string, sep byte) []string {
@@ -121,13 +146,28 @@ func unescape(s string) string {
 }
 
 func escapeDNValue(s string) string {
-	if !strings.ContainsAny(s, `,+=\`) {
+	if s == "" {
 		return s
+	}
+	if !strings.ContainsAny(s, `,+=\`) && !isDNSpace(s[0]) && !isDNSpace(s[len(s)-1]) {
+		return s
+	}
+	// Boundary whitespace must be escaped or the parser's trim would eat
+	// it (and strand a backslash) on the way back in.
+	lead := 0
+	for lead < len(s) && isDNSpace(s[lead]) {
+		lead++
+	}
+	trail := len(s)
+	for trail > lead && isDNSpace(s[trail-1]) {
+		trail--
 	}
 	var b strings.Builder
 	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case ',', '+', '=', '\\':
+		switch {
+		case s[i] == ',' || s[i] == '+' || s[i] == '=' || s[i] == '\\':
+			b.WriteByte('\\')
+		case isDNSpace(s[i]) && (i < lead || i >= trail):
 			b.WriteByte('\\')
 		}
 		b.WriteByte(s[i])
@@ -148,7 +188,7 @@ func (d DN) String() string {
 			if j > 0 {
 				b.WriteByte('+')
 			}
-			b.WriteString(ava.Attr)
+			b.WriteString(escapeDNValue(ava.Attr))
 			b.WriteByte('=')
 			b.WriteString(escapeDNValue(ava.Value))
 		}
@@ -168,7 +208,7 @@ func (d DN) Normalize() string {
 			if j > 0 {
 				b.WriteByte('+')
 			}
-			b.WriteString(strings.ToLower(ava.Attr))
+			b.WriteString(strings.ToLower(escapeDNValue(ava.Attr)))
 			b.WriteByte('=')
 			b.WriteString(strings.ToLower(escapeDNValue(ava.Value)))
 		}

@@ -183,6 +183,9 @@ func (p *filterParser) parseItem() (*Filter, error) {
 	vstart := p.pos
 	for p.pos < len(p.in) && p.in[p.pos] != ')' {
 		if p.in[p.pos] == '\\' {
+			if p.pos+1 >= len(p.in) {
+				return nil, fmt.Errorf("%w: dangling escape at %d", ErrBadFilter, p.pos)
+			}
 			p.pos++
 		}
 		p.pos++

@@ -1,0 +1,100 @@
+package ldap
+
+import (
+	"testing"
+)
+
+// Native fuzz targets for the three text parsers a server feeds hostile
+// input to: DNs (every request names a base object), filters (discovery
+// queries), and URLs (referrals and GRRP service references). Each target
+// checks the totality property the ber fuzzers established for the binary
+// layer — parse or error, never panic — plus round-trip stability: any
+// accepted input must re-render and re-parse to the same normal form.
+
+func FuzzParseDN(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"queue=default, hn=hostX",
+		"hn=hostX,o=grid",
+		"  hn = hostX ,  o = grid ",
+		"cn=alice+uid=42, o=grid",
+		`cn=with\,comma, o=g`,
+		`cn=tr\+plus+uid=1, o=g`,
+		"cn=", "=v", "cn==v", ",", "+", `cn=a\`,
+		"vo=demo",
+		"perf=load5, hn=hostX, o=grid",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		dn, err := ParseDN(s)
+		if err != nil {
+			return
+		}
+		// The printed form must parse back to the same normal form:
+		// String/Normalize are the on-wire names GIIS indices key by.
+		back, err := ParseDN(dn.String())
+		if err != nil {
+			t.Fatalf("ParseDN(%q) ok but re-parse of %q failed: %v", s, dn.String(), err)
+		}
+		if !dn.Equal(back) {
+			t.Fatalf("round trip changed DN: %q -> %q -> %q", s, dn.String(), back.String())
+		}
+	})
+}
+
+func FuzzParseFilter(f *testing.F) {
+	for _, seed := range []string{
+		"(objectclass=computer)",
+		"hn=hostX",
+		"(&(objectclass=computer)(|(system=mips irix)(system=linux))(!(cpucount<=8)))",
+		"(load5=*)",
+		"(cn=ho*st*X)",
+		"(cn>=a)", "(cn<=z)",
+		`(cn=paren\29)`,
+		"(&)", "(|)", "(!)", "(", ")", "(&(a=b)", "(a=b)(c=d)",
+		"(objectclass=*)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		flt, err := ParseFilter(s)
+		if err != nil {
+			return
+		}
+		rendered := flt.String()
+		back, err := ParseFilter(rendered)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q) ok but re-parse of %q failed: %v", s, rendered, err)
+		}
+		if got := back.String(); got != rendered {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, rendered, got)
+		}
+	})
+}
+
+func FuzzParseURL(f *testing.F) {
+	for _, seed := range []string{
+		"ldap://gris.example.org:2135/hn=hostX, o=grid",
+		"sim://node7/o=vo",
+		"ldap://Host:389/o=g",
+		"ldap://127.0.0.1:2136",
+		"ldap://h/", "://x", "ldap://", "ldap:///o=g",
+		"ldap://[::1]:2135/o=g",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		u, err := ParseURL(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseURL(u.String())
+		if err != nil {
+			t.Fatalf("ParseURL(%q) ok but re-parse of %q failed: %v", s, u.String(), err)
+		}
+		if back.String() != u.String() {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, u.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package ldif
+
+import (
+	"testing"
+)
+
+// FuzzLDIF feeds arbitrary text to the LDIF reader. Accepted input must
+// survive a Marshal/Parse round trip with entry count and DNs intact —
+// LDIF is the bulk load/dump format, so a lossy round trip silently
+// corrupts a directory restore.
+func FuzzLDIF(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"dn: hn=hostX\nobjectclass: computer\ncpucount: 4\n",
+		"dn: hn=hostX\nhn: hostX\n\ndn: perf=load5, hn=hostX\nload5: 0.5\n",
+		"# comment\n\ndn: o=grid\no: grid\n",
+		"dn: cn=b64\ncn:: aGVsbG8=\n",
+		"dn: cn=cont\ndescription: first\n  continued line\n",
+		"dn: o=g\nattr without colon\n",
+		"no dn first\nattr: v\n",
+		"dn: o=g\nattr:\n",
+		"dn:: b z1n\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		entries, err := ParseString(s)
+		if err != nil {
+			return
+		}
+		text := Marshal(entries)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("Marshal of parsed input does not re-parse: %v\ninput: %q\nmarshalled: %q", err, s, text)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip changed entry count %d -> %d\ninput: %q", len(entries), len(back), s)
+		}
+		for i := range entries {
+			if !entries[i].DN.Equal(back[i].DN) {
+				t.Fatalf("round trip changed DN %q -> %q", entries[i].DN, back[i].DN)
+			}
+		}
+	})
+}

@@ -51,6 +51,9 @@ func ParseURL(s string) (URL, error) {
 	} else {
 		u.Host = hostport
 	}
+	if u.Host == "" {
+		return u, fmt.Errorf("%w: missing host in %q", ErrBadURL, s)
+	}
 	return u, nil
 }
 

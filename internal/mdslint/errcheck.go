@@ -1,0 +1,258 @@
+package mdslint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrCheckLite flags dropped error returns on the protocol data path: a
+// ber/ldap encode or decode that fails silently corrupts the wire stream,
+// and an unchecked net.Conn write hides the exact disconnects the
+// soft-state failure detector is supposed to observe.
+//
+// Scope is deliberately narrow (this is not a general errcheck):
+//
+//   - calls to package-level functions of internal/ber, internal/ldap, and
+//     internal/ldap/ldif whose last result is error, used as a bare
+//     statement (also behind go/defer);
+//   - method calls with encode/decode-shaped names (Encode*, Decode*,
+//     Append*, Write*, Read*, Marshal*, Unmarshal*, Flush*) that some type
+//     in those packages defines with an error result;
+//   - Write calls on identifiers declared as net.Conn in the enclosing
+//     function's signature or var declarations.
+//
+// Assigning the error to _ is a visible, reviewable decision and is not
+// flagged.
+const ruleErr = "errchecklite"
+
+var ErrCheckLite = &Analyzer{
+	Name: ruleErr,
+	Doc:  "no dropped errors from ber/ldap encode/decode or net.Conn writes",
+	Run:  runErrCheckLite,
+}
+
+// errPkgPaths are the import paths whose error returns must be consumed.
+var errPkgPaths = []string{
+	"mds2/internal/ber",
+	"mds2/internal/ldap",
+	"mds2/internal/ldap/ldif",
+}
+
+// errMethodPrefixes limit the receiver-method heuristic to the
+// encode/decode shape; generic names like Close stay out of scope.
+var errMethodPrefixes = []string{
+	"Encode", "Decode", "Append", "Write", "Read", "Marshal", "Unmarshal", "Flush",
+}
+
+func hasErrMethodPrefix(name string) bool {
+	for _, p := range errMethodPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// declIndex records which functions and methods in the target packages
+// return an error, built syntactically from the files in the pass.
+type declIndex struct {
+	pkgFuncs   map[string]map[string]bool // import path -> func name -> returns error
+	errMethods map[string]bool            // method name (in a target pkg) -> returns error
+}
+
+// Index builds (once) the cross-file declaration index for the pass.
+func (p *Pass) Index() *declIndex {
+	if p.index != nil {
+		return p.index
+	}
+	idx := &declIndex{
+		pkgFuncs:   map[string]map[string]bool{},
+		errMethods: map[string]bool{},
+	}
+	for _, f := range p.Files {
+		path, ok := importPathForFile(f.Path)
+		if !ok || !isErrPkg(path) {
+			continue
+		}
+		for _, d := range f.AST.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || !lastResultIsError(fn) {
+				continue
+			}
+			if fn.Recv == nil {
+				m := idx.pkgFuncs[path]
+				if m == nil {
+					m = map[string]bool{}
+					idx.pkgFuncs[path] = m
+				}
+				m[fn.Name.Name] = true
+			} else {
+				idx.errMethods[fn.Name.Name] = true
+			}
+		}
+	}
+	p.index = idx
+	return idx
+}
+
+// importPathForFile maps a repo-relative file path to its module import
+// path ("internal/ber/ber.go" -> "mds2/internal/ber").
+func importPathForFile(path string) (string, bool) {
+	p := filepathToSlashDir(path)
+	i := strings.Index("/"+p+"/", "/internal/")
+	if i < 0 {
+		return "", false
+	}
+	return "mds2/" + strings.Trim(("/" + p + "/")[i:], "/"), true
+}
+
+func filepathToSlashDir(path string) string {
+	p := strings.ReplaceAll(path, "\\", "/")
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[:i]
+	}
+	return ""
+}
+
+func isErrPkg(importPath string) bool {
+	for _, p := range errPkgPaths {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+func lastResultIsError(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+		return false
+	}
+	last := fn.Type.Results.List[len(fn.Type.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+func runErrCheckLite(p *Pass) []Finding {
+	idx := p.Index()
+	var out []Finding
+	for _, f := range p.Files {
+		if isTestFile(f.Path) {
+			continue
+		}
+		// Local names this file binds the target packages to.
+		pkgNames := map[string]string{} // local name -> import path
+		for _, path := range errPkgPaths {
+			if name, ok := importName(f.AST, path); ok {
+				pkgNames[name] = path
+			}
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			conns := connIdents(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = st.Call
+				case *ast.DeferStmt:
+					call = st.Call
+				}
+				if call == nil {
+					return true
+				}
+				if fd, ok := droppedErrCall(p, idx, pkgNames, conns, call); ok {
+					out = append(out, fd)
+				}
+				return true
+			})
+			return false
+		})
+	}
+	return out
+}
+
+// droppedErrCall decides whether a bare call statement drops an error we
+// care about.
+func droppedErrCall(p *Pass, idx *declIndex, pkgNames map[string]string,
+	conns map[string]bool, call *ast.CallExpr) (Finding, bool) {
+
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Finding{}, false
+	}
+	pos := p.Fset.Position(call.Pos())
+	if id, ok := sel.X.(*ast.Ident); ok && isPkgIdent(id) {
+		if path, ok := pkgNames[id.Name]; ok && idx.pkgFuncs[path][sel.Sel.Name] {
+			return Finding{Pos: pos, Rule: ruleErr,
+				Msg: "dropped error from " + id.Name + "." + sel.Sel.Name}, true
+		}
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && conns[id.Name] && sel.Sel.Name == "Write" {
+		return Finding{Pos: pos, Rule: ruleErr,
+			Msg: "dropped error from net.Conn write on " + id.Name}, true
+	}
+	if hasErrMethodPrefix(sel.Sel.Name) && idx.errMethods[sel.Sel.Name] {
+		// A package-qualified call (fmt.Appendf, …) is some other
+		// package's function, not a method on a ber/ldap value.
+		if id, ok := sel.X.(*ast.Ident); ok && isPkgIdent(id) {
+			return Finding{}, false
+		}
+		return Finding{Pos: pos, Rule: ruleErr,
+			Msg: "dropped error from " + exprString(sel.X) + "." + sel.Sel.Name}, true
+	}
+	return Finding{}, false
+}
+
+// connIdents collects identifiers declared as net.Conn in a function's
+// parameters, results, or var declarations.
+func connIdents(fn *ast.FuncDecl) map[string]bool {
+	conns := map[string]bool{}
+	collect := func(names []*ast.Ident, typ ast.Expr) {
+		if !isNetConnType(typ) {
+			return
+		}
+		for _, n := range names {
+			conns[n.Name] = true
+		}
+	}
+	for _, fl := range []*ast.FieldList{fn.Type.Params, fn.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			collect(field.Names, field.Type)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						collect(vs.Names, vs.Type)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			for _, field := range v.Type.Params.List {
+				collect(field.Names, field.Type)
+			}
+		}
+		return true
+	})
+	return conns
+}
+
+func isNetConnType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "net" && sel.Sel.Name == "Conn"
+}

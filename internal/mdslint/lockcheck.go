@@ -1,0 +1,214 @@
+package mdslint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// LockCheck flags a mutex held across a channel operation or another call
+// that can block indefinitely (select, Wait, Sleep). Holding a lock while
+// parked on a channel is the bug class behind the PR 1 GIIS pool
+// use-after-close: every other goroutine needing the lock stalls behind a
+// peer that may never be scheduled again.
+//
+// The analysis is syntactic and per-statement-list: x.Lock()/x.RLock()
+// opens a critical section that x.Unlock()/x.RUnlock() closes; a deferred
+// unlock keeps it open to the end of the enclosing list. Lock state does
+// not escape the block it was taken in (conditional locking stays
+// conservative), and function literals are not scanned under the caller's
+// lock — they run on their own goroutine or after return.
+//
+// Sends on buffered channels that provably cannot block are invisible to
+// a syntactic check; annotate those with //mdslint:ignore lockcheck and a
+// reason stating the capacity argument.
+const ruleLock = "lockcheck"
+
+var LockCheck = &Analyzer{
+	Name: ruleLock,
+	Doc:  "no mutex held across channel send/receive, select, Wait, or Sleep",
+	Run:  runLockCheck,
+}
+
+type heldLock struct {
+	recv string
+	pos  token.Pos
+}
+
+func runLockCheck(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if isTestFile(f.Path) {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanLockStmts(p, fn.Body.List, nil, &out)
+				}
+			case *ast.FuncLit:
+				scanLockStmts(p, fn.Body.List, nil, &out)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockKind classifies a call as acquiring or releasing a lock.
+type lockKind int
+
+const (
+	notLock lockKind = iota
+	acquires
+	releases
+)
+
+func lockCall(e ast.Expr) (recv string, kind lockKind) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", notLock
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", notLock
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(sel.X), acquires
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), releases
+	}
+	return "", notLock
+}
+
+func dropLock(held []heldLock, recv string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].recv == recv {
+			return append(append([]heldLock{}, held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// scanLockStmts walks one statement list in order, tracking which locks
+// are held, recursing into nested blocks with a copy of the current state.
+func scanLockStmts(p *Pass, stmts []ast.Stmt, held []heldLock, out *[]Finding) {
+	held = append([]heldLock{}, held...)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			recv, kind := lockCall(st.X)
+			if kind == acquires {
+				held = append(held, heldLock{recv: recv, pos: st.Pos()})
+				continue
+			}
+			if kind == releases {
+				held = dropLock(held, recv)
+				continue
+			}
+			checkBlockingOps(p, st, held, out)
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held for the remainder of
+			// this list; a deferred anything-else runs after the lock
+			// region we can reason about, so it is not scanned.
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold the caller's lock.
+		case *ast.LabeledStmt:
+			scanLockStmts(p, []ast.Stmt{st.Stmt}, held, out)
+		case *ast.BlockStmt:
+			scanLockStmts(p, st.List, held, out)
+		case *ast.IfStmt:
+			checkBlockingExpr(p, st.Init, held, out)
+			checkBlockingExpr(p, st.Cond, held, out)
+			scanLockStmts(p, st.Body.List, held, out)
+			if st.Else != nil {
+				scanLockStmts(p, []ast.Stmt{st.Else}, held, out)
+			}
+		case *ast.ForStmt:
+			checkBlockingExpr(p, st.Init, held, out)
+			checkBlockingExpr(p, st.Cond, held, out)
+			checkBlockingExpr(p, st.Post, held, out)
+			scanLockStmts(p, st.Body.List, held, out)
+		case *ast.RangeStmt:
+			checkBlockingExpr(p, st.X, held, out)
+			scanLockStmts(p, st.Body.List, held, out)
+		case *ast.SwitchStmt:
+			checkBlockingExpr(p, st.Init, held, out)
+			checkBlockingExpr(p, st.Tag, held, out)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockStmts(p, cc.Body, held, out)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockStmts(p, cc.Body, held, out)
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				h := held[len(held)-1]
+				*out = append(*out, Finding{
+					Pos:  p.Fset.Position(st.Pos()),
+					Rule: ruleLock,
+					Msg: "select while holding " + h.recv +
+						" (locked at line " + strconv.Itoa(p.Fset.Position(h.pos).Line) + "); release before blocking",
+				})
+			}
+		default:
+			checkBlockingOps(p, s, held, out)
+		}
+	}
+}
+
+func checkBlockingExpr(p *Pass, n ast.Node, held []heldLock, out *[]Finding) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	checkBlockingOps(p, n, held, out)
+}
+
+// checkBlockingOps inspects a simple statement or expression for
+// operations that can block, skipping nested function literals.
+func checkBlockingOps(p *Pass, n ast.Node, held []heldLock, out *[]Finding) {
+	if len(held) == 0 {
+		return
+	}
+	h := held[len(held)-1]
+	report := func(pos token.Pos, what string) {
+		*out = append(*out, Finding{
+			Pos:  p.Fset.Position(pos),
+			Rule: ruleLock,
+			Msg: what + " while holding " + h.recv +
+				" (locked at line " + strconv.Itoa(p.Fset.Position(h.pos).Line) + "); release before blocking",
+		})
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch v := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(v.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(v.Pos(), "select")
+			return false
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Wait":
+					report(v.Pos(), exprString(sel.X)+".Wait()")
+				case "Sleep":
+					report(v.Pos(), exprString(sel.X)+".Sleep()")
+				}
+			}
+		}
+		return true
+	})
+}

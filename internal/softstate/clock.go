@@ -62,7 +62,7 @@ func (c *FakeClock) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	at := c.now.Add(d)
 	if d <= 0 {
-		ch <- c.now
+		ch <- c.now //mdslint:ignore lockcheck send on buffered chan, cap 1, freshly made: cannot block
 		return ch
 	}
 	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
