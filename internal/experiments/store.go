@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+)
+
+func init() {
+	register("store", "store data plane: indexed Find vs full scan across directory sizes and query shapes", runStore)
+}
+
+// runStore measures the directory data plane directly: it loads stores of
+// increasing size and times representative query shapes through the
+// indexed Find against the retained linear-scan reference, reporting
+// per-query latency and the speedup. This reproduces the regime of the
+// MDS2 performance studies (query cost growing with directory size) and
+// shows the indexed plane holding flat.
+func runStore(w io.Writer) error {
+	tab := metrics.NewTable(
+		"store — indexed data plane vs linear scan (per-query latency)",
+		"entries", "query", "indexed", "scan", "speedup")
+
+	for _, n := range []int{1_000, 10_000} {
+		s := ldap.NewStore()
+		if err := s.Put(ldap.NewEntry(ldap.MustParseDN("o=grid")).
+			Add("objectclass", "organization")); err != nil {
+			return err
+		}
+		classes := []string{"computer", "storage", "network"}
+		entries := make([]*ldap.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			entries = append(entries, ldap.NewEntry(
+				ldap.MustParseDN(fmt.Sprintf("hn=h%d, ou=g%d, o=grid", i, i%16))).
+				Add("objectclass", classes[i%len(classes)]).
+				Add("hn", fmt.Sprintf("h%d", i)).
+				Add("load", fmt.Sprintf("%d", i%20)))
+		}
+		if err := s.PutAll(entries); err != nil {
+			return err
+		}
+
+		base := ldap.MustParseDN("o=grid")
+		group := ldap.MustParseDN("ou=g3, o=grid")
+		queries := []struct {
+			name   string
+			base   ldap.DN
+			scope  ldap.Scope
+			filter string
+		}{
+			{"equality", base, ldap.ScopeWholeSubtree, fmt.Sprintf("(hn=h%d)", n/2)},
+			{"and", base, ldap.ScopeWholeSubtree, fmt.Sprintf("(&(objectclass=computer)(hn=h%d))", n/3*3)},
+			{"one-level", group, ldap.ScopeSingleLevel, ""},
+			{"presence", base, ldap.ScopeWholeSubtree, "(hn=*)"},
+		}
+		// all is the flat corpus the pre-index Find effectively walked;
+		// the scan column reproduces its per-entry scope+filter test.
+		all := s.All()
+		for _, q := range queries {
+			var f *ldap.Filter
+			if q.filter != "" {
+				f = ldap.MustParseFilter(q.filter)
+			}
+			indexed := timePerQuery(func() { s.Find(q.base, q.scope, f) })
+			scan := timePerQuery(func() {
+				var out []*ldap.Entry
+				for _, e := range all {
+					if !e.DN.WithinScope(q.base, q.scope) {
+						continue
+					}
+					if f != nil && !f.Matches(e) {
+						continue
+					}
+					out = append(out, e)
+				}
+				ldap.SortEntries(out)
+			})
+			speedup := "-"
+			if indexed > 0 {
+				speedup = fmt.Sprintf("%.1fx", float64(scan)/float64(indexed))
+			}
+			tab.AddRow(n, q.name, indexed.Round(time.Microsecond/10),
+				scan.Round(time.Microsecond/10), speedup)
+		}
+	}
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}
+
+// timePerQuery runs fn repeatedly for a short fixed budget and returns the
+// mean latency.
+func timePerQuery(fn func()) time.Duration {
+	const budget = 100 * time.Millisecond
+	// Warm up once so lazily-built state doesn't skew the first sample.
+	fn()
+	var runs int
+	start := time.Now()
+	for time.Since(start) < budget {
+		fn()
+		runs++
+	}
+	return time.Since(start) / time.Duration(runs)
+}

@@ -120,6 +120,13 @@ type Server struct {
 	pool   map[string]*poolEntry
 	closed bool
 
+	// childMu guards the parsed child-set cache, rebuilt only when the
+	// registry version moves (registrations churn far slower than queries).
+	childMu    sync.Mutex
+	childCache []Child
+	childVer   uint64
+	childOK    bool
+
 	// Stats
 	Registrations metrics.Counter // accepted GRRP messages
 	Searches      metrics.Counter
@@ -197,8 +204,28 @@ func (s *Server) HandleDatagram(_ string, payload []byte) {
 	s.Ingest(m)
 }
 
-// Children returns the live child set, sorted by service URL.
+// Children returns the live child set, sorted by service URL. The parsed
+// set is cached against the registry version, so steady-state searches
+// reuse it instead of re-parsing every registration; the returned slice is
+// shared and must be treated as read-only.
 func (s *Server) Children() []Child {
+	ver := s.receiver.Registry.Version()
+	s.childMu.Lock()
+	if s.childOK && s.childVer == ver {
+		out := s.childCache
+		s.childMu.Unlock()
+		return out
+	}
+	s.childMu.Unlock()
+	out := s.buildChildren()
+	s.childMu.Lock()
+	s.childCache, s.childVer, s.childOK = out, ver, true
+	s.childMu.Unlock()
+	return out
+}
+
+// buildChildren parses the live registry into the sorted child set.
+func (s *Server) buildChildren() []Child {
 	items := s.receiver.Registry.Live()
 	out := make([]Child, 0, len(items))
 	for _, it := range items {
@@ -496,11 +523,12 @@ func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.Search
 
 	// Serve local entries (self + name index) that fall in the region.
 	sent := int64(0)
+	cf := op.Filter.Compile()
 	sendLocal := func(e *ldap.Entry) error {
 		if !e.DN.WithinScope(base, op.Scope) {
 			return nil
 		}
-		if op.Filter != nil && !op.Filter.Matches(e) {
+		if !cf.Matches(e) {
 			return nil
 		}
 		if op.SizeLimit > 0 && sent >= op.SizeLimit {

@@ -217,7 +217,9 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 	partial := false
 	// Filter before sorting: the index holds every child's full subtree,
 	// and sorting the (usually small) matching subset is far cheaper than
-	// sorting the corpus.
+	// sorting the corpus. The filter compiles once per search so the
+	// per-entry match over the whole corpus stays allocation-free.
+	cf := ctx.Op.Filter.Compile()
 	var matched []*ldap.Entry
 	for _, child := range ctx.Children {
 		entries, err := c.childEntries(child, now)
@@ -229,7 +231,7 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 			if !e.DN.WithinScope(ctx.Base, ctx.Op.Scope) {
 				continue
 			}
-			if ctx.Op.Filter != nil && !ctx.Op.Filter.Matches(e) {
+			if !cf.Matches(e) {
 				continue
 			}
 			matched = append(matched, e)

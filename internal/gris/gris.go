@@ -331,6 +331,9 @@ func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
 
 	var out []*ldap.Entry
 	partial := false
+	// Compile once per query: cached backends return supersets that are
+	// re-filtered per entry here, so the per-entry match must not re-fold.
+	cf := q.Filter.Compile()
 	for _, b := range backends {
 		if !regionsIntersect(q.Base, q.Scope, b.Suffix()) {
 			continue
@@ -353,7 +356,7 @@ func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
 			if !e.DN.WithinScope(q.Base, q.Scope) {
 				continue
 			}
-			if q.Filter != nil && !q.Filter.Matches(e) {
+			if !cf.Matches(e) {
 				continue
 			}
 			out = append(out, e)

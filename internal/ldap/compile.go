@@ -1,0 +1,142 @@
+package ldap
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Compiled is a pre-normalized evaluation plan for a Filter. Compiling once
+// per query (not per entry) hoists every per-evaluation allocation out of
+// the hot path: attribute names and values are case-folded up front for
+// index lookups, ordering constants are parsed numerically once, and the
+// match itself runs through the allocation-free fold helpers. A Compiled
+// filter is immutable and safe for concurrent use.
+//
+// A nil *Compiled, like a nil *Filter, matches every entry.
+type Compiled struct {
+	kind FilterKind
+	subs []*Compiled
+
+	attrFold  string // folded attribute name: equality/presence index key
+	valueFold string // folded assertion value: equality index key
+
+	valueNum   float64 // pre-parsed ordering constant for GE/LE
+	valueIsNum bool
+
+	src *Filter
+}
+
+// Compile builds the evaluation plan for f. Compiling a nil filter returns
+// nil, which Matches treats as match-all, so callers can compile
+// unconditionally. The source filter must not be mutated afterwards.
+func (f *Filter) Compile() *Compiled {
+	if f == nil {
+		return nil
+	}
+	c := &Compiled{kind: f.Kind, src: f}
+	switch f.Kind {
+	case FilterAnd, FilterOr, FilterNot:
+		c.subs = make([]*Compiled, len(f.Subs))
+		for i, sub := range f.Subs {
+			c.subs[i] = sub.Compile()
+		}
+	case FilterGE, FilterLE:
+		c.attrFold = foldKey(f.Attr)
+		c.valueFold = foldKey(f.Value)
+		if looksNumeric(f.Value) {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(f.Value), 64); err == nil {
+				c.valueNum, c.valueIsNum = v, true
+			}
+		}
+	default:
+		c.attrFold = foldKey(f.Attr)
+		c.valueFold = foldKey(f.Value)
+	}
+	return c
+}
+
+// Source returns the filter this plan was compiled from (nil for nil).
+func (c *Compiled) Source() *Filter {
+	if c == nil {
+		return nil
+	}
+	return c.src
+}
+
+// Matches evaluates the compiled filter against an entry without
+// allocating. A nil receiver matches everything.
+func (c *Compiled) Matches(e *Entry) bool {
+	if c == nil {
+		return true
+	}
+	switch c.kind {
+	case FilterAnd:
+		for _, sub := range c.subs {
+			if !sub.Matches(e) {
+				return false
+			}
+		}
+		return true
+	case FilterOr:
+		for _, sub := range c.subs {
+			if sub.Matches(e) {
+				return true
+			}
+		}
+		return false
+	case FilterNot:
+		return !c.subs[0].Matches(e)
+	case FilterPresent:
+		return e.Has(c.src.Attr)
+	case FilterEquality:
+		return e.HasValue(c.src.Attr, c.src.Value)
+	case FilterApprox:
+		for _, v := range e.Values(c.src.Attr) {
+			if squashFoldEqual(v, c.src.Value) {
+				return true
+			}
+		}
+		return false
+	case FilterGE:
+		for _, v := range e.Values(c.src.Attr) {
+			if c.orderCompare(v) >= 0 {
+				return true
+			}
+		}
+		return false
+	case FilterLE:
+		for _, v := range e.Values(c.src.Attr) {
+			if c.orderCompare(v) <= 0 {
+				return true
+			}
+		}
+		return false
+	case FilterSubstrings:
+		for _, v := range e.Values(c.src.Attr) {
+			if matchSubstringFold(v, c.src.Initial, c.src.Any, c.src.Final) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// orderCompare compares an entry value against the compiled ordering
+// constant: numerically when both sides parse, fold-lexicographically
+// otherwise — the same relation as the uncompiled orderCompare, with the
+// constant's parse hoisted to compile time.
+func (c *Compiled) orderCompare(v string) int {
+	if c.valueIsNum && looksNumeric(v) {
+		if fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+			switch {
+			case fv < c.valueNum:
+				return -1
+			case fv > c.valueNum:
+				return 1
+			}
+			return 0
+		}
+	}
+	return foldCompare(v, c.src.Value)
+}

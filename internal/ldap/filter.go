@@ -370,9 +370,8 @@ func (f *Filter) Matches(e *Entry) bool {
 		// Approximate match: case-insensitive equality ignoring interior
 		// whitespace — a deliberately simple stand-in for soundex-style
 		// matching that is deterministic for tests.
-		want := squash(f.Value)
 		for _, v := range e.Values(f.Attr) {
-			if squash(v) == want {
+			if squashFoldEqual(v, f.Value) {
 				return true
 			}
 		}
@@ -403,45 +402,49 @@ func (f *Filter) Matches(e *Entry) bool {
 }
 
 func (f *Filter) matchSubstring(v string) bool {
-	lv := strings.ToLower(v)
-	if f.Initial != "" {
-		ini := strings.ToLower(f.Initial)
-		if !strings.HasPrefix(lv, ini) {
+	return matchSubstringFold(v, f.Initial, f.Any, f.Final)
+}
+
+// matchSubstringFold anchors initial at the start, locates each middle
+// fragment left to right, and anchors final at the end, all under
+// allocation-free case folding. It is the single substring-match
+// implementation shared by compiled and uncompiled evaluation.
+func matchSubstringFold(v, initial string, any []string, final string) bool {
+	if initial != "" {
+		n := foldConsume(v, initial)
+		if n < 0 {
 			return false
 		}
-		lv = lv[len(ini):]
+		v = v[n:]
 	}
-	for _, a := range f.Any {
-		la := strings.ToLower(a)
-		idx := strings.Index(lv, la)
-		if idx < 0 {
+	for _, a := range any {
+		n := foldSkipPast(v, a)
+		if n < 0 {
 			return false
 		}
-		lv = lv[idx+len(la):]
+		v = v[n:]
 	}
-	if f.Final != "" {
-		return strings.HasSuffix(lv, strings.ToLower(f.Final))
+	if final != "" {
+		return foldHasSuffix(v, final)
 	}
 	return true
 }
 
-func squash(s string) string {
-	return strings.ToLower(strings.Join(strings.Fields(s), ""))
-}
-
 func orderCompare(a, b string) int {
-	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
-	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
-	if errA == nil && errB == nil {
-		switch {
-		case fa < fb:
-			return -1
-		case fa > fb:
-			return 1
+	if looksNumeric(a) && looksNumeric(b) {
+		fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if errA == nil && errB == nil {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			}
+			return 0
 		}
-		return 0
 	}
-	return strings.Compare(strings.ToLower(a), strings.ToLower(b))
+	return foldCompare(a, b)
 }
 
 // Attributes returns the set of attribute names the filter references, used

@@ -3,6 +3,7 @@ package ldap
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -11,23 +12,80 @@ import (
 // notification, usable directly as a server Handler. It backs the MDS-1
 // style centralized baseline and the test suites; GRIS and GIIS implement
 // their own Handlers with provider dispatch and soft-state indices.
+//
+// The data plane is indexed and copy-on-write:
+//
+//   - A DN tree (parent→children) makes scoped reads walk only the
+//     relevant subtree instead of testing every entry in the store.
+//   - Equality and presence indexes over folded attribute names and values
+//     let Find derive a candidate set from indexable filter shapes
+//     (equality and presence leaves, intersected through AND, unioned
+//     through OR) instead of scanning.
+//   - Stored entries are immutable snapshots: every mutation installs a
+//     fresh entry (Put and Modify copy), so Find, Get-free paths, and
+//     change notification hand out the stored pointer without cloning.
+//     Callers MUST NOT mutate entries returned by Find or delivered in
+//     ChangeEvents; use Clone first. Get still returns a private copy.
 type Store struct {
 	// Schema, when non-nil, validates entries on Add.
 	Schema *Schema
 
-	mu      sync.RWMutex
-	entries map[string]*Entry // normalized DN -> entry
+	mu    sync.RWMutex
+	root  *node            // DN-tree root (the empty DN)
+	nodes map[string]*node // normalized DN -> node (incl. phantom interiors)
+	count int              // nodes holding an entry
+
+	// eq indexes folded attr -> folded value -> nodes carrying that value;
+	// pres indexes folded attr -> nodes carrying the attribute. Both are
+	// maintained incrementally by every mutation.
+	eq   map[string]map[string]nodeSet
+	pres map[string]nodeSet
+
 	watches map[*watch]struct{}
+}
+
+// node is one position in the DN tree. Interior positions whose DN has no
+// entry of its own (a "phantom" node, e.g. the parent of the only entry)
+// carry entry == nil and exist purely to connect the tree.
+type node struct {
+	key      string // normalized DN
+	depth    int    // number of RDN components
+	parent   *node
+	children map[string]*node // child normalized DN -> node
+	entry    *Entry           // immutable snapshot; nil for phantom nodes
+}
+
+type nodeSet map[*node]struct{}
+
+// inScope reports whether n falls inside the search region rooted at base,
+// using tree pointers only — no DN normalization on the read path.
+func (n *node) inScope(base *node, scope Scope) bool {
+	switch scope {
+	case ScopeBaseObject:
+		return n == base
+	case ScopeSingleLevel:
+		return n.parent == base
+	case ScopeWholeSubtree:
+		p := n
+		for p != nil && p.depth > base.depth {
+			p = p.parent
+		}
+		return p == base
+	}
+	return false
 }
 
 type watch struct {
 	base   DN
 	scope  Scope
 	filter *Filter
+	cf     *Compiled
 	ch     chan ChangeEvent
 }
 
-// ChangeEvent describes one mutation, delivered to subscribers.
+// ChangeEvent describes one mutation, delivered to subscribers. The Entry
+// is the store's immutable snapshot — for deletes, the entry exactly as it
+// stood before removal — shared with the store; treat it as read-only.
 type ChangeEvent struct {
 	Type  int64 // ChangeAdd, ChangeDelete, ChangeModify
 	Entry *Entry
@@ -35,28 +93,136 @@ type ChangeEvent struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{entries: map[string]*Entry{}, watches: map[*watch]struct{}{}}
+	root := &node{key: ""}
+	return &Store{
+		root:    root,
+		nodes:   map[string]*node{"": root},
+		eq:      map[string]map[string]nodeSet{},
+		pres:    map[string]nodeSet{},
+		watches: map[*watch]struct{}{},
+	}
 }
 
 // Len returns the number of entries.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.entries)
+	return s.count
 }
 
 // Get returns a copy of the entry with the given DN.
 func (s *Store) Get(dn DN) (*Entry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e, ok := s.entries[dn.Normalize()]
-	if !ok {
+	n := s.nodes[dn.Normalize()]
+	if n == nil || n.entry == nil {
 		return nil, false
 	}
-	return e.Clone(), true
+	return n.entry.Clone(), true
 }
 
-// Put inserts or replaces an entry, notifying subscribers.
+// ensureNodeLocked returns the tree node for dn, creating it and any
+// missing ancestors on the way down from the root.
+func (s *Store) ensureNodeLocked(dn DN) *node {
+	n := s.root
+	for i := len(dn) - 1; i >= 0; i-- {
+		key := DN(dn[i:]).Normalize()
+		child := n.children[key]
+		if child == nil {
+			child = &node{key: key, depth: len(dn) - i, parent: n}
+			if n.children == nil {
+				n.children = map[string]*node{}
+			}
+			n.children[key] = child
+			s.nodes[key] = child
+		}
+		n = child
+	}
+	return n
+}
+
+// pruneLocked removes n and any newly childless ancestors that hold no
+// entry, so the tree never accumulates dead phantom chains.
+func (s *Store) pruneLocked(n *node) {
+	for n != s.root && n.entry == nil && len(n.children) == 0 {
+		p := n.parent
+		delete(p.children, n.key)
+		delete(s.nodes, n.key)
+		n = p
+	}
+}
+
+func (s *Store) indexLocked(n *node) {
+	for _, a := range n.entry.Attrs {
+		af := foldKey(a.Name)
+		ps := s.pres[af]
+		if ps == nil {
+			ps = nodeSet{}
+			s.pres[af] = ps
+		}
+		ps[n] = struct{}{}
+		vm := s.eq[af]
+		if vm == nil {
+			vm = map[string]nodeSet{}
+			s.eq[af] = vm
+		}
+		for _, v := range a.Values {
+			vf := foldKey(v)
+			vs := vm[vf]
+			if vs == nil {
+				vs = nodeSet{}
+				vm[vf] = vs
+			}
+			vs[n] = struct{}{}
+		}
+	}
+}
+
+func (s *Store) unindexLocked(n *node) {
+	for _, a := range n.entry.Attrs {
+		af := foldKey(a.Name)
+		if ps := s.pres[af]; ps != nil {
+			delete(ps, n)
+			if len(ps) == 0 {
+				delete(s.pres, af)
+			}
+		}
+		vm := s.eq[af]
+		if vm == nil {
+			continue
+		}
+		for _, v := range a.Values {
+			vf := foldKey(v)
+			if vs := vm[vf]; vs != nil {
+				delete(vs, n)
+				if len(vs) == 0 {
+					delete(vm, vf)
+				}
+			}
+		}
+		if len(vm) == 0 {
+			delete(s.eq, af)
+		}
+	}
+}
+
+// putLocked installs cp (already cloned, never mutated afterwards) at its
+// node, maintaining the indexes, and reports whether a prior entry existed.
+func (s *Store) putLocked(cp *Entry) bool {
+	n := s.ensureNodeLocked(cp.DN)
+	existed := n.entry != nil
+	if existed {
+		s.unindexLocked(n)
+	} else {
+		s.count++
+	}
+	n.entry = cp
+	s.indexLocked(n)
+	return existed
+}
+
+// Put inserts or replaces an entry, notifying subscribers. The entry is
+// copied; the caller keeps ownership of e.
 func (s *Store) Put(e *Entry) error {
 	if s.Schema != nil {
 		if err := s.Schema.Validate(e); err != nil {
@@ -64,11 +230,34 @@ func (s *Store) Put(e *Entry) error {
 		}
 	}
 	cp := e.Clone()
-	key := cp.DN.Normalize()
 	s.mu.Lock()
-	_, existed := s.entries[key]
-	s.entries[key] = cp
+	existed := s.putLocked(cp)
 	s.notifyLocked(existed, cp)
+	s.mu.Unlock()
+	return nil
+}
+
+// PutAll inserts or replaces a batch of entries under a single lock
+// acquisition — the bulk path used by MDS-1 style pushers, which re-upload
+// a resource's complete description every interval. Schema validation
+// happens up front; on error nothing is applied.
+func (s *Store) PutAll(entries []*Entry) error {
+	if s.Schema != nil {
+		for _, e := range entries {
+			if err := s.Schema.Validate(e); err != nil {
+				return err
+			}
+		}
+	}
+	cps := make([]*Entry, len(entries))
+	for i, e := range entries {
+		cps[i] = e.Clone()
+	}
+	s.mu.Lock()
+	for _, cp := range cps {
+		existed := s.putLocked(cp)
+		s.notifyLocked(existed, cp)
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -83,48 +272,77 @@ func (s *Store) notifyLocked(existed bool, e *Entry) {
 	}
 }
 
+// deliverLocked forwards one change event to a subscriber. Scope applies to
+// every change type; the filter applies to adds and modifies but not
+// deletes (a delete is observable even when the final state no longer
+// matches — soft-state subscribers need to unlearn the entry). The entry is
+// the store's immutable snapshot, delivered without cloning; for deletes it
+// is the pre-delete state.
 func (s *Store) deliverLocked(w *watch, ev ChangeEvent) {
 	if !ev.Entry.DN.WithinScope(w.base, w.scope) {
 		return
 	}
-	if w.filter != nil && ev.Type != ChangeDelete && !w.filter.Matches(ev.Entry) {
+	if ev.Type != ChangeDelete && !w.cf.Matches(ev.Entry) {
 		return
 	}
 	select {
-	case w.ch <- ChangeEvent{Type: ev.Type, Entry: ev.Entry.Clone()}:
+	case w.ch <- ev:
 	default:
 		// Subscriber too slow: drop rather than block the mutator. Soft
 		// state means a subsequent refresh re-delivers current truth.
 	}
 }
 
+// removeLocked detaches n's entry, maintaining indexes and pruning the
+// tree, and returns the removed snapshot.
+func (s *Store) removeLocked(n *node) *Entry {
+	e := n.entry
+	s.unindexLocked(n)
+	n.entry = nil
+	s.count--
+	s.pruneLocked(n)
+	return e
+}
+
 // Remove deletes the entry with the given DN, reporting whether it existed.
 func (s *Store) Remove(dn DN) bool {
-	key := dn.Normalize()
 	s.mu.Lock()
-	e, ok := s.entries[key]
-	if ok {
-		delete(s.entries, key)
-		for w := range s.watches {
-			s.deliverLocked(w, ChangeEvent{Type: ChangeDelete, Entry: e})
-		}
+	n := s.nodes[dn.Normalize()]
+	if n == nil || n.entry == nil {
+		s.mu.Unlock()
+		return false
+	}
+	e := s.removeLocked(n)
+	for w := range s.watches {
+		s.deliverLocked(w, ChangeEvent{Type: ChangeDelete, Entry: e})
 	}
 	s.mu.Unlock()
-	return ok
+	return true
 }
 
 // RemoveSubtree deletes an entry and all its descendants, returning the
-// number removed.
+// number removed. Deletions are delivered parents-first in DN order.
 func (s *Store) RemoveSubtree(dn DN) int {
 	s.mu.Lock()
-	var doomed []*Entry
-	for _, e := range s.entries {
-		if e.DN.Equal(dn) || e.DN.IsDescendantOf(dn) {
-			doomed = append(doomed, e)
+	bn := s.nodes[dn.Normalize()]
+	if bn == nil {
+		s.mu.Unlock()
+		return 0
+	}
+	var doomed []*node
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.entry != nil {
+			doomed = append(doomed, n)
+		}
+		for _, c := range n.children {
+			walk(c)
 		}
 	}
-	for _, e := range doomed {
-		delete(s.entries, e.DN.Normalize())
+	walk(bn)
+	sortNodes(doomed)
+	for _, n := range doomed {
+		e := s.removeLocked(n)
 		for w := range s.watches {
 			s.deliverLocked(w, ChangeEvent{Type: ChangeDelete, Entry: e})
 		}
@@ -133,19 +351,181 @@ func (s *Store) RemoveSubtree(dn DN) int {
 	return len(doomed)
 }
 
-// Find returns copies of entries within scope of base matching filter.
-// A nil filter matches everything.
+// Find returns the entries within scope of base matching filter, in
+// (depth, DN) order. A nil filter matches everything. The returned entries
+// are the store's immutable snapshots — do not mutate them.
 func (s *Store) Find(base DN, scope Scope, filter *Filter) []*Entry {
+	out, _ := s.FindLimit(base, scope, filter, 0)
+	return out
+}
+
+// FindLimit is Find with an early-terminating size limit: once limit
+// matches (in result order) have been collected the walk stops, and the
+// second result reports whether at least one further match was cut off —
+// the Search handler's SizeLimitExceeded signal. A limit <= 0 means
+// unlimited.
+func (s *Store) FindLimit(base DN, scope Scope, filter *Filter, limit int64) ([]*Entry, bool) {
+	cf := filter.Compile()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bn := s.nodes[base.Normalize()]
+	if bn == nil {
+		return nil, false
+	}
+	if cands, ok := s.candidatesLocked(cf); ok {
+		return collectCandidates(cands, bn, scope, cf, limit)
+	}
+	return walkScope(bn, scope, cf, limit)
+}
+
+// candidatesLocked derives a candidate node set from the indexable shape
+// of the filter: equality and presence leaves read their index bucket
+// directly, AND picks the smallest candidate set among its indexable
+// conjuncts (a superset of the conjunction), OR unions its children when
+// all of them are indexable. ok=false means the filter has no indexable
+// handle and the caller must fall back to the scoped tree walk. Candidates
+// are always re-verified against the full filter.
+func (s *Store) candidatesLocked(c *Compiled) (nodeSet, bool) {
+	if c == nil {
+		return nil, false
+	}
+	switch c.kind {
+	case FilterEquality:
+		return s.eq[c.attrFold][c.valueFold], true
+	case FilterPresent:
+		return s.pres[c.attrFold], true
+	case FilterAnd:
+		var best nodeSet
+		found := false
+		for _, sub := range c.subs {
+			if set, ok := s.candidatesLocked(sub); ok {
+				if !found || len(set) < len(best) {
+					best, found = set, true
+				}
+			}
+		}
+		return best, found
+	case FilterOr:
+		union := nodeSet{}
+		for _, sub := range c.subs {
+			set, ok := s.candidatesLocked(sub)
+			if !ok {
+				return nil, false
+			}
+			for n := range set {
+				union[n] = struct{}{}
+			}
+		}
+		return union, true
+	}
+	return nil, false
+}
+
+// collectCandidates verifies an index-derived candidate set against scope
+// and the full filter, then orders and truncates it. Candidate sets are
+// small by construction, so sort-then-truncate here is cheap.
+func collectCandidates(cands nodeSet, bn *node, scope Scope, cf *Compiled, limit int64) ([]*Entry, bool) {
+	matched := make([]*node, 0, len(cands))
+	for n := range cands {
+		if n.entry == nil || !n.inScope(bn, scope) || !cf.Matches(n.entry) {
+			continue
+		}
+		matched = append(matched, n)
+	}
+	sortNodes(matched)
+	truncated := false
+	if limit > 0 && int64(len(matched)) > limit {
+		matched, truncated = matched[:limit], true
+	}
+	out := make([]*Entry, len(matched))
+	for i, n := range matched {
+		out[i] = n.entry
+	}
+	return out, truncated
+}
+
+// walkScope answers a non-indexable query by walking only the tree region
+// the scope can reach, level by level with each level in key order — which
+// emits matches in exactly SortEntries order, so an early size-limit cut
+// returns the same prefix a full sort would have.
+func walkScope(bn *node, scope Scope, cf *Compiled, limit int64) ([]*Entry, bool) {
+	var out []*Entry
+	add := func(n *node) bool { // false: the limit cut the walk
+		if n.entry == nil || !cf.Matches(n.entry) {
+			return true
+		}
+		if limit > 0 && int64(len(out)) >= limit {
+			return false
+		}
+		out = append(out, n.entry)
+		return true
+	}
+	switch scope {
+	case ScopeBaseObject:
+		return out, !add(bn)
+	case ScopeSingleLevel:
+		for _, c := range sortedChildren(bn) {
+			if !add(c) {
+				return out, true
+			}
+		}
+	case ScopeWholeSubtree:
+		level := []*node{bn}
+		for len(level) > 0 {
+			for _, n := range level {
+				if !add(n) {
+					return out, true
+				}
+			}
+			var next []*node
+			for _, n := range level {
+				for _, c := range n.children {
+					next = append(next, c)
+				}
+			}
+			sortNodes(next) // one level deep: orders by key
+			level = next
+		}
+	}
+	return out, false
+}
+
+func sortedChildren(n *node) []*node {
+	out := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sortNodes(out)
+	return out
+}
+
+// sortNodes orders nodes by (depth, normalized DN) — the SortEntries
+// ordering, computed from precomputed node keys without re-normalizing.
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].depth != ns[j].depth {
+			return ns[i].depth < ns[j].depth
+		}
+		return ns[i].key < ns[j].key
+	})
+}
+
+// findScan is the pre-index linear scan over every entry, kept in-tree as
+// the differential reference: the property tests assert Find ≡ findScan on
+// randomized stores, and BenchmarkStoreFind measures the scan→index win
+// against it.
+func (s *Store) findScan(base DN, scope Scope, filter *Filter) []*Entry {
 	s.mu.RLock()
 	var out []*Entry
-	for _, e := range s.entries {
-		if !e.DN.WithinScope(base, scope) {
+	for _, n := range s.nodes {
+		e := n.entry
+		if e == nil || !e.DN.WithinScope(base, scope) {
 			continue
 		}
 		if filter != nil && !filter.Matches(e) {
 			continue
 		}
-		out = append(out, e.Clone())
+		out = append(out, e)
 	}
 	s.mu.RUnlock()
 	SortEntries(out)
@@ -157,9 +537,11 @@ func (s *Store) All() []*Entry { return s.Find(DN{}, ScopeWholeSubtree, nil) }
 
 // Subscribe registers for change events within scope of base matching
 // filter until ctx is cancelled. Events are delivered best-effort: a slow
-// consumer loses events rather than blocking writers.
+// consumer loses events rather than blocking writers. Delivered entries
+// are shared immutable snapshots; clone before mutating.
 func (s *Store) Subscribe(ctx context.Context, base DN, scope Scope, filter *Filter) <-chan ChangeEvent {
-	w := &watch{base: base, scope: scope, filter: filter, ch: make(chan ChangeEvent, 128)}
+	w := &watch{base: base, scope: scope, filter: filter, cf: filter.Compile(),
+		ch: make(chan ChangeEvent, 128)}
 	s.mu.Lock()
 	s.watches[w] = struct{}{}
 	s.mu.Unlock()
@@ -187,7 +569,9 @@ func (s *Store) Bind(_ *Request, op *BindRequest) *BindResponse {
 
 // Search implements Handler, including persistent-search subscription:
 // with the persistent-search control attached the call blocks streaming
-// change notifications until the operation is abandoned.
+// change notifications until the operation is abandoned. The size limit is
+// plumbed into FindLimit so the walk terminates as soon as the limit is
+// reached instead of materializing the full result set.
 func (s *Store) Search(req *Request, op *SearchRequest, w SearchWriter) Result {
 	base, err := ParseDN(op.BaseDN)
 	if err != nil {
@@ -195,14 +579,14 @@ func (s *Store) Search(req *Request, op *SearchRequest, w SearchWriter) Result {
 	}
 	psCtl, isPS := FindControl(req.Controls, OIDPersistentSearch)
 	if !isPS {
-		entries := s.Find(base, op.Scope, op.Filter)
-		for i, e := range entries {
-			if op.SizeLimit > 0 && int64(i) >= op.SizeLimit {
-				return Result{Code: ResultSizeLimitExceeded}
-			}
+		entries, truncated := s.FindLimit(base, op.Scope, op.Filter, op.SizeLimit)
+		for _, e := range entries {
 			if err := w.SendEntry(e.Select(op.Attributes)); err != nil {
 				return Result{Code: ResultUnavailable, Message: err.Error()}
 			}
+		}
+		if truncated {
+			return Result{Code: ResultSizeLimitExceeded}
 		}
 		return Result{Code: ResultSuccess}
 	}
@@ -244,9 +628,9 @@ func (s *Store) Search(req *Request, op *SearchRequest, w SearchWriter) Result {
 
 // Add implements Handler.
 func (s *Store) Add(_ *Request, op *AddRequest) Result {
-	key := op.Entry.DN.Normalize()
 	s.mu.RLock()
-	_, exists := s.entries[key]
+	n := s.nodes[op.Entry.DN.Normalize()]
+	exists := n != nil && n.entry != nil
 	s.mu.RUnlock()
 	if exists {
 		return Result{Code: ResultEntryAlreadyExists, MatchedDN: op.Entry.DN.String()}
@@ -269,18 +653,21 @@ func (s *Store) Delete(_ *Request, op *DelRequest) Result {
 	return Result{Code: ResultSuccess}
 }
 
-// Modify implements Handler.
+// Modify implements Handler. Under copy-on-write the stored entry is never
+// edited in place: the changes apply to a private copy that then replaces
+// the snapshot (and its index postings) atomically.
 func (s *Store) Modify(_ *Request, op *ModifyRequest) Result {
 	dn, err := ParseDN(op.DN)
 	if err != nil {
 		return Result{Code: ResultProtocolError, Message: err.Error()}
 	}
 	s.mu.Lock()
-	e, ok := s.entries[dn.Normalize()]
-	if !ok {
+	n := s.nodes[dn.Normalize()]
+	if n == nil || n.entry == nil {
 		s.mu.Unlock()
 		return Result{Code: ResultNoSuchObject, MatchedDN: op.DN}
 	}
+	e := n.entry.Clone()
 	for _, ch := range op.Changes {
 		switch ch.Op {
 		case ModAdd:
@@ -315,6 +702,9 @@ func (s *Store) Modify(_ *Request, op *ModifyRequest) Result {
 			return Result{Code: ResultProtocolError, Message: fmt.Sprintf("bad modify op %d", ch.Op)}
 		}
 	}
+	s.unindexLocked(n)
+	n.entry = e
+	s.indexLocked(n)
 	for w := range s.watches {
 		s.deliverLocked(w, ChangeEvent{Type: ChangeModify, Entry: e})
 	}

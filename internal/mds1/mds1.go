@@ -47,13 +47,16 @@ func (c *Central) Handler() ldap.Handler { return c.Store }
 // Each entry is stamped with its upload time so staleness is measurable.
 func (c *Central) Apply(suffix ldap.DN, entries []*ldap.Entry) error {
 	now := c.clock.Now()
-	c.Store.RemoveSubtree(suffix)
-	for _, e := range entries {
+	stamp := now.UTC().Format(time.RFC3339Nano)
+	stamped := make([]*ldap.Entry, len(entries))
+	for i, e := range entries {
 		cp := e.Clone()
-		cp.Set("pushedat", now.UTC().Format(time.RFC3339Nano))
-		if err := c.Store.Put(cp); err != nil {
-			return err
-		}
+		cp.Set("pushedat", stamp)
+		stamped[i] = cp
+	}
+	c.Store.RemoveSubtree(suffix)
+	if err := c.Store.PutAll(stamped); err != nil {
+		return err
 	}
 	c.Updates.Inc()
 	c.EntriesPushed.Add(int64(len(entries)))

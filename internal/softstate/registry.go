@@ -66,6 +66,10 @@ type Registry struct {
 	items   map[string]*Item
 	subs    map[int]chan Event
 	nextSub int
+	// version counts membership/content mutations; live caches the sorted
+	// Live() snapshot until the next mutation invalidates it.
+	version uint64
+	live    []Item
 	// sweepGen invalidates scheduled sweeps that have been superseded;
 	// sweepAt is when the currently scheduled sweep fires (zero: none).
 	sweepGen uint64
@@ -105,6 +109,7 @@ func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
 	it.Payload = payload
 	it.ExpiresAt = now.Add(ttl)
 	it.Refreshes++
+	r.bumpLocked()
 	typ := EventRefreshed
 	if joined {
 		typ = EventJoined
@@ -127,6 +132,7 @@ func (r *Registry) Remove(key string) bool {
 		return false
 	}
 	delete(r.items, key)
+	r.bumpLocked()
 	r.notifyLocked(Event{Key: key, Type: EventRemoved, Payload: it.Payload, At: now})
 	return true
 }
@@ -144,18 +150,42 @@ func (r *Registry) Get(key string) (Item, bool) {
 	return *it, true
 }
 
-// Live returns a snapshot of all unexpired items, sorted by key.
+// Live returns a snapshot of all unexpired items, sorted by key. The slice
+// is cached and shared between calls until the next mutation; callers must
+// treat it as read-only.
 func (r *Registry) Live() []Item {
 	now := r.clock.Now()
 	r.mu.Lock()
 	r.expireLocked(now)
-	out := make([]Item, 0, len(r.items))
-	for _, it := range r.items {
-		out = append(out, *it)
+	if r.live == nil {
+		out := make([]Item, 0, len(r.items))
+		for _, it := range r.items {
+			out = append(out, *it)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		r.live = out
 	}
+	out := r.live
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// Version returns a counter that advances on every membership or payload
+// mutation (refresh, removal, expiry). Callers deriving data structures
+// from Live() can use it as a cheap cache-invalidation key.
+func (r *Registry) Version() uint64 {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	return r.version
+}
+
+// bumpLocked records a mutation: it advances the version and drops the
+// cached Live snapshot.
+func (r *Registry) bumpLocked() {
+	r.version++
+	r.live = nil
 }
 
 // Len returns the number of live entries.
@@ -232,6 +262,7 @@ func (r *Registry) expireLocked(now time.Time) []string {
 	for _, key := range expired {
 		it := r.items[key]
 		delete(r.items, key)
+		r.bumpLocked()
 		r.notifyLocked(Event{Key: key, Type: EventExpired, Payload: it.Payload, At: now})
 	}
 	return expired
