@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"mds2/internal/experiments"
 )
@@ -24,6 +25,12 @@ func main() {
 		all  = flag.Bool("all", false, "run every experiment")
 		list = flag.Bool("list", false, "list experiments")
 	)
+	flag.IntVar(&experiments.WireOptions.Entries,
+		"wire-entries", 0, "wire experiment: entries per topology (0 = default sweep)")
+	flag.IntVar(&experiments.WireOptions.Concurrency,
+		"wire-conc", 0, "wire experiment: concurrent clients (0 = default sweep)")
+	flag.DurationVar(&experiments.WireOptions.Duration,
+		"wire-duration", time.Second, "wire experiment: measurement window per cell")
 	flag.Parse()
 
 	switch {

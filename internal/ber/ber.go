@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unsafe"
 )
 
 // Class is the 2-bit tag class of a BER identifier octet.
@@ -80,6 +81,12 @@ type Packet struct {
 	Tag         uint32
 	Value       []byte    // contents when !Constructed
 	Children    []*Packet // contents when Constructed
+	// viewOK marks a packet decoded from a buffer the decoder owns outright
+	// (ReadPacket): Str may then return a zero-copy view of Value, since the
+	// backing array is immutable for as long as any view keeps it alive.
+	// Packets decoded from caller-reused buffers (Decode, ReadPacketBuf)
+	// leave it false and Str copies.
+	viewOK bool
 }
 
 // NewSequence returns an empty universal SEQUENCE.
@@ -171,8 +178,15 @@ func (p *Packet) Int64() (int64, error) {
 	return ParseInt64(p.Value)
 }
 
-// Str returns the primitive contents as a string.
-func (p *Packet) Str() string { return string(p.Value) }
+// Str returns the primitive contents as a string. For packets decoded by
+// ReadPacket the string is a zero-copy view into the decoder-owned frame
+// buffer; otherwise it is a copy.
+func (p *Packet) Str() string {
+	if p.viewOK && len(p.Value) > 0 {
+		return unsafe.String(&p.Value[0], len(p.Value))
+	}
+	return string(p.Value)
+}
 
 // String renders a compact diagnostic form of the element tree.
 func (p *Packet) String() string {
@@ -242,18 +256,22 @@ func appendPacket(dst []byte, p *Packet) []byte {
 }
 
 func appendIdentifier(dst []byte, p *Packet) []byte {
-	first := byte(p.Class) << 6
-	if p.Constructed {
+	return appendTag(dst, p.Class, p.Constructed, p.Tag)
+}
+
+func appendTag(dst []byte, class Class, constructed bool, tag uint32) []byte {
+	first := byte(class) << 6
+	if constructed {
 		first |= 0x20
 	}
-	if p.Tag < 0x1f {
-		return append(dst, first|byte(p.Tag))
+	if tag < 0x1f {
+		return append(dst, first|byte(tag))
 	}
 	dst = append(dst, first|0x1f)
 	// High-tag-number form: base-128, most significant group first.
 	var groups [5]byte
 	n := 0
-	for t := p.Tag; ; t >>= 7 {
+	for t := tag; ; t >>= 7 {
 		groups[n] = byte(t & 0x7f)
 		n++
 		if t < 0x80 {
@@ -286,12 +304,37 @@ func appendLength(dst []byte, n int) []byte {
 // Decode parses exactly one element from the front of b, returning the
 // element and any remaining bytes.
 func Decode(b []byte) (*Packet, []byte, error) {
-	return decode(b, 0)
+	var d decoder
+	return d.decode(b, 0)
 }
 
 // DecodeFull parses exactly one element that must consume all of b.
 func DecodeFull(b []byte) (*Packet, error) {
-	p, rest, err := decode(b, 0)
+	var d decoder
+	return d.decodeFull(b)
+}
+
+// decoder carries per-message decode state: a chunked arena so one frame's
+// worth of Packet nodes costs a handful of allocations instead of one per
+// element, and the ownership flag propagated onto every node. Arena chunks
+// are never reallocated, so node pointers stay stable.
+type decoder struct {
+	arena  []Packet
+	viewOK bool
+}
+
+func (d *decoder) node() *Packet {
+	if len(d.arena) == 0 {
+		d.arena = make([]Packet, 32)
+	}
+	p := &d.arena[0]
+	d.arena = d.arena[1:]
+	p.viewOK = d.viewOK
+	return p
+}
+
+func (d *decoder) decodeFull(b []byte) (*Packet, error) {
+	p, rest, err := d.decode(b, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -301,11 +344,11 @@ func DecodeFull(b []byte) (*Packet, error) {
 	return p, nil
 }
 
-func decode(b []byte, depth int) (*Packet, []byte, error) {
+func (d *decoder) decode(b []byte, depth int) (*Packet, []byte, error) {
 	if depth > MaxDepth {
 		return nil, nil, ErrTooDeep
 	}
-	p := &Packet{}
+	p := d.node()
 	rest, err := parseIdentifier(b, p)
 	if err != nil {
 		return nil, nil, err
@@ -324,7 +367,7 @@ func decode(b []byte, depth int) (*Packet, []byte, error) {
 	}
 	for len(contents) > 0 {
 		var child *Packet
-		child, contents, err = decode(contents, depth+1)
+		child, contents, err = d.decode(contents, depth+1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -398,65 +441,117 @@ func parseLength(b []byte) (int, []byte, error) {
 	return length, b[n:], nil
 }
 
-// ReadPacket reads exactly one BER element from r, as required to frame
-// LDAP messages on a stream connection. It tolerates long-form lengths but
-// rejects indefinite ones.
-func ReadPacket(r io.Reader) (*Packet, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// readFrameHeader reads the identifier and length octets of one element
+// into hdr (a small stack buffer) and returns the header bytes and the
+// contents length. Reads go through the caller's (typically buffered)
+// reader one field at a time — length-prefix framing, no byte-at-a-time
+// scan of the body.
+func readFrameHeader(r io.Reader, hdr []byte) ([]byte, int, error) {
+	hdr = hdr[:0]
+	var one [1]byte
+	readByte := func() (byte, error) {
+		if br, ok := r.(io.ByteReader); ok {
+			return br.ReadByte()
+		}
+		_, err := io.ReadFull(r, one[:])
+		return one[0], err
 	}
-	buf := append(make([]byte, 0, 64), hdr[0], hdr[1])
-	// Finish reading the identifier if it uses the high-tag-number form.
-	idx := 1
-	if hdr[0]&0x1f == 0x1f {
-		for buf[idx]&0x80 != 0 {
-			var c [1]byte
-			if _, err := io.ReadFull(r, c[:]); err != nil {
-				return nil, err
+	first, err := readByte()
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr = append(hdr, first)
+	// Finish the identifier if it uses the high-tag-number form.
+	if first&0x1f == 0x1f {
+		for {
+			c, err := readByte()
+			if err != nil {
+				return nil, 0, err
 			}
-			buf = append(buf, c[0])
-			idx++
-			if idx > 6 {
-				return nil, ErrBadTag
+			hdr = append(hdr, c)
+			if len(hdr) > 6 {
+				return nil, 0, ErrBadTag
+			}
+			if c&0x80 == 0 {
+				break
 			}
 		}
-		var c [1]byte
-		if _, err := io.ReadFull(r, c[:]); err != nil {
-			return nil, err
-		}
-		buf = append(buf, c[0])
-		idx++
 	}
-	// buf[idx] is the first length octet.
-	lenOctet := buf[idx]
+	lenOctet, err := readByte()
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr = append(hdr, lenOctet)
 	length := 0
 	switch {
 	case lenOctet < 0x80:
 		length = int(lenOctet)
 	case lenOctet == 0x80:
-		return nil, ErrIndefinite
+		return nil, 0, ErrIndefinite
 	default:
 		n := int(lenOctet & 0x7f)
 		if n > 4 {
-			return nil, ErrTooLarge
+			return nil, 0, ErrTooLarge
 		}
-		ext := make([]byte, n)
-		if _, err := io.ReadFull(r, ext); err != nil {
-			return nil, err
-		}
-		buf = append(buf, ext...)
-		for _, c := range ext {
+		for i := 0; i < n; i++ {
+			c, err := readByte()
+			if err != nil {
+				return nil, 0, err
+			}
+			hdr = append(hdr, c)
 			length = length<<8 | int(c)
 		}
 	}
 	if length > MaxElementSize {
-		return nil, ErrTooLarge
+		return nil, 0, ErrTooLarge
 	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(r, body); err != nil {
+	return hdr, length, nil
+}
+
+// ReadPacket reads exactly one BER element from r, as required to frame
+// LDAP messages on a stream connection. It tolerates long-form lengths but
+// rejects indefinite ones. The frame buffer is allocated once at its exact
+// size and owned by the returned Packet, so Str may hand out zero-copy
+// views into it.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdrArr [12]byte
+	hdr, length, err := readFrameHeader(r, hdrArr[:0])
+	if err != nil {
 		return nil, err
 	}
-	buf = append(buf, body...)
-	return DecodeFull(buf)
+	buf := make([]byte, len(hdr)+length)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[len(hdr):]); err != nil {
+		return nil, err
+	}
+	d := decoder{viewOK: true}
+	return d.decodeFull(buf)
+}
+
+// ReadPacketBuf is ReadPacket with a caller-reused frame buffer: the
+// element is framed into buf (grown as needed) and the possibly-grown
+// buffer is returned for the next call. The returned Packet and everything
+// reachable from it alias buf, so the caller must be completely done with
+// the previous Packet — including copying out any []byte or Str values it
+// intends to keep — before calling again. Server read loops use this to
+// decode a long request stream with no per-message frame allocation.
+func ReadPacketBuf(r io.Reader, buf []byte) (*Packet, []byte, error) {
+	var hdrArr [12]byte
+	hdr, length, err := readFrameHeader(r, hdrArr[:0])
+	if err != nil {
+		return nil, buf, err
+	}
+	total := len(hdr) + length
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	} else {
+		buf = buf[:total]
+	}
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[len(hdr):]); err != nil {
+		return nil, buf, err
+	}
+	var d decoder
+	p, err := d.decodeFull(buf)
+	return p, buf, err
 }

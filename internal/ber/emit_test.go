@@ -1,0 +1,258 @@
+package ber
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// build runs fn against a fresh Builder and returns the encoding.
+func build(fn func(*Builder)) []byte {
+	var b Builder
+	b.Reset(nil)
+	fn(&b)
+	return b.Bytes()
+}
+
+func TestBuilderMatchesMarshalPrimitives(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *Packet
+		emit func(*Builder)
+	}{
+		{"int zero", NewInteger(0), func(b *Builder) { b.Int(0) }},
+		{"int small", NewInteger(42), func(b *Builder) { b.Int(42) }},
+		{"int byte boundary", NewInteger(127), func(b *Builder) { b.Int(127) }},
+		{"int two octets", NewInteger(128), func(b *Builder) { b.Int(128) }},
+		{"int large", NewInteger(1 << 40), func(b *Builder) { b.Int(1 << 40) }},
+		{"int negative", NewInteger(-1), func(b *Builder) { b.Int(-1) }},
+		{"int neg boundary", NewInteger(-128), func(b *Builder) { b.Int(-128) }},
+		{"int neg two octets", NewInteger(-129), func(b *Builder) { b.Int(-129) }},
+		{"enum", NewEnumerated(4), func(b *Builder) { b.Enum(4) }},
+		{"bool true", NewBoolean(true), func(b *Builder) { b.Bool(true) }},
+		{"bool false", NewBoolean(false), func(b *Builder) { b.Bool(false) }},
+		{"null", NewNull(), func(b *Builder) { b.Null() }},
+		{"octet empty", NewOctetString(""), func(b *Builder) { b.OctetString("") }},
+		{"octet short", NewOctetString("o=grid"), func(b *Builder) { b.OctetString("o=grid") }},
+		{"octet long form", NewOctetString(strings.Repeat("a", 200)),
+			func(b *Builder) { b.OctetString(strings.Repeat("a", 200)) }},
+		{"octet two length octets", NewOctetString(strings.Repeat("a", 300)),
+			func(b *Builder) { b.OctetString(strings.Repeat("a", 300)) }},
+		{"context string", NewContextString(7, "creds"), func(b *Builder) { b.ContextString(7, "creds") }},
+		{"high tag", &Packet{Class: ClassContext, Tag: 1000, Value: []byte("hi")},
+			func(b *Builder) { b.Primitive(ClassContext, 1000, []byte("hi")) }},
+		{"implicit int", &Packet{Class: ClassApplication, Tag: 16, Value: AppendInt64(nil, 300)},
+			func(b *Builder) { b.PrimitiveInt(ClassApplication, 16, 300) }},
+	}
+	for _, tc := range cases {
+		want := Marshal(tc.tree)
+		got := build(tc.emit)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: builder % x != marshal % x", tc.name, got, want)
+		}
+	}
+}
+
+// TestBuilderEndBackPatch covers the length back-patch across the
+// short-form/long-form boundary, including bodies needing 2 and 3 length
+// octets (the shift-right path).
+func TestBuilderEndBackPatch(t *testing.T) {
+	for _, n := range []int{0, 1, 125, 126, 127, 128, 129, 255, 256, 1000, 65535, 65536, 100000} {
+		body := strings.Repeat("b", n)
+		want := Marshal(NewSequence().Append(NewOctetString(body)))
+		got := build(func(b *Builder) {
+			b.Begin(ClassUniversal, TagSequence)
+			b.OctetString(body)
+			b.End()
+		})
+		if !bytes.Equal(got, want) {
+			t.Errorf("body %d: builder encoding diverges from marshal (%d vs %d bytes)",
+				n, len(got), len(want))
+		}
+	}
+}
+
+func TestBuilderNested(t *testing.T) {
+	inner := strings.Repeat("deep", 50) // inner body > 128: nested back-patch
+	want := Marshal(NewSequence().Append(
+		NewInteger(7),
+		NewConstructed(ClassApplication, 3).Append(
+			NewOctetString("o=grid"),
+			NewSequence().Append(NewOctetString(inner)),
+			NewContextString(0, "ctx"),
+		),
+		NewBoolean(true),
+	))
+	got := build(func(b *Builder) {
+		b.Begin(ClassUniversal, TagSequence)
+		b.Int(7)
+		b.Begin(ClassApplication, 3)
+		b.OctetString("o=grid")
+		b.Begin(ClassUniversal, TagSequence)
+		b.OctetString(inner)
+		b.End()
+		b.ContextString(0, "ctx")
+		b.End()
+		b.Bool(true)
+		b.End()
+	})
+	if !bytes.Equal(got, want) {
+		t.Errorf("nested builder encoding diverges:\n got  % x\n want % x", got, want)
+	}
+}
+
+// TestBuilderBeginPrimitive checks incremental primitive assembly
+// (RawString/RawBytes) against the one-shot encoder, across the long-form
+// length boundary.
+func TestBuilderBeginPrimitive(t *testing.T) {
+	pieces := []string{"hn=host", "X", ", ", "o=grid", strings.Repeat(".", 150)}
+	whole := strings.Join(pieces, "")
+	want := Marshal(NewOctetString(whole))
+	got := build(func(b *Builder) {
+		b.BeginPrimitive(ClassUniversal, TagOctetString)
+		for _, p := range pieces {
+			b.RawString(p)
+		}
+		b.End()
+	})
+	if !bytes.Equal(got, want) {
+		t.Errorf("incremental primitive diverges:\n got  % x\n want % x", got, want)
+	}
+	got = build(func(b *Builder) {
+		b.BeginPrimitive(ClassUniversal, TagOctetString)
+		b.RawBytes([]byte(whole))
+		b.End()
+	})
+	if !bytes.Equal(got, want) {
+		t.Errorf("RawBytes primitive diverges from marshal")
+	}
+}
+
+func TestBuilderPacketBridge(t *testing.T) {
+	tree := NewSequence().Append(
+		NewInteger(99),
+		NewConstructed(ClassContext, 0).Append(NewOctetString("bridged")),
+	)
+	want := Marshal(NewSequence().Append(NewInteger(1), tree))
+	got := build(func(b *Builder) {
+		b.Begin(ClassUniversal, TagSequence)
+		b.Int(1)
+		b.Packet(tree)
+		b.End()
+	})
+	if !bytes.Equal(got, want) {
+		t.Errorf("Packet bridge diverges:\n got  % x\n want % x", got, want)
+	}
+}
+
+func TestBuilderResetReusesBuffer(t *testing.T) {
+	var b Builder
+	b.Reset(make([]byte, 0, 256))
+	b.Begin(ClassUniversal, TagSequence)
+	b.OctetString("first")
+	b.End()
+	first := append([]byte(nil), b.Bytes()...)
+	buf := b.Bytes()
+	b.Reset(buf[:0])
+	b.Begin(ClassUniversal, TagSequence)
+	b.OctetString("first")
+	b.End()
+	if !bytes.Equal(first, b.Bytes()) {
+		t.Error("re-encoding after Reset changed the output")
+	}
+	if &buf[0] != &b.Bytes()[0] {
+		t.Error("Reset did not reuse the supplied buffer")
+	}
+}
+
+// TestReadPacketBufReuse verifies the server-side framing contract: the
+// frame buffer is recycled across messages once it has grown to the stream's
+// working size, and each decode is correct despite the reuse.
+func TestReadPacketBufReuse(t *testing.T) {
+	var stream []byte
+	const n = 8
+	for i := 0; i < n; i++ {
+		stream = Append(stream, NewSequence().Append(
+			NewInteger(int64(i)),
+			NewOctetString(strings.Repeat("v", 64)),
+		))
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	var lastCap int
+	for i := 0; i < n; i++ {
+		var p *Packet
+		var err error
+		p, buf, err = ReadPacketBuf(r, buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		got, err := p.Child(0).Int64()
+		if err != nil || got != int64(i) {
+			t.Fatalf("message %d: decoded id %d, err %v", i, got, err)
+		}
+		if s := p.Child(1).Str(); s != strings.Repeat("v", 64) {
+			t.Fatalf("message %d: bad payload %q", i, s)
+		}
+		if i > 0 && cap(buf) != lastCap {
+			t.Fatalf("message %d: frame buffer reallocated (cap %d -> %d) for equal-size frames",
+				i, lastCap, cap(buf))
+		}
+		lastCap = cap(buf)
+	}
+}
+
+// TestReadPacketBufCopiesStrings pins the safety half of the reuse
+// contract: Str on a reused-buffer packet must copy, so values survive the
+// next frame overwriting the buffer.
+func TestReadPacketBufCopiesStrings(t *testing.T) {
+	var stream []byte
+	stream = Append(stream, NewSequence().Append(NewOctetString("payload-one")))
+	stream = Append(stream, NewSequence().Append(NewOctetString("payload-two!")))
+	r := bytes.NewReader(stream)
+	p1, buf, err := ReadPacketBuf(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := p1.Child(0).Str()
+	if _, _, err := ReadPacketBuf(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if s1 != "payload-one" {
+		t.Errorf("string from reused buffer corrupted by next frame: %q", s1)
+	}
+}
+
+// TestReadPacketStrView checks the zero-copy side: packets from ReadPacket
+// own their frame and Str returns the right contents.
+func TestReadPacketStrView(t *testing.T) {
+	enc := Marshal(NewSequence().Append(NewOctetString("zero-copy"), NewOctetString("")))
+	p, err := ReadPacket(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Child(0).Str(); s != "zero-copy" {
+		t.Errorf("Str on owned frame: %q", s)
+	}
+	if s := p.Child(1).Str(); s != "" {
+		t.Errorf("Str on empty value: %q", s)
+	}
+}
+
+func BenchmarkBuilderSequence(b *testing.B) {
+	b.ReportAllocs()
+	var bld Builder
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		bld.Reset(buf[:0])
+		bld.Begin(ClassUniversal, TagSequence)
+		bld.Int(7)
+		bld.OctetString("hn=hostX, o=grid")
+		bld.Begin(ClassUniversal, TagSequence)
+		bld.OctetString("objectclass")
+		bld.OctetString("computer")
+		bld.End()
+		bld.End()
+		buf = bld.Bytes()
+	}
+}

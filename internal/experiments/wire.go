@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"mds2/internal/giis"
+	"mds2/internal/grip"
+	"mds2/internal/grrp"
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+	"mds2/internal/metrics"
+)
+
+func init() {
+	register("wire", "wire path: end-to-end GRIP throughput over real TCP — streamed GRIS searches and 2-level GIIS chaining", runWire)
+}
+
+// WireOptions tunes the wire experiment; cmd/mdsbench exposes them as
+// flags. Zero values select the default sweep.
+var WireOptions = struct {
+	// Entries fixes the per-leaf entry count (0 sweeps defaults).
+	Entries int
+	// Concurrency fixes the concurrent client count (0 sweeps defaults).
+	Concurrency int
+	// Duration is the measurement window per cell.
+	Duration time.Duration
+}{Duration: time.Second}
+
+// corpusBackend serves a fixed pre-built entry set: the wire experiment
+// measures serialization and syscalls, so the provider itself must be free.
+type corpusBackend struct {
+	suffix  ldap.DN
+	entries []*ldap.Entry
+}
+
+func (b *corpusBackend) Name() string                            { return "corpus" }
+func (b *corpusBackend) Suffix() ldap.DN                         { return b.suffix }
+func (b *corpusBackend) Attributes() []string                    { return nil }
+func (b *corpusBackend) CacheTTL() time.Duration                 { return time.Hour }
+func (b *corpusBackend) Entries(*gris.Query) ([]*ldap.Entry, error) { return b.entries, nil }
+
+// wireEntries builds n host-shaped entries under suffix, sized like real
+// GRIS output (half a dozen attributes, short values).
+func wireEntries(suffix ldap.DN, n int) []*ldap.Entry {
+	out := make([]*ldap.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ldap.NewEntry(suffix.ChildAVA("hn", fmt.Sprintf("h%d", i))).
+			Add("objectclass", "computer").
+			Add("hn", fmt.Sprintf("h%d", i)).
+			Add("system", "linux redhat").
+			Add("cpucount", "4").
+			Add("memsize", "2048").
+			Add("load5", fmt.Sprintf("%d.%d", i%4, i%10)))
+	}
+	return out
+}
+
+// startWireGRIS serves a corpus-backed GRIS over loopback TCP.
+func startWireGRIS(suffix ldap.DN, entries []*ldap.Entry) (string, func(), error) {
+	g := gris.New(gris.Config{Suffix: suffix})
+	g.Register(&corpusBackend{suffix: suffix, entries: entries})
+	srv := ldap.NewServer(g)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// startWireGIIS serves a chaining GIIS over loopback TCP with the given
+// children registered (childSuffix[i] served at childAddr[i]).
+func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
+	childSuffixes []ldap.DN, childType string) (string, func(), error) {
+
+	d := giis.New(giis.Config{
+		Name:   name,
+		Suffix: suffix,
+	})
+	now := time.Now()
+	for i, addr := range childAddrs {
+		msg := &grrp.Message{
+			Type:       grrp.TypeRegister,
+			ServiceURL: "ldap://" + addr,
+			MDSType:    childType,
+			SuffixDN:   childSuffixes[i].String(),
+			IssuedAt:   now,
+			ValidUntil: now.Add(time.Hour),
+		}
+		if !d.Ingest(msg) {
+			d.Close()
+			return "", nil, fmt.Errorf("wire: %s refused registration of %s", name, addr)
+		}
+	}
+	srv := ldap.NewServer(d)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	stop := func() {
+		srv.Close()
+		d.Close()
+	}
+	return l.Addr().String(), stop, nil
+}
+
+type wireCell struct {
+	queries  int64
+	entries  int64
+	allocs   int64 // mallocs per query, process-wide (client+server share it)
+	p50, p99 time.Duration
+}
+
+// measureWire drives the service at addr with concurrent streamed
+// whole-subtree searches for the configured window and reports throughput.
+// Every query must stream exactly expect entries; a mismatch fails the
+// experiment rather than reporting nonsense numbers.
+func measureWire(addr string, base ldap.DN, filter string, clients int,
+	window time.Duration, expect int) (wireCell, error) {
+
+	conns := make([]*grip.Client, clients)
+	for i := range conns {
+		c, err := grip.Dial(addr)
+		if err != nil {
+			return wireCell{}, err
+		}
+		defer c.Close()
+		c.SetTimeout(time.Minute)
+		conns[i] = c
+	}
+	countQuery := func(c *grip.Client) (int, error) {
+		n := 0
+		err := c.SearchStream(base, filter, func(*ldap.Entry) error {
+			n++
+			return nil
+		})
+		return n, err
+	}
+	// Warmup: prime provider caches, GIIS child sets, and connection pools,
+	// and verify the topology streams the expected result set.
+	for _, c := range conns {
+		n, err := countQuery(c)
+		if err != nil {
+			return wireCell{}, err
+		}
+		if n != expect {
+			return wireCell{}, fmt.Errorf("wire: warmup streamed %d entries, want %d", n, expect)
+		}
+	}
+
+	var (
+		hist    metrics.Histogram
+		queries metrics.Counter
+		entries metrics.Counter
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+		failMu  sync.Mutex
+		failErr error
+	)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *grip.Client) {
+			defer wg.Done()
+			<-start
+			deadline := time.Now().Add(window)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				n, err := countQuery(c)
+				if err != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					failMu.Unlock()
+					return
+				}
+				hist.Observe(time.Since(t0))
+				queries.Inc()
+				entries.Add(int64(n))
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if failErr != nil {
+		return wireCell{}, failErr
+	}
+	q := queries.Value()
+	if q == 0 {
+		return wireCell{}, fmt.Errorf("wire: no queries completed in %v", window)
+	}
+	p50, _ := hist.Quantile(0.50)
+	p99, _ := hist.Quantile(0.99)
+	return wireCell{
+		queries: q,
+		entries: entries.Value(),
+		allocs:  int64(after.Mallocs-before.Mallocs) / q,
+		p50:     p50,
+		p99:     p99,
+	}, nil
+}
+
+func runWire(w io.Writer) error {
+	window := WireOptions.Duration
+	if window <= 0 {
+		window = time.Second
+	}
+	entrySweep := []int{100, 1000}
+	if WireOptions.Entries > 0 {
+		entrySweep = []int{WireOptions.Entries}
+	}
+	concSweep := []int{1, 8, 32}
+	if WireOptions.Concurrency > 0 {
+		concSweep = []int{WireOptions.Concurrency}
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("wire — end-to-end GRIP throughput over loopback TCP (%v per cell; allocs are process-wide: client+server)", window),
+		"topology", "entries/query", "clients", "queries/s", "entries/s", "allocs/query", "p50", "p99")
+	addRow := func(topology string, perQuery, clients int, cell wireCell) {
+		secs := window.Seconds()
+		tab.AddRow(topology, perQuery, clients,
+			fmt.Sprintf("%.0f", float64(cell.queries)/secs),
+			fmt.Sprintf("%.0f", float64(cell.entries)/secs),
+			cell.allocs,
+			cell.p50.Round(10*time.Microsecond),
+			cell.p99.Round(10*time.Microsecond))
+	}
+
+	// Streamed-search workload: one GRIS, whole result set per query.
+	for _, n := range entrySweep {
+		suffix := ldap.MustParseDN("ou=s0, o=grid")
+		addr, stop, err := startWireGRIS(suffix, wireEntries(suffix, n))
+		if err != nil {
+			return err
+		}
+		for _, clients := range concSweep {
+			cell, err := measureWire(addr, suffix, "(objectclass=computer)", clients, window, n)
+			if err != nil {
+				stop()
+				return err
+			}
+			addRow("gris-stream", n, clients, cell)
+		}
+		stop()
+	}
+
+	// 2-level GIIS chaining: top GIIS -> 2 mid GIIS -> 4 GRIS leaves; every
+	// query fans out and the entries cross three wire hops.
+	const leaves = 4
+	for _, n := range entrySweep {
+		perLeaf := n / leaves
+		base := ldap.MustParseDN("o=grid")
+		var stops []func()
+		stopAll := func() {
+			for i := len(stops) - 1; i >= 0; i-- {
+				stops[i]()
+			}
+		}
+		leafAddrs := make([]string, leaves)
+		leafSuffixes := make([]ldap.DN, leaves)
+		for i := 0; i < leaves; i++ {
+			suffix := ldap.MustParseDN(fmt.Sprintf("ou=s%d, o=grid", i))
+			addr, stop, err := startWireGRIS(suffix, wireEntries(suffix, perLeaf))
+			if err != nil {
+				stopAll()
+				return err
+			}
+			stops = append(stops, stop)
+			leafAddrs[i] = addr
+			leafSuffixes[i] = suffix
+		}
+		midAddrs := make([]string, 2)
+		for i := 0; i < 2; i++ {
+			addr, stop, err := startWireGIIS(fmt.Sprintf("giis.mid%d", i), base,
+				leafAddrs[i*2:i*2+2], leafSuffixes[i*2:i*2+2], "gris")
+			if err != nil {
+				stopAll()
+				return err
+			}
+			stops = append(stops, stop)
+			midAddrs[i] = addr
+		}
+		topAddr, stopTop, err := startWireGIIS("giis.top", base,
+			midAddrs, []ldap.DN{base, base}, "giis")
+		if err != nil {
+			stopAll()
+			return err
+		}
+		stops = append(stops, stopTop)
+		for _, clients := range concSweep {
+			cell, err := measureWire(topAddr, base, "(objectclass=computer)", clients, window, perLeaf*leaves)
+			if err != nil {
+				stopAll()
+				return err
+			}
+			addRow("giis-2level", perLeaf*leaves, clients, cell)
+		}
+		stopAll()
+	}
+
+	_, err := fmt.Fprintln(w, tab)
+	return err
+}

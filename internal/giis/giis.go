@@ -409,15 +409,15 @@ func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*ldap.Entry, 0, len(res.Entries))
+	// Entries decoded off this search are exclusively ours — nothing else
+	// holds a reference — so the DN graft happens in place instead of deep
+	// cloning every entry (which dominated chain cost on large result sets).
 	for _, e := range res.Entries {
-		ve := e.Clone()
 		if rel, ok := e.DN.RelativeTo(child.Suffix); ok {
-			ve.DN = rel.Under(child.ViewSuffix)
+			e.DN = rel.Under(child.ViewSuffix)
 		}
-		out = append(out, ve)
 	}
-	return out, nil
+	return res.Entries, nil
 }
 
 // translateRegion maps a search region in the GIIS view into the child's

@@ -130,6 +130,29 @@ func (g *Client) Search(base ldap.DN, filter string, attrs ...string) ([]*ldap.E
 	return res.Entries, nil
 }
 
+// SearchStream is GRIP discovery without result buffering: each matching
+// entry is handed to fn as it arrives off the wire, so arbitrarily large
+// result sets stream in constant client memory. fn runs on the receive
+// goroutine; returning an error abandons the search and propagates.
+func (g *Client) SearchStream(base ldap.DN, filter string, fn func(*ldap.Entry) error) error {
+	f, err := ldap.ParseFilter(filter)
+	if err != nil {
+		return err
+	}
+	var done ldap.Result
+	err = g.c.SearchFunc(context.Background(), &ldap.SearchRequest{
+		BaseDN: base.String(),
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: f,
+	}, nil, func(e *ldap.Entry, _ []ldap.Control) error {
+		return fn(e)
+	}, nil, &done)
+	if err != nil {
+		return err
+	}
+	return done.Err()
+}
+
 // SearchLimited is Search with a server-side size limit; it returns
 // whatever arrived when the limit was hit.
 func (g *Client) SearchLimited(base ldap.DN, filter string, limit int64) ([]*ldap.Entry, error) {

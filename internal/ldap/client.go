@@ -1,14 +1,17 @@
 package ldap
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
 
 	"mds2/internal/ber"
+	"mds2/internal/metrics"
 	"mds2/internal/softstate"
 )
 
@@ -17,20 +20,38 @@ import (
 // path used by aggregate directories, brokers, and end users alike.
 type Client struct {
 	conn net.Conn
+	w    *connWriter
 
-	writeMu sync.Mutex
+	mu            sync.Mutex
+	nextID        int64
+	pending       map[int64]*pendingOp
+	err           error // terminal connection error
+	closed        bool
+	loggedUnknown bool
 
-	mu      sync.Mutex
-	nextID  int64
-	pending map[int64]chan *Message
-	err     error // terminal connection error
-	closed  bool
+	// UnknownResponses counts responses whose message ID matched no pending
+	// operation — a protocol desync, or a reply that arrived after its
+	// caller timed out or abandoned. The first occurrence is also logged to
+	// ErrorLog, so desyncs are observable instead of silently dropped.
+	UnknownResponses metrics.Counter
+	// ErrorLog receives client-side protocol warnings; nil discards them.
+	ErrorLog *log.Logger
 
 	// Timeout bounds each synchronous round trip (zero means no limit).
 	Timeout time.Duration
 	// Clock supplies the timeout timer so FakeClock tests drive operation
 	// deadlines deterministically; nil means the wall clock.
 	Clock softstate.Clock
+}
+
+// pendingOp routes responses for one in-flight operation. gone is closed
+// when the caller unregisters (completion, timeout, abandon) or the
+// connection fails: the read loop selects on it so a response for a
+// departed caller can never wedge on a full channel, and waiters use it as
+// the connection-failure signal.
+type pendingOp struct {
+	ch   chan *Message
+	gone chan struct{}
 }
 
 // ErrClientClosed reports use of a closed client.
@@ -47,15 +68,17 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established connection (TCP or simulated pipe).
 func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, nextID: 1, pending: map[int64]chan *Message{},
+	c := &Client{conn: conn, w: newConnWriter(conn, nil), nextID: 1,
+		pending: map[int64]*pendingOp{},
 		Timeout: 30 * time.Second, Clock: softstate.RealClock{}}
 	go c.readLoop()
 	return c
 }
 
 func (c *Client) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 4<<10)
 	for {
-		pkt, err := ber.ReadPacket(c.conn)
+		pkt, err := ber.ReadPacket(r)
 		if err != nil {
 			c.fail(err)
 			return
@@ -66,23 +89,46 @@ func (c *Client) readLoop() {
 			return
 		}
 		c.mu.Lock()
-		ch := c.pending[msg.ID]
+		op := c.pending[msg.ID]
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- msg
+		if op == nil {
+			c.noteUnknown(msg.ID)
+			continue
 		}
+		select {
+		case op.ch <- msg:
+		case <-op.gone:
+			// The caller left between the map lookup and the send.
+			c.noteUnknown(msg.ID)
+		}
+	}
+}
+
+// noteUnknown records a response that had no pending operation to route to.
+func (c *Client) noteUnknown(id int64) {
+	c.UnknownResponses.Inc()
+	c.mu.Lock()
+	logged := c.loggedUnknown
+	c.loggedUnknown = true
+	c.mu.Unlock()
+	if !logged && c.ErrorLog != nil {
+		c.ErrorLog.Printf("ldap: client: dropping response for unknown message ID %d (further drops counted, not logged)", id)
 	}
 }
 
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
 	}
-	for id, ch := range c.pending {
-		close(ch)
+	ops := make([]*pendingOp, 0, len(c.pending))
+	for id, op := range c.pending {
+		ops = append(ops, op)
 		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	for _, op := range ops {
+		close(op.gone)
 	}
 }
 
@@ -97,6 +143,7 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	// Best-effort polite unbind; the connection close is authoritative.
 	c.write(&Message{ID: c.allocID(), Op: &UnbindRequest{}})
+	c.w.close()
 	err := c.conn.Close()
 	c.fail(ErrClientClosed)
 	return err
@@ -110,7 +157,7 @@ func (c *Client) allocID() int64 {
 	return id
 }
 
-func (c *Client) register(id int64, buffer int) (chan *Message, error) {
+func (c *Client) register(id int64, buffer int) (*pendingOp, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
@@ -119,25 +166,44 @@ func (c *Client) register(id int64, buffer int) (chan *Message, error) {
 	if c.closed {
 		return nil, ErrClientClosed
 	}
-	ch := make(chan *Message, buffer)
-	c.pending[id] = ch
-	return ch, nil
+	op := &pendingOp{ch: make(chan *Message, buffer), gone: make(chan struct{})}
+	c.pending[id] = op
+	return op, nil
 }
 
+// unregister removes the pending entry (so timed-out and abandoned calls
+// don't accumulate routing state for the life of the connection) and closes
+// gone so the read loop stops delivering to it.
 func (c *Client) unregister(id int64) {
 	c.mu.Lock()
-	delete(c.pending, id)
+	op, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
 	c.mu.Unlock()
+	if ok {
+		close(op.gone)
+	}
+}
+
+// pendingCount reports in-flight routing entries (test hook for the
+// timeout-leak regression).
+func (c *Client) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
 }
 
 func (c *Client) write(m *Message) error {
-	return writeMessage(c.conn, &c.writeMu, m)
+	// Client sends are requests: always worth a flush, since the round trip
+	// blocks on the server seeing them.
+	return c.w.enqueue(m, true)
 }
 
 // roundTrip sends op and waits for a single response message.
 func (c *Client) roundTrip(op Op, controls ...Control) (*Message, error) {
 	id := c.allocID()
-	ch, err := c.register(id, 1)
+	pop, err := c.register(id, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -145,10 +211,10 @@ func (c *Client) roundTrip(op Op, controls ...Control) (*Message, error) {
 	if err := c.write(&Message{ID: id, Op: op, Controls: controls}); err != nil {
 		return nil, err
 	}
-	return c.await(ch)
+	return c.await(pop)
 }
 
-func (c *Client) await(ch chan *Message) (*Message, error) {
+func (c *Client) await(op *pendingOp) (*Message, error) {
 	var timeout <-chan time.Time
 	if c.Timeout > 0 {
 		clock := c.Clock
@@ -158,11 +224,10 @@ func (c *Client) await(ch chan *Message) (*Message, error) {
 		timeout = clock.After(c.Timeout)
 	}
 	select {
-	case msg, ok := <-ch:
-		if !ok {
-			return nil, c.connErr()
-		}
+	case msg := <-op.ch:
 		return msg, nil
+	case <-op.gone:
+		return nil, c.connErr()
 	case <-timeout:
 		return nil, fmt.Errorf("ldap: operation timed out after %v", c.Timeout)
 	}
@@ -251,7 +316,7 @@ func (c *Client) SearchFunc(ctx context.Context, req *SearchRequest, controls []
 	entryFn func(*Entry, []Control) error, refFn func([]string) error, done *Result) error {
 
 	id := c.allocID()
-	ch, err := c.register(id, 64)
+	pop, err := c.register(id, 64)
 	if err != nil {
 		return err
 	}
@@ -267,10 +332,9 @@ func (c *Client) SearchFunc(ctx context.Context, req *SearchRequest, controls []
 		case <-ctx.Done():
 			abandon()
 			return ctx.Err()
-		case msg, ok := <-ch:
-			if !ok {
-				return c.connErr()
-			}
+		case <-pop.gone:
+			return c.connErr()
+		case msg := <-pop.ch:
 			switch op := msg.Op.(type) {
 			case *SearchResultEntry:
 				if err := entryFn(op.Entry, msg.Controls); err != nil {

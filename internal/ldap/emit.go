@@ -1,0 +1,267 @@
+package ldap
+
+import "mds2/internal/ber"
+
+// This file is the direct-emit encode path: every Op serializes itself into
+// a ber.Builder, so a full LDAPMessage reaches wire bytes without the
+// intermediate Packet tree the encodeOp methods construct. The tree path is
+// retained as the reference implementation (Message.EncodeTree) and
+// TestEncodeDifferential pins the two byte-for-byte.
+
+// AppendTo serializes the message envelope onto dst and returns the
+// extended slice, letting the client and server write paths reuse pooled
+// buffers instead of allocating per message.
+func (m *Message) AppendTo(dst []byte) []byte {
+	var b ber.Builder
+	b.Reset(dst)
+	b.Begin(ber.ClassUniversal, ber.TagSequence)
+	b.Int(m.ID)
+	m.Op.appendOp(&b)
+	if len(m.Controls) > 0 {
+		b.Begin(ber.ClassContext, 0)
+		for _, c := range m.Controls {
+			b.Begin(ber.ClassUniversal, ber.TagSequence)
+			b.OctetString(c.OID)
+			if c.Criticality {
+				b.Bool(true)
+			}
+			if c.Value != nil {
+				b.OctetStringBytes(c.Value)
+			}
+			b.End()
+		}
+		b.End()
+	}
+	b.End()
+	return b.Bytes()
+}
+
+// appendDN emits d's canonical text rendering (identical to DN.String) as
+// an OCTET STRING, without materializing the intermediate string.
+func appendDN(b *ber.Builder, d DN) {
+	b.BeginPrimitive(ber.ClassUniversal, ber.TagOctetString)
+	for i, rdn := range d {
+		if i > 0 {
+			b.RawString(", ")
+		}
+		for j, ava := range rdn {
+			if j > 0 {
+				b.RawString("+")
+			}
+			b.RawString(escapeDNValue(ava.Attr))
+			b.RawString("=")
+			b.RawString(escapeDNValue(ava.Value))
+		}
+	}
+	b.End()
+}
+
+// appendAttrList emits a PartialAttributeList: SEQUENCE OF SEQUENCE
+// { type, SET OF value }.
+func appendAttrList(b *ber.Builder, attrs []Attribute) {
+	b.Begin(ber.ClassUniversal, ber.TagSequence)
+	for _, a := range attrs {
+		b.Begin(ber.ClassUniversal, ber.TagSequence)
+		b.OctetString(a.Name)
+		b.Begin(ber.ClassUniversal, ber.TagSet)
+		for _, v := range a.Values {
+			b.OctetString(v)
+		}
+		b.End()
+		b.End()
+	}
+	b.End()
+}
+
+// beginResult opens an application-tagged LDAPResult and emits the common
+// fields; the caller appends any trailing components and calls End.
+func beginResult(b *ber.Builder, tag uint32, r Result) {
+	b.Begin(ber.ClassApplication, tag)
+	b.Enum(int64(r.Code))
+	b.OctetString(r.MatchedDN)
+	b.OctetString(r.Message)
+	if len(r.Referrals) > 0 {
+		b.Begin(ber.ClassContext, 3)
+		for _, u := range r.Referrals {
+			b.OctetString(u)
+		}
+		b.End()
+	}
+}
+
+// appendFilter emits f in the RFC 4511 wire form (mirrors Filter.ToBER).
+func appendFilter(b *ber.Builder, f *Filter) {
+	switch f.Kind {
+	case FilterAnd, FilterOr:
+		b.Begin(ber.ClassContext, uint32(f.Kind))
+		for _, sub := range f.Subs {
+			appendFilter(b, sub)
+		}
+		b.End()
+	case FilterNot:
+		b.Begin(ber.ClassContext, uint32(FilterNot))
+		appendFilter(b, f.Subs[0])
+		b.End()
+	case FilterPresent:
+		b.ContextString(uint32(FilterPresent), f.Attr)
+	case FilterSubstrings:
+		b.Begin(ber.ClassContext, uint32(FilterSubstrings))
+		b.OctetString(f.Attr)
+		b.Begin(ber.ClassUniversal, ber.TagSequence)
+		if f.Initial != "" {
+			b.ContextString(0, f.Initial)
+		}
+		for _, a := range f.Any {
+			b.ContextString(1, a)
+		}
+		if f.Final != "" {
+			b.ContextString(2, f.Final)
+		}
+		b.End()
+		b.End()
+	default: // Equality, GE, LE, Approx: AttributeValueAssertion
+		b.Begin(ber.ClassContext, uint32(f.Kind))
+		b.OctetString(f.Attr)
+		b.OctetString(f.Value)
+		b.End()
+	}
+}
+
+func (r *BindRequest) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appBindRequest)
+	b.Int(r.Version)
+	b.OctetString(r.Name)
+	if r.SASLMech == "" {
+		b.ContextString(0, r.Password)
+	} else {
+		b.Begin(ber.ClassContext, 3)
+		b.OctetString(r.SASLMech)
+		b.OctetStringBytes(r.SASLCreds)
+		b.End()
+	}
+	b.End()
+}
+
+func (r *BindResponse) appendOp(b *ber.Builder) {
+	beginResult(b, appBindResponse, r.Result)
+	if r.ServerCreds != nil {
+		b.Primitive(ber.ClassContext, 7, r.ServerCreds)
+	}
+	b.End()
+}
+
+func (*UnbindRequest) appendOp(b *ber.Builder) {
+	b.Primitive(ber.ClassApplication, appUnbindRequest, nil)
+}
+
+func (s *SearchRequest) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appSearchRequest)
+	b.OctetString(s.BaseDN)
+	b.Enum(int64(s.Scope))
+	b.Enum(s.DerefAlias)
+	b.Int(s.SizeLimit)
+	b.Int(s.TimeLimit)
+	b.Bool(s.TypesOnly)
+	filter := s.Filter
+	if filter == nil {
+		filter = Present("objectclass")
+	}
+	appendFilter(b, filter)
+	b.Begin(ber.ClassUniversal, ber.TagSequence)
+	for _, a := range s.Attributes {
+		b.OctetString(a)
+	}
+	b.End()
+	b.End()
+}
+
+func (s *SearchResultEntry) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appSearchEntry)
+	appendDN(b, s.Entry.DN)
+	appendAttrList(b, s.Entry.Attrs)
+	b.End()
+}
+
+func (s *SearchResultReference) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appSearchReference)
+	for _, u := range s.URLs {
+		b.OctetString(u)
+	}
+	b.End()
+}
+
+func (s *SearchResultDone) appendOp(b *ber.Builder) {
+	beginResult(b, appSearchDone, s.Result)
+	b.End()
+}
+
+func (a *AddRequest) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appAddRequest)
+	appendDN(b, a.Entry.DN)
+	appendAttrList(b, a.Entry.Attrs)
+	b.End()
+}
+
+func (a *AddResponse) appendOp(b *ber.Builder) {
+	beginResult(b, appAddResponse, a.Result)
+	b.End()
+}
+
+func (d *DelRequest) appendOp(b *ber.Builder) {
+	b.PrimitiveString(ber.ClassApplication, appDelRequest, d.DN)
+}
+
+func (d *DelResponse) appendOp(b *ber.Builder) {
+	beginResult(b, appDelResponse, d.Result)
+	b.End()
+}
+
+func (m *ModifyRequest) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appModifyRequest)
+	b.OctetString(m.DN)
+	b.Begin(ber.ClassUniversal, ber.TagSequence)
+	for _, ch := range m.Changes {
+		b.Begin(ber.ClassUniversal, ber.TagSequence)
+		b.Enum(ch.Op)
+		b.Begin(ber.ClassUniversal, ber.TagSequence)
+		b.OctetString(ch.Attr.Name)
+		b.Begin(ber.ClassUniversal, ber.TagSet)
+		for _, v := range ch.Attr.Values {
+			b.OctetString(v)
+		}
+		b.End()
+		b.End()
+		b.End()
+	}
+	b.End()
+	b.End()
+}
+
+func (m *ModifyResponse) appendOp(b *ber.Builder) {
+	beginResult(b, appModifyResponse, m.Result)
+	b.End()
+}
+
+func (a *AbandonRequest) appendOp(b *ber.Builder) {
+	b.PrimitiveInt(ber.ClassApplication, appAbandonRequest, a.IDToAbandon)
+}
+
+func (e *ExtendedRequest) appendOp(b *ber.Builder) {
+	b.Begin(ber.ClassApplication, appExtendedRequest)
+	b.ContextString(0, e.OID)
+	if e.Value != nil {
+		b.Primitive(ber.ClassContext, 1, e.Value)
+	}
+	b.End()
+}
+
+func (e *ExtendedResponse) appendOp(b *ber.Builder) {
+	beginResult(b, appExtendedResp, e.Result)
+	if e.OID != "" {
+		b.ContextString(10, e.OID)
+	}
+	if e.Value != nil {
+		b.Primitive(ber.ClassContext, 11, e.Value)
+	}
+	b.End()
+}

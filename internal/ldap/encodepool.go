@@ -3,35 +3,158 @@ package ldap
 import (
 	"net"
 	"sync"
+	"time"
+
+	"mds2/internal/softstate"
 )
 
-// Message encoding sits on every chained operation, cache hit, and streamed
-// search entry, so the client and server write paths share a pool of encode
-// buffers instead of allocating wire bytes per message.
+// Outbound messages sit on every chained operation, cache hit, and streamed
+// search entry, so the client and server share a per-connection coalescing
+// writer: messages encode (direct emit, see emit.go) into one pending
+// buffer, and consecutive messages drain to the socket in a single
+// conn.Write. A streamed search of N entries costs O(N/batch) syscalls
+// instead of N.
 
-// maxPooledEncodeBuf bounds what goes back in the pool: an occasional huge
-// search entry must not pin megabytes for the life of the process.
+// maxPooledEncodeBuf bounds the buffers a connWriter recycles: an
+// occasional huge search entry must not pin megabytes for the life of a
+// connection.
 const maxPooledEncodeBuf = 64 << 10
 
-var encodeBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 1024)
-		return &b
-	},
+// flushThreshold drains the pending buffer even without an explicit flush,
+// bounding both batch latency and buffer growth.
+const flushThreshold = 16 << 10
+
+// idleFlushDelay is how long buffered frames may wait for a batch to build
+// before the idle tick pushes them out (covers providers that stall
+// mid-stream, e.g. a GIIS waiting on a slow child).
+const idleFlushDelay = 2 * time.Millisecond
+
+// connWriter coalesces outbound LDAP messages onto one connection.
+//
+// Writers encode under mu and return; the actual syscall happens in
+// whichever goroutine finds no drain in progress (the combining-writer
+// pattern: the active drainer releases mu around conn.Write, then re-checks
+// for frames enqueued meanwhile). Callers that just streamed a
+// non-terminal message may leave bytes pending; the idle goroutine flushes
+// them after idleFlushDelay on the injected clock.
+type connWriter struct {
+	conn  net.Conn
+	clock softstate.Clock
+
+	mu      sync.Mutex
+	buf     []byte // encoded frames awaiting the wire
+	spare   []byte // recycled drain buffer
+	writing bool   // a goroutine is draining buf
+	err     error  // sticky first write error
+
+	wake chan struct{} // cap 1: tells the idle goroutine frames are pending
+	done chan struct{} // closed by close: stops the idle goroutine
 }
 
-// writeMessage encodes m into a pooled buffer and writes it to conn as one
-// frame, serialized by mu. The buffer is returned to the pool after the
-// write completes; net.Conn implementations do not retain the slice.
-func writeMessage(conn net.Conn, mu *sync.Mutex, m *Message) error {
-	bp := encodeBufPool.Get().(*[]byte)
-	b := m.AppendTo((*bp)[:0])
-	mu.Lock()
-	_, err := conn.Write(b)
-	mu.Unlock()
-	if cap(b) <= maxPooledEncodeBuf {
-		*bp = b[:0]
+func newConnWriter(conn net.Conn, clock softstate.Clock) *connWriter {
+	if clock == nil {
+		clock = softstate.RealClock{}
 	}
-	encodeBufPool.Put(bp)
+	w := &connWriter{
+		conn:  conn,
+		clock: clock,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go w.idleLoop()
+	return w
+}
+
+// enqueue encodes m onto the pending buffer. With flushNow (responses,
+// done messages, anything latency-sensitive) or once the buffer passes
+// flushThreshold, the buffer drains before returning — unless another
+// goroutine is already draining, in which case that drain picks the new
+// frames up and enqueue returns immediately. Write errors are sticky and
+// surface on the current or a later call.
+func (w *connWriter) enqueue(m *Message, flushNow bool) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = m.AppendTo(w.buf)
+	if !flushNow && len(w.buf) < flushThreshold {
+		w.mu.Unlock()
+		w.signalIdle()
+		return nil
+	}
+	err := w.drainLocked()
+	w.mu.Unlock()
 	return err
+}
+
+// flush drains any pending frames.
+func (w *connWriter) flush() error {
+	w.mu.Lock()
+	err := w.drainLocked()
+	w.mu.Unlock()
+	return err
+}
+
+// drainLocked writes pending frames to the socket. Caller holds mu; the
+// lock is released around each conn.Write so other writers keep encoding
+// while the syscall is in flight, and re-checked afterwards to pick up
+// frames they enqueued. At most one goroutine drains at a time; others
+// return immediately and their frames ride the active drain.
+func (w *connWriter) drainLocked() error {
+	if w.writing {
+		return w.err
+	}
+	w.writing = true
+	for len(w.buf) > 0 && w.err == nil {
+		buf := w.buf
+		w.buf = w.spare[:0]
+		w.spare = nil
+		w.mu.Unlock()
+		_, err := w.conn.Write(buf)
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		if cap(buf) <= maxPooledEncodeBuf {
+			w.spare = buf[:0]
+		}
+	}
+	w.writing = false
+	return w.err
+}
+
+// signalIdle nudges the idle goroutine; called after releasing mu.
+func (w *connWriter) signalIdle() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// idleLoop is the flush-of-last-resort: once frames are pending it waits
+// one idleFlushDelay beat (letting a batch accumulate) and drains whatever
+// is buffered. It exits when close closes done.
+func (w *connWriter) idleLoop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.wake:
+		}
+		select {
+		case <-w.done:
+			return
+		case <-w.clock.After(idleFlushDelay):
+		}
+		w.flush() // sticky error resurfaces on the next enqueue
+	}
+}
+
+// close flushes pending frames and stops the idle goroutine. It does not
+// close the connection; the owner does that.
+func (w *connWriter) close() {
+	w.flush()
+	close(w.done)
 }

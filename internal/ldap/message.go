@@ -134,7 +134,11 @@ const (
 )
 
 // Op is one LDAP protocol operation carried inside a Message envelope.
+// Each operation encodes itself two ways: appendOp is the direct-emit hot
+// path (see emit.go), encodeOp the Packet-tree reference implementation the
+// differential test pins it against.
 type Op interface {
+	appendOp(*ber.Builder)
 	encodeOp() *ber.Packet
 }
 
@@ -259,10 +263,11 @@ func (m *Message) Encode() []byte {
 	return m.AppendTo(nil)
 }
 
-// AppendTo serializes the message envelope onto dst and returns the
-// extended slice, letting the client and server write paths reuse pooled
-// buffers instead of allocating per message.
-func (m *Message) AppendTo(dst []byte) []byte {
+// EncodeTree serializes the message envelope through the Packet-tree
+// reference path. The hot paths use AppendTo (direct emit, emit.go); this
+// is kept as executable documentation of the wire form and as the oracle
+// for the encode differential test.
+func (m *Message) EncodeTree() []byte {
 	env := ber.NewSequence().Append(ber.NewInteger(m.ID), m.Op.encodeOp())
 	if len(m.Controls) > 0 {
 		ctl := ber.NewConstructed(ber.ClassContext, 0)
@@ -278,7 +283,7 @@ func (m *Message) AppendTo(dst []byte) []byte {
 		}
 		env.Append(ctl)
 	}
-	return ber.Append(dst, env)
+	return ber.Marshal(env)
 }
 
 func encodeResult(tag uint32, r Result, extra ...*ber.Packet) *ber.Packet {
@@ -436,6 +441,19 @@ func (e *ExtendedResponse) encodeOp() *ber.Packet {
 // ErrBadMessage reports a wire message that does not parse as LDAP.
 var ErrBadMessage = errors.New("ldap: malformed message")
 
+// cloneBytes copies a decoded []byte field out of the frame buffer, so a
+// Message survives the decoder reusing that buffer for the next frame
+// (ber.ReadPacketBuf). String fields are already copies or views of an
+// owned buffer; raw byte fields are the only aliases.
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
 // DecodeMessage parses one LDAPMessage from its BER element.
 func DecodeMessage(p *ber.Packet) (*Message, error) {
 	if p == nil || !p.Constructed || p.Tag != ber.TagSequence || len(p.Children) < 2 {
@@ -485,7 +503,7 @@ func decodeControl(p *ber.Packet) (Control, error) {
 			}
 			ctl.Criticality = v
 		case c.Tag == ber.TagOctetString && c.Class == ber.ClassUniversal:
-			ctl.Value = c.Value
+			ctl.Value = cloneBytes(c.Value)
 		}
 	}
 	return ctl, nil
@@ -552,7 +570,7 @@ func decodeOp(p *ber.Packet) (Op, error) {
 			}
 			br.SASLMech = auth.Child(0).Str()
 			if c := auth.Child(1); c != nil {
-				br.SASLCreds = c.Value
+				br.SASLCreds = cloneBytes(c.Value)
 			}
 		default:
 			return nil, fmt.Errorf("%w: auth choice %d", ErrBadMessage, auth.Tag)
@@ -565,7 +583,7 @@ func decodeOp(p *ber.Packet) (Op, error) {
 		}
 		br := &BindResponse{Result: r}
 		if c := p.Child(next); c != nil && c.Class == ber.ClassContext && c.Tag == 7 {
-			br.ServerCreds = c.Value
+			br.ServerCreds = cloneBytes(c.Value)
 		}
 		return br, nil
 	case appUnbindRequest:
@@ -685,7 +703,7 @@ func decodeOp(p *ber.Packet) (Op, error) {
 			case 0:
 				er.OID = c.Str()
 			case 1:
-				er.Value = c.Value
+				er.Value = cloneBytes(c.Value)
 			}
 		}
 		if er.OID == "" {
@@ -703,7 +721,7 @@ func decodeOp(p *ber.Packet) (Op, error) {
 			case 10:
 				er.OID = c.Str()
 			case 11:
-				er.Value = c.Value
+				er.Value = cloneBytes(c.Value)
 			}
 		}
 		return er, nil

@@ -1,6 +1,7 @@
 package ldap
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"log"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"mds2/internal/ber"
+	"mds2/internal/softstate"
 )
 
 // SASL bind-in-progress result code (RFC 4511 §4.2.2).
@@ -124,6 +126,10 @@ type Server struct {
 	Handler Handler
 	// ErrorLog receives connection-level protocol errors; nil discards them.
 	ErrorLog *log.Logger
+	// Clock drives per-connection idle-flush ticks (see connWriter); nil
+	// means the wall clock. Injectable so FakeClock tests cover the
+	// coalescing path deterministically.
+	Clock softstate.Clock
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -168,8 +174,10 @@ func (s *Server) Serve(l net.Listener) error {
 			return ErrServerClosed
 		}
 		s.conns[sc] = struct{}{}
-		s.mu.Unlock()
+		// Add while still holding mu: Close sets closed and calls wg.Wait
+		// under the same lock discipline, so Add can never race the Wait.
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			sc.serve()
@@ -220,8 +228,7 @@ type serverConn struct {
 	srv   *Server
 	conn  net.Conn
 	state *ConnState
-
-	writeMu sync.Mutex // serializes whole messages onto the wire
+	w     *connWriter // coalesces outbound messages onto the wire
 
 	opMu sync.Mutex
 	ops  map[int64]context.CancelFunc // in-flight, abandonable operations
@@ -236,6 +243,7 @@ func (s *Server) newConn(conn net.Conn) *serverConn {
 		srv:   s,
 		conn:  conn,
 		state: &ConnState{RemoteAddr: addr},
+		w:     newConnWriter(conn, s.Clock),
 		ops:   map[int64]context.CancelFunc{},
 	}
 }
@@ -246,13 +254,21 @@ func (c *serverConn) serve() {
 	defer func() {
 		// Order matters: close the transport, cancel every in-flight
 		// operation (persistent searches block on their context), and only
-		// then wait for the operation goroutines to drain.
+		// then wait for the operation goroutines to drain, then stop the
+		// write coalescer.
 		c.conn.Close()
 		cancelAll()
 		opWG.Wait()
+		c.w.close()
 	}()
+	// Requests frame into one reused buffer: DecodeMessage copies what it
+	// keeps, so each ReadPacketBuf may recycle the previous frame.
+	r := bufio.NewReaderSize(c.conn, 4<<10)
+	var frame []byte
 	for {
-		pkt, err := ber.ReadPacket(c.conn)
+		var pkt *ber.Packet
+		var err error
+		pkt, frame, err = ber.ReadPacketBuf(r, frame)
 		if err != nil {
 			return // EOF or connection failure
 		}
@@ -323,8 +339,10 @@ func (c *serverConn) abandon(id int64) {
 	}
 }
 
+// send transmits a response message and flushes: results, done messages,
+// and bind outcomes are all latency-sensitive.
 func (c *serverConn) send(id int64, op Op, controls ...Control) error {
-	return writeMessage(c.conn, &c.writeMu, &Message{ID: id, Op: op, Controls: controls})
+	return c.w.enqueue(&Message{ID: id, Op: op, Controls: controls}, true)
 }
 
 type connSearchWriter struct {
@@ -332,12 +350,20 @@ type connSearchWriter struct {
 	id   int64
 }
 
+// SendEntry streams one result entry. Plain streamed entries buffer in the
+// connection's coalescing writer (the done message or the size threshold
+// flushes the batch); entries carrying per-entry controls are
+// persistent-search notifications, which must reach the subscriber now —
+// there may be no further traffic on this search for hours.
 func (w *connSearchWriter) SendEntry(e *Entry, controls ...Control) error {
-	return w.conn.send(w.id, &SearchResultEntry{Entry: e}, controls...)
+	flush := len(controls) > 0
+	return w.conn.w.enqueue(&Message{ID: w.id,
+		Op: &SearchResultEntry{Entry: e}, Controls: controls}, flush)
 }
 
 func (w *connSearchWriter) SendReferral(urls ...string) error {
-	return w.conn.send(w.id, &SearchResultReference{URLs: urls})
+	return w.conn.w.enqueue(&Message{ID: w.id,
+		Op: &SearchResultReference{URLs: urls}}, false)
 }
 
 // ListenAndServe listens on a TCP address and serves until Close.

@@ -1,0 +1,245 @@
+package ldap
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// wireCorpus builds messages covering every operation type, the control
+// envelope, and length shapes that exercise both the short-form and
+// long-form (shifted back-patch) paths of the direct emitter.
+func wireCorpus() []*Message {
+	long := strings.Repeat("x", 300) // forces multi-byte BER lengths
+	entry := NewEntry(MustParseDN("queue=default, hn=hostX, o=grid")).
+		Add("objectclass", "computer", "queue").
+		Add("hn", "hostX").
+		Add("system", "linux").
+		Add("description", long).
+		Add("load5", "0.42")
+	msgs := []*Message{
+		{ID: 1, Op: &BindRequest{Version: 3, Name: "cn=admin", Password: "secret"}},
+		{ID: 2, Op: &BindRequest{Version: 3, Name: "cn=gsi", SASLMech: "GSI", SASLCreds: []byte{0, 1, 2, 0xff}}},
+		{ID: 2, Op: &BindRequest{Version: 3, SASLMech: "EXTERNAL"}}, // SASL, no creds
+		{ID: 3, Op: &BindResponse{Result: Result{Code: ResultSuccess}}},
+		{ID: 3, Op: &BindResponse{
+			Result:      Result{Code: ResultSaslBindInProgress, Message: "step"},
+			ServerCreds: []byte("challenge"),
+		}},
+		{ID: 4, Op: &UnbindRequest{}},
+		{ID: 5, Op: &SearchRequest{
+			BaseDN: "o=grid", Scope: ScopeWholeSubtree, DerefAlias: 3,
+			SizeLimit: 100, TimeLimit: 30, TypesOnly: true,
+			Filter:     MustParseFilter("(&(objectclass=computer)(|(system=mips irix)(system=linux))(!(cpucount<=8)))"),
+			Attributes: []string{"hn", "load5"},
+		}},
+		{ID: 5, Op: &SearchRequest{BaseDN: "o=grid", Scope: ScopeBaseObject}}, // nil filter default
+		{ID: 6, Op: &SearchResultEntry{Entry: entry}},
+		{ID: 6, Op: &SearchResultEntry{Entry: NewEntry(MustParseDN("cn=alice+uid=42, o=grid"))}},
+		{ID: 7, Op: &SearchResultReference{URLs: []string{
+			"ldap://gris1.example.org:389/ou=s1,o=grid", "ldap://gris2.example.org"}}},
+		{ID: 8, Op: &SearchResultDone{Result{Code: ResultSuccess}}},
+		{ID: 8, Op: &SearchResultDone{Result{
+			Code: ResultNoSuchObject, MatchedDN: "o=grid", Message: "no " + long,
+			Referrals: []string{"ldap://other.example.org/o=grid"},
+		}}},
+		{ID: 9, Op: &AddRequest{Entry: entry}},
+		{ID: 9, Op: &AddResponse{Result{Code: ResultEntryAlreadyExists, Message: "dup"}}},
+		{ID: 10, Op: &DelRequest{DN: "hn=hostX, o=grid"}},
+		{ID: 10, Op: &DelResponse{Result{Code: ResultSuccess}}},
+		{ID: 11, Op: &ModifyRequest{DN: "hn=hostX, o=grid", Changes: []ModifyChange{
+			{Op: ModReplace, Attr: Attribute{Name: "load5", Values: []string{"1.5"}}},
+			{Op: ModAdd, Attr: Attribute{Name: "queue", Values: []string{"batch", "interactive"}}},
+			{Op: ModDelete, Attr: Attribute{Name: "stale"}},
+		}}},
+		{ID: 11, Op: &ModifyResponse{Result{Code: ResultSuccess}}},
+		{ID: 12, Op: &AbandonRequest{IDToAbandon: 5}},
+		{ID: 13, Op: &ExtendedRequest{OID: "1.3.6.1.4.1.1466.20037"}},
+		{ID: 13, Op: &ExtendedRequest{OID: "1.2.3.4", Value: []byte(long)}},
+		{ID: 14, Op: &ExtendedResponse{Result: Result{Code: ResultSuccess}, OID: "1.2.3.4", Value: []byte{0xde, 0xad}}},
+		{ID: 14, Op: &ExtendedResponse{Result: Result{Code: ResultProtocolError, Message: "nope"}}},
+		{ID: 15, Op: &SearchRequest{BaseDN: "o=grid", Scope: ScopeWholeSubtree,
+			Filter: MustParseFilter("(objectclass=*)")},
+			Controls: []Control{NewPersistentSearchControl(PersistentSearch{
+				ChangeTypes: ChangeAll, ChangesOnly: true, ReturnECs: true})}},
+		{ID: 15, Op: &SearchResultEntry{Entry: entry},
+			Controls: []Control{NewEntryChangeControl(ChangeModify)}},
+		{ID: 16, Op: &DelRequest{DN: "cn=x, o=grid"},
+			Controls: []Control{{OID: "1.1.1", Criticality: true}, {OID: "1.1.2", Value: []byte{}}}},
+	}
+	// Filter shapes from the fuzz seeds: substrings, present, ranges, escapes.
+	for _, f := range []string{
+		"(load5=*)", "(cn=ho*st*X)", "(cn=*suffix)", "(cn=prefix*)",
+		"(cn>=a)", "(cn<=z)", "(cn=paren\\29)", "(cn~=approx)",
+	} {
+		msgs = append(msgs, &Message{ID: 20, Op: &SearchRequest{
+			BaseDN: "ou=s0, o=grid", Scope: ScopeSingleLevel, Filter: MustParseFilter(f)}})
+	}
+	return msgs
+}
+
+// TestEncodeDifferential pins the direct emitter to the Packet-tree
+// reference encoder byte for byte: any divergence is a wire break.
+func TestEncodeDifferential(t *testing.T) {
+	for i, m := range wireCorpus() {
+		direct := m.AppendTo(nil)
+		tree := m.EncodeTree()
+		if !bytes.Equal(direct, tree) {
+			t.Errorf("message %d (%T): direct emit diverges from tree\n direct % x\n tree   % x",
+				i, m.Op, direct, tree)
+		}
+		// AppendTo must be append-only on a non-empty dst.
+		prefixed := m.AppendTo([]byte("prefix"))
+		if !bytes.HasPrefix(prefixed, []byte("prefix")) || !bytes.Equal(prefixed[6:], tree) {
+			t.Errorf("message %d (%T): AppendTo corrupts existing dst bytes", i, m.Op)
+		}
+	}
+}
+
+// FuzzEncodeDecode: any bytes that parse as a message must re-encode
+// identically through both encoders and survive a second round trip.
+func FuzzEncodeDecode(f *testing.F) {
+	for _, m := range wireCorpus() {
+		f.Add(m.Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMessageBytes(data)
+		if err != nil {
+			return
+		}
+		direct := m.AppendTo(nil)
+		if tree := m.EncodeTree(); !bytes.Equal(direct, tree) {
+			t.Fatalf("direct/tree divergence for %T:\n direct % x\n tree   % x", m.Op, direct, tree)
+		}
+		m2, err := ParseMessageBytes(direct)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if again := m2.AppendTo(nil); !bytes.Equal(direct, again) {
+			t.Fatalf("encoding not stable across round trips for %T", m.Op)
+		}
+	})
+}
+
+// stallExtHandler stalls Extended until released, so a client-side timeout
+// fires while the operation is still pending server-side.
+type stallExtHandler struct {
+	BaseHandler
+	stall chan struct{}
+}
+
+func (h *stallExtHandler) Extended(req *Request, op *ExtendedRequest) *ExtendedResponse {
+	select {
+	case <-h.stall:
+	case <-req.Ctx.Done():
+	}
+	return &ExtendedResponse{Result: Result{Code: ResultSuccess}, OID: op.OID}
+}
+
+// TestClientTimeoutLeak is the regression test for the timeout-path leak:
+// a timed-out round trip must remove its pending routing entry, and the
+// late response must be counted as unknown without wedging the connection.
+func TestClientTimeoutLeak(t *testing.T) {
+	h := &stallExtHandler{stall: make(chan struct{})}
+	srv := NewServer(h)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	fc := softstate.NewFakeClock()
+	c.Clock = fc
+	c.Timeout = 5 * time.Second
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Extended("1.2.3.4", nil)
+		errCh <- err
+	}()
+
+	// The awaiting goroutine registers its FakeClock timer at some point
+	// after the request hits the wire; keep advancing until it fires.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case err := <-errCh:
+			if err == nil || !strings.Contains(err.Error(), "timed out") {
+				t.Fatalf("want timeout error, got %v", err)
+			}
+			goto timedOut
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("operation never timed out on the fake clock")
+		}
+		fc.Advance(c.Timeout)
+		time.Sleep(time.Millisecond)
+	}
+timedOut:
+	if n := c.pendingCount(); n != 0 {
+		t.Fatalf("timed-out operation leaked %d pending entries", n)
+	}
+	if got := c.UnknownResponses.Value(); got != 0 {
+		t.Fatalf("no unknown responses expected yet, counter at %d", got)
+	}
+
+	// Release the handler: the server's late response must be counted as
+	// unknown, not delivered and not wedging the read loop.
+	close(h.stall)
+	for start := time.Now(); c.UnknownResponses.Value() == 0; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("late response never counted as unknown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The connection must remain usable after the desync.
+	c.Clock = softstate.RealClock{}
+	if err := c.Bind("", ""); err != nil {
+		t.Fatalf("connection unusable after late response: %v", err)
+	}
+}
+
+// BenchmarkMessageEncode compares the direct emitter against the
+// Packet-tree reference path on a representative streamed search entry.
+func BenchmarkMessageEncode(b *testing.B) {
+	m := &Message{ID: 6, Op: &SearchResultEntry{Entry: NewEntry(
+		MustParseDN("queue=default, hn=hostX, ou=s0, o=grid")).
+		Add("objectclass", "computer").
+		Add("hn", "hostX").
+		Add("system", "linux").
+		Add("osversion", "6.1").
+		Add("cpucount", "16").
+		Add("load5", "0.42")}}
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = m.AppendTo(buf[:0])
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.EncodeTree()
+		}
+	})
+}
+
+func ExampleMessage_AppendTo() {
+	m := &Message{ID: 1, Op: &DelRequest{DN: "hn=hostX, o=grid"}}
+	fmt.Println(bytes.Equal(m.AppendTo(nil), m.EncodeTree()))
+	// Output: true
+}
