@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -20,6 +21,8 @@ import (
 	"mds2/internal/grrp"
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
+	"mds2/internal/obs"
+	"mds2/internal/softstate"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
 		authKids = flag.Bool("auth-children", false, "authenticate to providers when chaining")
 		signed   = flag.Bool("require-signed", false, "refuse unsigned registrations")
+		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /debug/registry); empty disables observability")
+		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,17 @@ func main() {
 		SelfURL:  selfURL,
 		Strategy: strat,
 		AcceptVO: *vo,
+	}
+	var obsReg *obs.Registry
+	var tracer *obs.Tracer
+	if *obsAddr != "" {
+		obsReg = obs.NewRegistry()
+		tracer = obs.NewTracer(softstate.RealClock{}, *obsSlow)
+		tracer.SlowLog = func(t *obs.TraceExport) {
+			log.Printf("giis: slow query trace=%s op=%s peer=%s took=%v",
+				t.ID, t.Op, t.Peer, time.Duration(t.DurNs))
+		}
+		cfg.Obs = obsReg
 	}
 	if *keysPath != "" {
 		if *anchor == "" {
@@ -123,6 +139,18 @@ func main() {
 
 	srv := ldap.NewServer(server)
 	srv.ErrorLog = log.Default()
+	srv.Obs = obsReg
+	srv.Tracer = tracer
+	if *obsAddr != "" {
+		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
+		h.AddTable("children", server.Receiver().Registry)
+		go func() {
+			log.Printf("giis: observability on http://%s", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, h); err != nil {
+				log.Printf("giis: obs listener: %v", err)
+			}
+		}()
+	}
 	go func() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)

@@ -16,11 +16,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"mds2/internal/grip"
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
 	"mds2/internal/ldap/ldif"
+	"mds2/internal/obs"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		limit     = flag.Int64("limit", 0, "size limit (0 = unlimited)")
 		proxyPath = flag.String("proxy", "", "GSI proxy/key file for mutual authentication (see gridproxy)")
 		anchor    = flag.String("anchor", "", "trust anchor file (required with -proxy)")
+		trace     = flag.Bool("trace", false, "request a server-side trace and print the span tree to stderr")
 	)
 	flag.Parse()
 	filter := "(objectclass=*)"
@@ -106,15 +109,27 @@ func main() {
 		return
 	}
 
-	res, err := c.Raw().Search(&ldap.SearchRequest{
+	var ctls []ldap.Control
+	if *trace {
+		ctls = append(ctls, ldap.NewTraceControl("", 0))
+	}
+	res, err := c.Raw().SearchWith(&ldap.SearchRequest{
 		BaseDN:     baseDN.String(),
 		Scope:      sc,
 		Filter:     f,
 		Attributes: attrs,
 		SizeLimit:  *limit,
-	})
+	}, ctls)
 	if err != nil && !ldap.IsCode(err, ldap.ResultSizeLimitExceeded) {
 		log.Fatalf("gridsearch: %v", err)
+	}
+	if *trace {
+		if t, ok := ldap.TraceSpans(res.DoneControls); ok {
+			fmt.Fprintf(os.Stderr, "# trace %s op=%s took=%v\n%s",
+				t.ID, t.Op, time.Duration(t.DurNs), obs.FormatSpanTree(t.Spans))
+		} else {
+			fmt.Fprintln(os.Stderr, "# trace requested but the server returned no spans")
+		}
 	}
 	fmt.Print(ldif.Marshal(res.Entries))
 	for _, ref := range res.Referrals {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -22,7 +23,9 @@ import (
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
 	"mds2/internal/nws"
+	"mds2/internal/obs"
 	"mds2/internal/providers"
+	"mds2/internal/softstate"
 )
 
 func main() {
@@ -41,6 +44,8 @@ func main() {
 		keysPath = flag.String("keys", "", "GSI key file for this service (see gridproxy); enables SASL/GSI binds")
 		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
 		trustDir = flag.String("trusted-dir", "", "subject granted the trusted-directory role")
+		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces); empty disables observability")
+		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
 	)
 	flag.Parse()
 
@@ -58,6 +63,17 @@ func main() {
 	}()
 
 	cfg := gris.Config{Suffix: suffix}
+	var obsReg *obs.Registry
+	var tracer *obs.Tracer
+	if *obsAddr != "" {
+		obsReg = obs.NewRegistry()
+		tracer = obs.NewTracer(softstate.RealClock{}, *obsSlow)
+		tracer.SlowLog = func(t *obs.TraceExport) {
+			log.Printf("gris: slow query trace=%s op=%s peer=%s took=%v",
+				t.ID, t.Op, t.Peer, time.Duration(t.DurNs))
+		}
+		cfg.Obs = obsReg
+	}
 	var keys *gsi.KeyPair
 	if *keysPath != "" {
 		if *anchor == "" {
@@ -117,6 +133,17 @@ func main() {
 
 	srv := ldap.NewServer(server)
 	srv.ErrorLog = log.Default()
+	srv.Obs = obsReg
+	srv.Tracer = tracer
+	if *obsAddr != "" {
+		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
+		go func() {
+			log.Printf("gris: observability on http://%s", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, h); err != nil {
+				log.Printf("gris: obs listener: %v", err)
+			}
+		}()
+	}
 	go handleSignals(srv)
 	log.Printf("gris: serving %q on %s", suffix, *listen)
 	if err := srv.ListenAndServe(*listen); err != nil && err != ldap.ErrServerClosed {

@@ -31,6 +31,8 @@ func main() {
 		"wire-conc", 0, "wire experiment: concurrent clients (0 = default sweep)")
 	flag.DurationVar(&experiments.WireOptions.Duration,
 		"wire-duration", time.Second, "wire experiment: measurement window per cell")
+	flag.StringVar(&experiments.WireOptions.ObsAddr,
+		"wire-obs", "", "wire experiment: serve the root GIIS introspection endpoint here and print a chained trace")
 	flag.Parse()
 
 	switch {

@@ -8,7 +8,6 @@ import (
 	"mds2/internal/gris"
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 	"mds2/internal/providers"
 	"mds2/internal/softstate"
 )
@@ -40,7 +39,7 @@ func runCache(w io.Writer) error {
 		queryGap     = time.Second
 		providerCost = 50 * time.Millisecond
 	)
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E2 — per-provider cache TTL (2000 queries, 1/s; provider execution costs 50ms simulated)",
 		"cache TTL", "provider invocations", "invocations/query", "mean data age")
 

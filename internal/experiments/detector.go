@@ -8,7 +8,7 @@ import (
 	"math/rand"
 
 	"mds2/internal/detect"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/simnet"
 	"mds2/internal/softstate"
 )
@@ -27,7 +27,7 @@ func runDetector(w io.Writer) error {
 		liveSteps   = 1000 // refresh periods observed while producer is up
 		deadRepeats = 40   // independent true-failure trials
 	)
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E1 — unreliable failure detection over a lossy link (refresh every 10s)",
 		"loss", "timeout", "false pos / hour", "mean detection latency", "p95 detection latency")
 
@@ -69,8 +69,8 @@ func falsePositives(loss float64, interval, timeout time.Duration, steps int) in
 // several intervals old — detection can then be *faster* than the timeout
 // measured from the crash instant, while a freshly heard-from producer
 // takes the full timeout.
-func detectionLatency(loss float64, interval, timeout time.Duration, repeats int) *metrics.Histogram {
-	hist := &metrics.Histogram{}
+func detectionLatency(loss float64, interval, timeout time.Duration, repeats int) *obs.Histogram {
+	hist := &obs.Histogram{}
 	for r := 0; r < repeats; r++ {
 		clock := softstate.NewFakeClock()
 		rng := rand.New(rand.NewSource(int64(r)*7919 + 13))

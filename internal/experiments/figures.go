@@ -8,7 +8,6 @@ import (
 	"mds2/internal/core"
 	"mds2/internal/ldap"
 	"mds2/internal/ldap/ldif"
-	"mds2/internal/metrics"
 )
 
 func init() {
@@ -88,7 +87,7 @@ func runFig1(w io.Writer) error {
 		return fmt.Errorf("fig1: initial registration did not settle")
 	}
 
-	tab := metrics.NewTable("Figure 1 — VO membership through a partition",
+	tab := NewTable("Figure 1 — VO membership through a partition",
 		"phase", "VO-A dir", "VO-B east dir", "VO-B west dir", "east query", "west query")
 
 	query := func(d *core.DirectoryNode, from string) int {
@@ -171,7 +170,7 @@ func runFig2(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tab := metrics.NewTable("Figure 2 — discovery then lookup",
+	tab := NewTable("Figure 2 — discovery then lookup",
 		"step", "protocol", "target", "result")
 	tab.AddRow("register ×4", "GRRP", "aggregate directory", fmt.Sprintf("%d live children", len(dir.GIIS.Children())))
 	tab.AddRow("discover", "GRIP search", "aggregate directory", fmt.Sprintf("%d computers", len(found)))
@@ -224,7 +223,7 @@ func runFig3(w io.Writer) error {
 }
 
 func runFig4(w io.Writer) error {
-	tab := metrics.NewTable("Figure 4 — registration convergence after partition heal",
+	tab := NewTable("Figure 4 — registration convergence after partition heal",
 		"refresh interval", "TTL", "diverged during partition", "re-converged", "convergence time")
 	for _, interval := range []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second} {
 		ttl := interval * 7 / 2
@@ -341,7 +340,7 @@ func runFig5(w io.Writer) error {
 	}
 	defer user.Close()
 
-	tab := metrics.NewTable("Figure 5 — hierarchical discovery",
+	tab := NewTable("Figure 5 — hierarchical discovery",
 		"search base", "scope note", "hosts found")
 	count := func(base string) int {
 		entries, err := user.Search(ldap.MustParseDN(base), "(objectclass=computer)")

@@ -9,7 +9,6 @@ import (
 	"mds2/internal/grip"
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 	"mds2/internal/services"
 )
 
@@ -103,7 +102,7 @@ func runIdle(w io.Writer) error {
 	uniform := int64(len(specs) * steps)
 
 	idle := tracker.Idle()
-	tab := metrics.NewTable(
+	tab := NewTable(
 		fmt.Sprintf("E11 — idle-multicomputer tracker over %v (adaptive %v busy / %v idle)",
 			horizon, busyRefresh, idleRefresh),
 		"metric", "adaptive tracker", "uniform 30s polling")

@@ -10,7 +10,6 @@ import (
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
 	"mds2/internal/ldap/ldif"
-	"mds2/internal/metrics"
 )
 
 func init() {
@@ -70,7 +69,7 @@ func runMatchmake(w io.Writer) error {
 		return err
 	}
 
-	tab := metrics.NewTable("E9 — matchmaking requests the LDAP filter language cannot express",
+	tab := NewTable("E9 — matchmaking requests the LDAP filter language cannot express",
 		"request", "matches (rank order)")
 	ask := func(label, req string) error {
 		out, err := user.Extended(core.OIDMatchmake, []byte(req))

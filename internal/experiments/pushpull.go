@@ -9,7 +9,6 @@ import (
 
 	"mds2/internal/gris"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 	"mds2/internal/providers"
 	"mds2/internal/softstate"
 )
@@ -27,7 +26,7 @@ func runPushPull(w io.Writer) error {
 		changeAt   = 31 * time.Second // offset of each change into its interval
 		serverPoll = 5 * time.Second  // push-mode internal re-evaluation
 	)
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E6 — pull vs push monitoring (30 simulated minutes; value changes every 2m)",
 		"mode", "messages", "changes observed", "mean observation delay", "max delay")
 

@@ -12,7 +12,6 @@ import (
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
 	"mds2/internal/mds1"
-	"mds2/internal/metrics"
 	"mds2/internal/providers"
 	"mds2/internal/softstate"
 )
@@ -27,7 +26,7 @@ func init() {
 // search operations take place": root searches visit every provider while
 // scoped searches visit one, independent of grid size.
 func runScope(w io.Writer) error {
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E3 — chained provider operations per query (chaining GIIS)",
 		"providers", "root search chains", "org-scoped chains", "single-host chains", "name-index chains")
 
@@ -90,7 +89,7 @@ func runMDS1(w io.Writer) error {
 		horizon = 10 * time.Minute
 		push    = 30 * time.Second // MDS-1 per-resource push interval
 	)
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E4 — centralized (MDS-1) vs federated (MDS-2), 10 simulated minutes",
 		"providers", "mds1 pushes", "mds1 entries moved", "mds1 mean staleness",
 		"mds2 chains/query", "mds2 staleness")
@@ -174,7 +173,7 @@ func runBloom(w io.Writer) error {
 		}
 		childTerms[i] = terms
 	}
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E5 — Bloom-summary routing (64 children, ~40 terms each, 500 single-host queries)",
 		"summary bits", "bytes/child", "chains issued", "wasted chains", "waste rate", "est. FPR")
 

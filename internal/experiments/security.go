@@ -8,7 +8,6 @@ import (
 
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 	"mds2/internal/nws"
 )
 
@@ -60,7 +59,7 @@ func runSecurity(w io.Writer) error {
 		return fmt.Sprintf("%v", names)
 	}
 
-	tab := metrics.NewTable("E7 — §7 policy postures: visible view of hn=hostX",
+	tab := NewTable("E7 — §7 policy postures: visible view of hn=hostX",
 		"posture", "anonymous", "authenticated user", "cn=scheduler", "trusted directory")
 	for _, pc := range policies {
 		tab.AddRow(pc.name,
@@ -93,7 +92,7 @@ func runNWS(w io.Writer) error {
 		{"isi.edu", "anl.gov"},
 		{"never.measured", "until.now"},
 	}
-	tab := metrics.NewTable("E8 — NWS on-demand links and forecaster selection (200 measurements each)",
+	tab := NewTable("E8 — NWS on-demand links and forecaster selection (200 measurements each)",
 		"link", "last bandwidth (Mbps)", "prediction (Mbps)", "chosen forecaster", "experiments run")
 	for _, p := range pairs {
 		var last float64
@@ -112,7 +111,7 @@ func runNWS(w io.Writer) error {
 	// Per-forecaster accuracy on one link.
 	if b, ok := svc.Battery("lbl.gov", "anl.gov"); ok {
 		mse := b.MSE()
-		acc := metrics.NewTable("forecaster battery MSE (lbl.gov→anl.gov)", "forecaster", "MSE")
+		acc := NewTable("forecaster battery MSE (lbl.gov→anl.gov)", "forecaster", "MSE")
 		for _, name := range sortedKeys(mse) {
 			acc.AddRow(name, mse[name])
 		}

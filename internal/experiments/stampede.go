@@ -9,7 +9,6 @@ import (
 
 	"mds2/internal/gris"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 	"mds2/internal/softstate"
 )
 
@@ -40,7 +39,7 @@ func (b *costedBackend) Entries(*gris.Query) ([]*ldap.Entry, error) {
 
 func runStampede(w io.Writer) error {
 	const providerCost = 5 * time.Millisecond
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"E8 — cache-stampede coalescing (cold cache, provider execution costs 5ms real time)",
 		"concurrent clients", "provider invocations", "cache hits", "wall time")
 

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
 )
 
 func init() {
@@ -20,7 +19,7 @@ func init() {
 // MDS2 performance studies (query cost growing with directory size) and
 // shows the indexed plane holding flat.
 func runStore(w io.Writer) error {
-	tab := metrics.NewTable(
+	tab := NewTable(
 		"store — indexed data plane vs linear scan (per-query latency)",
 		"entries", "query", "indexed", "scan", "speedup")
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E2: cache TTL sweep", "ttl", "hit-rate", "latency")
+	tab.AddRow("10s", 0.91234, 1500*time.Microsecond)
+	tab.AddRow("longer-ttl-value", 1.0, time.Millisecond)
+	out := tab.String()
+	if !strings.Contains(out, "E2: cache TTL sweep") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0.912") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Errorf("duration formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, ===, header, ---, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("rows = %d", tab.Rows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2)
+	out := tab.String()
+	if strings.HasPrefix(out, "\n") || strings.Contains(out, "=") {
+		t.Errorf("unexpected title decoration:\n%s", out)
+	}
+}

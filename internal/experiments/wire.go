@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,7 +15,8 @@ import (
 	"mds2/internal/grrp"
 	"mds2/internal/gris"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
+	"mds2/internal/softstate"
 )
 
 func init() {
@@ -29,7 +32,18 @@ var WireOptions = struct {
 	Concurrency int
 	// Duration is the measurement window per cell.
 	Duration time.Duration
+	// ObsAddr, when non-empty, instruments the root GIIS of the 2-level
+	// topology, serves the introspection endpoint there, and appends a
+	// traced chained query's span tree to the report.
+	ObsAddr string
 }{Duration: time.Second}
+
+// wireObs carries the root GIIS's observability hookup through the
+// topology builders when WireOptions.ObsAddr is set.
+type wireObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+}
 
 // corpusBackend serves a fixed pre-built entry set: the wire experiment
 // measures serialization and syscalls, so the provider itself must be free.
@@ -76,12 +90,16 @@ func startWireGRIS(suffix ldap.DN, entries []*ldap.Entry) (string, func(), error
 // startWireGIIS serves a chaining GIIS over loopback TCP with the given
 // children registered (childSuffix[i] served at childAddr[i]).
 func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
-	childSuffixes []ldap.DN, childType string) (string, func(), error) {
+	childSuffixes []ldap.DN, childType string, o *wireObs) (string, func(), error) {
 
-	d := giis.New(giis.Config{
+	cfg := giis.Config{
 		Name:   name,
 		Suffix: suffix,
-	})
+	}
+	if o != nil {
+		cfg.Obs = o.reg
+	}
+	d := giis.New(cfg)
 	now := time.Now()
 	for i, addr := range childAddrs {
 		msg := &grrp.Message{
@@ -98,6 +116,10 @@ func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
 		}
 	}
 	srv := ldap.NewServer(d)
+	if o != nil {
+		srv.Obs = o.reg
+		srv.Tracer = o.tracer
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		d.Close()
@@ -156,9 +178,9 @@ func measureWire(addr string, base ldap.DN, filter string, clients int,
 	}
 
 	var (
-		hist    metrics.Histogram
-		queries metrics.Counter
-		entries metrics.Counter
+		hist    obs.Histogram
+		queries obs.Counter
+		entries obs.Counter
 		wg      sync.WaitGroup
 		start   = make(chan struct{})
 		failMu  sync.Mutex
@@ -226,7 +248,7 @@ func runWire(w io.Writer) error {
 		concSweep = []int{WireOptions.Concurrency}
 	}
 
-	tab := metrics.NewTable(
+	tab := NewTable(
 		fmt.Sprintf("wire — end-to-end GRIP throughput over loopback TCP (%v per cell; allocs are process-wide: client+server)", window),
 		"topology", "entries/query", "clients", "queries/s", "entries/s", "allocs/query", "p50", "p99")
 	addRow := func(topology string, perQuery, clients int, cell wireCell) {
@@ -282,10 +304,19 @@ func runWire(w io.Writer) error {
 			leafAddrs[i] = addr
 			leafSuffixes[i] = suffix
 		}
+		// Mid tier traces too: the root trace then shows the chain
+		// crossing both GIIS hops, not just the first fan-out.
+		var wo *wireObs
+		if WireOptions.ObsAddr != "" {
+			wo = &wireObs{
+				reg:    obs.NewRegistry(),
+				tracer: obs.NewTracer(softstate.RealClock{}, 0),
+			}
+		}
 		midAddrs := make([]string, 2)
 		for i := 0; i < 2; i++ {
 			addr, stop, err := startWireGIIS(fmt.Sprintf("giis.mid%d", i), base,
-				leafAddrs[i*2:i*2+2], leafSuffixes[i*2:i*2+2], "gris")
+				leafAddrs[i*2:i*2+2], leafSuffixes[i*2:i*2+2], "gris", nil)
 			if err != nil {
 				stopAll()
 				return err
@@ -294,12 +325,20 @@ func runWire(w io.Writer) error {
 			midAddrs[i] = addr
 		}
 		topAddr, stopTop, err := startWireGIIS("giis.top", base,
-			midAddrs, []ldap.DN{base, base}, "giis")
+			midAddrs, []ldap.DN{base, base}, "giis", wo)
 		if err != nil {
 			stopAll()
 			return err
 		}
 		stops = append(stops, stopTop)
+		if wo != nil {
+			if stopObs, err := serveWireObs(wo, w); err != nil {
+				stopAll()
+				return err
+			} else {
+				stops = append(stops, stopObs)
+			}
+		}
 		for _, clients := range concSweep {
 			cell, err := measureWire(topAddr, base, "(objectclass=computer)", clients, window, perLeaf*leaves)
 			if err != nil {
@@ -308,9 +347,67 @@ func runWire(w io.Writer) error {
 			}
 			addRow("giis-2level", perLeaf*leaves, clients, cell)
 		}
+		if wo != nil {
+			if err := wireTrace(topAddr, base, w); err != nil {
+				stopAll()
+				return err
+			}
+		}
 		stopAll()
 	}
 
 	_, err := fmt.Fprintln(w, tab)
 	return err
+}
+
+// serveWireObs exposes the root GIIS's introspection endpoint on
+// WireOptions.ObsAddr for the lifetime of the topology.
+func serveWireObs(wo *wireObs, w io.Writer) (func(), error) {
+	h := obs.NewHandler(wo.reg, wo.tracer, softstate.RealClock{})
+	l, err := net.Listen("tcp", WireOptions.ObsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: obs listener: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	fmt.Fprintf(w, "wire: observability for giis.top on http://%s\n", l.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// wireTrace runs one traced chained query against the root GIIS, checks the
+// recent-trace ring answers over HTTP, and prints the span tree: the chain
+// hop into each mid GIIS must appear under the root search span.
+func wireTrace(topAddr string, base ldap.DN, w io.Writer) error {
+	c, err := ldap.Dial(topAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	res, err := c.SearchWith(&ldap.SearchRequest{
+		BaseDN: base.String(),
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)"),
+	}, []ldap.Control{ldap.NewTraceControl("", 0)})
+	if err != nil {
+		return fmt.Errorf("wire: traced query: %w", err)
+	}
+	t, ok := ldap.TraceSpans(res.DoneControls)
+	if !ok {
+		return fmt.Errorf("wire: traced query returned no span control")
+	}
+	resp, err := http.Get("http://" + WireOptions.ObsAddr + "/debug/traces")
+	if err != nil {
+		return fmt.Errorf("wire: /debug/traces: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), t.ID) {
+		return fmt.Errorf("wire: trace %s missing from /debug/traces", t.ID)
+	}
+	fmt.Fprintf(w, "wire: trace %s (%d entries streamed, /debug/traces has it):\n%s\n",
+		t.ID, len(res.Entries), obs.FormatSpanTree(t.Spans))
+	return nil
 }

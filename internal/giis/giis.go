@@ -23,7 +23,7 @@ import (
 	"mds2/internal/grrp"
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -101,6 +101,12 @@ type Config struct {
 	// delivery capabilities beyond those provided by GRIP"). The bundled
 	// matchmaker service plugs in here.
 	Extensions map[string]Extension
+	// Obs, when non-nil, surfaces directory metrics under giis_* series:
+	// search/registration/chain counters, pool evict/close counts, chain
+	// fan-out width and per-child latency histograms, hedge fires, and
+	// soft-state registry live/expired series. The pooled LDAP clients'
+	// UnknownResponses counters aggregate here too.
+	Obs *obs.Registry
 }
 
 // Extension handles one GRIP extended operation: it receives the request
@@ -128,9 +134,26 @@ type Server struct {
 	childOK    bool
 
 	// Stats
-	Registrations metrics.Counter // accepted GRRP messages
-	Searches      metrics.Counter
-	ChainedOps    metrics.Counter
+	Registrations obs.Counter // accepted GRRP messages
+	Searches      obs.Counter
+	ChainedOps    obs.Counter
+	// PoolEvictions counts broken child connections unlinked from the pool;
+	// PoolCloses counts pooled connections actually closed.
+	PoolEvictions obs.Counter
+	PoolCloses    obs.Counter
+	// HedgeFired counts searches cut off by the chaining hedge deadline.
+	HedgeFired obs.Counter
+
+	// unknownClosed accumulates UnknownResponses from pooled clients that
+	// have been closed, so the aggregate across the pool's lifetime survives
+	// connection churn.
+	unknownClosed obs.Counter
+
+	// hChainChild and hFanout are registry-backed histograms (nil — no-op —
+	// without Config.Obs): per-child chained search latency and chain
+	// fan-out width per search.
+	hChainChild *obs.Histogram
+	hFanout     *obs.Histogram
 
 	sasl *gsi.SASLBinder
 }
@@ -172,6 +195,38 @@ func New(cfg Config) *Server {
 	}
 	s.strategy = cfg.Strategy
 	s.strategy.attach(s)
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterCounter("giis_registrations_total", &s.Registrations)
+		cfg.Obs.RegisterCounter("giis_searches_total", &s.Searches)
+		cfg.Obs.RegisterCounter("giis_chained_ops_total", &s.ChainedOps)
+		cfg.Obs.RegisterCounter("giis_pool_evictions_total", &s.PoolEvictions)
+		cfg.Obs.RegisterCounter("giis_pool_closes_total", &s.PoolCloses)
+		cfg.Obs.RegisterCounter("giis_hedge_fired_total", &s.HedgeFired)
+		s.hChainChild = cfg.Obs.Histogram("giis_chain_child_ns")
+		s.hFanout = cfg.Obs.Histogram("giis_chain_fanout_width")
+		reg := s.receiver.Registry
+		cfg.Obs.GaugeFunc("giis_registry_live", func() float64 { return float64(reg.Len()) })
+		cfg.Obs.CounterFunc("giis_registry_expired_total", func() int64 {
+			return int64(reg.ExpiredTotal())
+		})
+		cfg.Obs.GaugeFunc("giis_pool_size", func() float64 {
+			s.poolMu.Lock()
+			n := len(s.pool)
+			s.poolMu.Unlock()
+			return float64(n)
+		})
+		// PR 4's per-client UnknownResponses counter, aggregated across the
+		// whole pool (live connections plus everything already closed).
+		cfg.Obs.CounterFunc("ldap_client_unknown_responses_total", func() int64 {
+			s.poolMu.Lock()
+			total := s.unknownClosed.Value()
+			for _, pe := range s.pool {
+				total += pe.c.UnknownResponses.Value()
+			}
+			s.poolMu.Unlock()
+			return total
+		})
+	}
 	return s
 }
 
@@ -289,8 +344,16 @@ func (s *Server) Close() {
 	}
 	s.poolMu.Unlock()
 	for _, c := range idle {
-		c.Close()
+		s.closePooled(c)
 	}
+}
+
+// closePooled closes a pooled child connection, folding its unknown-response
+// count into the pool-lifetime aggregate first.
+func (s *Server) closePooled(c *ldap.Client) {
+	s.unknownClosed.Add(c.UnknownResponses.Value())
+	s.PoolCloses.Inc()
+	c.Close()
 }
 
 // acquire borrows a pooled connection to a child, dialing on demand. Every
@@ -345,7 +408,7 @@ func (s *Server) release(pe *poolEntry) {
 	dead := pe.evicted && pe.refs == 0
 	s.poolMu.Unlock()
 	if dead {
-		pe.c.Close()
+		s.closePooled(pe.c)
 	}
 }
 
@@ -356,6 +419,7 @@ func (s *Server) evict(pe *poolEntry) {
 	s.poolMu.Lock()
 	if !pe.evicted {
 		pe.evicted = true
+		s.PoolEvictions.Inc()
 		if s.pool[pe.key] == pe {
 			delete(s.pool, pe.key)
 		}
@@ -365,20 +429,56 @@ func (s *Server) evict(pe *poolEntry) {
 
 // chain translates a view-namespace region into the child's namespace,
 // runs the search there, and translates result DNs back into the view.
-func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
+// When req carries a trace, the hop is recorded as a chain span, the trace
+// identity propagates to the child via the trace-request control, and the
+// span tree the child reports back is grafted under the chain span — so the
+// root directory's trace shows every hop of a multi-level search.
+func (s *Server) chain(req *ldap.Request, child Child, base ldap.DN, scope ldap.Scope,
 	filter *ldap.Filter, attrs []string, sizeLimit int64) ([]*ldap.Entry, error) {
 
 	childBase, childScope, ok := translateRegion(base, scope, child)
 	if !ok {
 		return nil, nil
 	}
-	req := &ldap.SearchRequest{
+	sreq := &ldap.SearchRequest{
 		BaseDN:     childBase.String(),
 		Scope:      childScope,
 		Filter:     filter,
 		Attributes: attrs,
 		SizeLimit:  sizeLimit,
 	}
+	var sp *obs.Span
+	var ctls []ldap.Control
+	traced := req != nil && req.TraceID != ""
+	if traced {
+		sp = req.Span.Child("chain:" + child.URL.String())
+		ctls = []ldap.Control{ldap.NewTraceControl(req.TraceID, req.TraceDepth + 1)}
+	}
+	var start time.Time
+	if s.hChainChild != nil || traced {
+		start = s.clock.Now()
+	}
+	entries, doneCtls, err := s.chainOnce(sreq, child, ctls)
+	if s.hChainChild != nil {
+		s.hChainChild.Observe(s.clock.Now().Sub(start))
+	}
+	if traced {
+		if t, ok := ldap.TraceSpans(doneCtls); ok {
+			sp.Graft(t.Spans)
+		}
+		if err != nil {
+			sp.SetNote("error: " + err.Error())
+		}
+		sp.End()
+	}
+	return entries, err
+}
+
+// chainOnce runs the translated search against the child, retrying once on
+// connection-level failure, and grafts result DNs back into the view. It
+// also returns the controls from the child's final done message (the traced
+// child's span tree rides there).
+func (s *Server) chainOnce(sreq *ldap.SearchRequest, child Child, ctls []ldap.Control) ([]*ldap.Entry, []ldap.Control, error) {
 	var res *ldap.SearchResult
 	var err error
 	// Pooled connections may have been severed by a partition that has
@@ -388,10 +488,10 @@ func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
 		var pe *poolEntry
 		pe, err = s.acquire(child.URL)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		s.ChainedOps.Inc()
-		res, err = pe.c.Search(req)
+		res, err = pe.c.SearchWith(sreq, ctls)
 		if err == nil || (ldap.IsCode(err, ldap.ResultSizeLimitExceeded) && res != nil) {
 			// Success, or the child truncated at its size limit — partial
 			// entries still count.
@@ -401,13 +501,13 @@ func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
 		}
 		if ldap.IsCode(err, ldap.ResultNoSuchObject) {
 			s.release(pe)
-			return nil, nil
+			return nil, nil, nil
 		}
 		s.evict(pe)
 		s.release(pe)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Entries decoded off this search are exclusively ours — nothing else
 	// holds a reference — so the DN graft happens in place instead of deep
@@ -417,7 +517,7 @@ func (s *Server) chain(child Child, base ldap.DN, scope ldap.Scope,
 			e.DN = rel.Under(child.ViewSuffix)
 		}
 	}
-	return res.Entries, nil
+	return res.Entries, res.DoneControls, nil
 }
 
 // translateRegion maps a search region in the GIIS view into the child's

@@ -1,0 +1,233 @@
+package giis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/grrp"
+	"mds2/internal/hostinfo"
+	"mds2/internal/ldap"
+	"mds2/internal/obs"
+	"mds2/internal/providers"
+	"mds2/internal/simnet"
+	"mds2/internal/softstate"
+)
+
+// TestChainedSearchTracePropagates drives a traced GRIP search through a
+// served GIIS into a GRIS child over simulated wire, and checks the root
+// trace shows both hops: the chain span at the GIIS and the grafted remote
+// search span the GRIS reported back via the trace control.
+func TestChainedSearchTracePropagates(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	network := simnet.New(1)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(clock, 0)
+
+	d := New(Config{
+		Name:    "giis.vo",
+		Suffix:  ldap.MustParseDN("vo=alliance"),
+		SelfURL: ldap.MustParseURL("sim://giis-node:389"),
+		Clock:   clock,
+		Obs:     reg,
+		Dial: func(url ldap.URL) (*ldap.Client, error) {
+			conn, err := network.Dial("giis-node", url.Address())
+			if err != nil {
+				return nil, err
+			}
+			return ldap.NewClient(conn), nil
+		},
+	})
+	defer d.Close()
+
+	// One GRIS child on its own node.
+	h := hostinfo.New("hostA", hostinfo.Spec{
+		OS: "linux redhat", OSVer: "6.2", CPUType: "ia32", CPUCount: 4, MemoryMB: 1024,
+	}, 1)
+	suffix := ldap.MustParseDN("hn=hostA, o=center1")
+	g := gris.New(gris.Config{Suffix: suffix, Clock: clock})
+	for _, b := range providers.HostBackends(h, suffix) {
+		g.Register(b)
+	}
+	leafSrv := ldap.NewServer(g)
+	ll, err := network.Listen("hostA-node", "389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go leafSrv.Serve(ll)
+	defer leafSrv.Close()
+
+	now := clock.Now()
+	if !d.Ingest(&grrp.Message{
+		Type:       grrp.TypeRegister,
+		ServiceURL: "sim://hostA-node:389",
+		MDSType:    "gris",
+		SuffixDN:   suffix.String(),
+		IssuedAt:   now,
+		ValidUntil: now.Add(time.Hour),
+	}) {
+		t.Fatal("registration refused")
+	}
+
+	// Serve the GIIS itself so the trace control crosses real protocol code.
+	srv := ldap.NewServer(d)
+	srv.Clock = clock
+	srv.Obs = reg
+	srv.Tracer = tracer
+	gl, err := network.Listen("giis-node", "389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(gl)
+	defer srv.Close()
+
+	conn, err := network.Dial("client-node", "giis-node:389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ldap.NewClient(conn)
+	defer c.Close()
+
+	res, err := c.SearchWith(&ldap.SearchRequest{
+		BaseDN: "vo=alliance", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)"),
+	}, []ldap.Control{ldap.NewTraceControl("", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) == 0 {
+		t.Fatal("chained search returned nothing")
+	}
+
+	ex, ok := ldap.TraceSpans(res.DoneControls)
+	if !ok {
+		t.Fatal("no trace-spans control on the chained search")
+	}
+	var chain *obs.SpanNode
+	for _, ch := range ex.Spans.Children {
+		if strings.HasPrefix(ch.Name, "chain:sim://hostA-node:389") {
+			chain = ch
+		}
+	}
+	if chain == nil {
+		t.Fatalf("no chain span in root trace:\n%s", obs.FormatSpanTree(ex.Spans))
+	}
+	var remote *obs.SpanNode
+	for _, ch := range chain.Children {
+		if ch.Remote && ch.Name == "search" {
+			remote = ch
+		}
+	}
+	if remote == nil {
+		t.Fatalf("chain span has no grafted remote hop:\n%s", obs.FormatSpanTree(ex.Spans))
+	}
+	foundBackend := false
+	for _, ch := range remote.Children {
+		if strings.HasPrefix(ch.Name, "backend:") {
+			foundBackend = true
+		}
+	}
+	if !foundBackend {
+		t.Errorf("remote hop shows no GRIS backend span:\n%s", obs.FormatSpanTree(ex.Spans))
+	}
+
+	// The tracer recorded the root trace, and the chain instruments moved.
+	recent := tracer.Recent()
+	if len(recent) != 1 || recent[0].ID != ex.ID {
+		t.Errorf("recent = %+v", recent)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"giis_searches_total 1",
+		"giis_chained_ops_total 1",
+		"giis_chain_child_ns_count 1",
+		"giis_chain_fanout_width_count 1",
+		"giis_registry_live 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPoolMetricsSurviveChurn checks eviction/close counters and the
+// pool-wide unknown-response aggregate keep counting across connection
+// churn.
+func TestPoolMetricsSurviveChurn(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	network := simnet.New(1)
+	reg := obs.NewRegistry()
+	d := New(Config{
+		Name:    "giis.vo",
+		Suffix:  ldap.MustParseDN("vo=alliance"),
+		SelfURL: ldap.MustParseURL("sim://giis-node:389"),
+		Clock:   clock,
+		Obs:     reg,
+		Dial: func(url ldap.URL) (*ldap.Client, error) {
+			conn, err := network.Dial("giis-node", url.Address())
+			if err != nil {
+				return nil, err
+			}
+			return ldap.NewClient(conn), nil
+		},
+	})
+
+	// A child that immediately closes connections: every chained search
+	// fails, killing the pooled client (a dead-client close, not an evict).
+	l, err := network.Listen("dead-node", "389")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	defer l.Close()
+
+	now := clock.Now()
+	if !d.Ingest(&grrp.Message{
+		Type:       grrp.TypeRegister,
+		ServiceURL: "sim://dead-node:389",
+		MDSType:    "gris",
+		SuffixDN:   "o=center1",
+		IssuedAt:   now,
+		ValidUntil: now.Add(time.Hour),
+	}) {
+		t.Fatal("registration refused")
+	}
+	for i := 0; i < 3; i++ {
+		r := &rig{t: t, clock: clock, network: network, giis: d}
+		_, _ = r.search(&ldap.SearchRequest{
+			BaseDN: "vo=alliance", Scope: ldap.ScopeWholeSubtree,
+			Filter: ldap.MustParseFilter("(objectclass=computer)"),
+		})
+	}
+	d.Close()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "giis_pool_closes_total") {
+		t.Fatalf("no pool close series:\n%s", out)
+	}
+	if d.PoolCloses.Value() == 0 {
+		t.Errorf("pool closes = 0 after churn\n%s", out)
+	}
+	// The aggregate unknown-responses series exists (zero is fine: a closed
+	// conn yields dial/IO errors, not unknown message IDs).
+	if !strings.Contains(out, "ldap_client_unknown_responses_total") {
+		t.Errorf("missing pool-wide unknown responses series:\n%s", out)
+	}
+}

@@ -89,6 +89,7 @@ func (c *Chaining) Search(ctx *SearchContext) ldap.Result {
 	if len(relevant) == 0 {
 		return ldap.Result{Code: ldap.ResultSuccess}
 	}
+	c.s.hFanout.ObserveValue(int64(len(relevant)))
 
 	type reply struct {
 		entries []*ldap.Entry
@@ -116,7 +117,7 @@ func (c *Chaining) Search(ctx *SearchContext) ldap.Result {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for child := range jobs {
-				entries, err := c.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
+				entries, err := c.s.chain(ctx.Req, child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
 					ctx.Op.Attributes, ctx.Op.SizeLimit)
 				replies <- reply{entries, err}
 			}
@@ -157,6 +158,7 @@ collect:
 			}
 		case <-hedge:
 			hedged = true
+			c.s.HedgeFired.Inc()
 			break collect
 		}
 	}
@@ -222,7 +224,7 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 	cf := ctx.Op.Filter.Compile()
 	var matched []*ldap.Entry
 	for _, child := range ctx.Children {
-		entries, err := c.childEntries(child, now)
+		entries, err := c.childEntries(ctx.Req, child, now)
 		if err != nil {
 			partial = true
 			continue
@@ -250,7 +252,7 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 	return res
 }
 
-func (c *CachedIndex) childEntries(child Child, now time.Time) ([]*ldap.Entry, error) {
+func (c *CachedIndex) childEntries(req *ldap.Request, child Child, now time.Time) ([]*ldap.Entry, error) {
 	key := child.URL.ServiceKey()
 	c.mu.Lock()
 	ce, ok := c.cache[key]
@@ -260,7 +262,7 @@ func (c *CachedIndex) childEntries(child Child, now time.Time) ([]*ldap.Entry, e
 		return entries, nil
 	}
 	c.mu.Unlock()
-	entries, err := c.s.chain(child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
+	entries, err := c.s.chain(req, child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
 	if err != nil {
 		// Serve stale data when the authoritative source is unreachable:
 		// "users should have as much partial or even inconsistent
@@ -385,7 +387,7 @@ func (b *BloomRouted) Search(ctx *SearchContext) ldap.Result {
 				continue
 			}
 		}
-		entries, err := b.s.chain(child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
+		entries, err := b.s.chain(ctx.Req, child, ctx.Base, ctx.Op.Scope, ctx.Op.Filter,
 			ctx.Op.Attributes, ctx.Op.SizeLimit)
 		if err != nil {
 			partial = true
@@ -426,7 +428,7 @@ func (b *BloomRouted) summaryFor(child Child, now time.Time) *summary {
 		return sm
 	}
 	b.mu.Unlock()
-	entries, err := b.s.chain(child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
+	entries, err := b.s.chain(nil, child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
 	if err != nil {
 		return nil // no summary: fail open (chain anyway)
 	}

@@ -16,7 +16,7 @@ import (
 
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -29,6 +29,10 @@ type Query struct {
 	Scope  ldap.Scope
 	Filter *ldap.Filter
 	Now    time.Time
+	// Span, when the originating request is traced, is the parent span for
+	// per-backend fetch spans. Nil (the common case) disables span
+	// recording; all span operations are no-ops on nil.
+	Span *obs.Span
 }
 
 // ErrScopeTooWide is returned by backends over non-enumerable namespaces
@@ -79,6 +83,9 @@ type Config struct {
 	// large archive might implement protocol extensions to support richer
 	// relational queries").
 	Extensions map[string]Extension
+	// Obs, when non-nil, surfaces the server's counters (queries,
+	// invocations, cache hit/miss/coalesce) under gris_* series.
+	Obs *obs.Registry
 }
 
 // Extension handles one GRIP extended operation.
@@ -104,9 +111,13 @@ type Server struct {
 	flights  map[string]*flight // backend name -> in-progress invocation
 
 	// Stats
-	Queries     metrics.Counter
-	Invocations metrics.Counter // provider executions (cache misses)
-	CacheHits   metrics.Counter
+	Queries     obs.Counter
+	Invocations obs.Counter // provider executions
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter // lookups that found no fresh cache entry
+	// Coalesced counts queries that joined an in-progress provider
+	// invocation instead of stampeding the backend.
+	Coalesced obs.Counter
 
 	sasl *gsi.SASLBinder
 }
@@ -137,6 +148,13 @@ func New(cfg Config) *Server {
 		cache: map[string]*cacheEntry{}, flights: map[string]*flight{}}
 	if cfg.Keys != nil && cfg.Trust != nil {
 		s.sasl = gsi.NewSASLBinder(cfg.Keys, cfg.Trust, cfg.Clock.Now, cfg.TrustedDirectories)
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterCounter("gris_queries_total", &s.Queries)
+		cfg.Obs.RegisterCounter("gris_provider_invocations_total", &s.Invocations)
+		cfg.Obs.RegisterCounter("gris_cache_hits_total", &s.CacheHits)
+		cfg.Obs.RegisterCounter("gris_cache_misses_total", &s.CacheMisses)
+		cfg.Obs.RegisterCounter("gris_stampede_coalesced_total", &s.Coalesced)
 	}
 	return s
 }
@@ -281,7 +299,8 @@ func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.Search
 	if _, isPS := ldap.FindControl(req.Controls, ldap.OIDPersistentSearch); isPS {
 		return s.persistentSearch(req, op, base, w, p)
 	}
-	entries, partial := s.evaluate(&Query{Base: base, Scope: op.Scope, Filter: op.Filter, Now: s.clock.Now()})
+	entries, partial := s.evaluate(&Query{Base: base, Scope: op.Scope, Filter: op.Filter,
+		Now: s.clock.Now(), Span: req.Span})
 	sent := int64(0)
 	for _, e := range entries {
 		visible := s.redact(p, e, op)
@@ -341,7 +360,9 @@ func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
 		if pruneByAttributes(q.Filter, b.Attributes()) {
 			continue
 		}
-		entries, err := s.fetch(b, q)
+		sp := q.Span.Child("backend:" + b.Name())
+		entries, err := s.fetch(b, q, sp)
+		sp.End()
 		if err != nil {
 			if errors.Is(err, ErrScopeTooWide) {
 				partial = true
@@ -374,17 +395,20 @@ func (s *Server) evaluate(q *Query) ([]*ldap.Entry, bool) {
 // every time. Concurrent queries that miss an expired TTL are coalesced
 // into a single provider invocation: without that, every TTL boundary
 // under load turns into an N× stampede on the backend.
-func (s *Server) fetch(b Backend, q *Query) ([]*ldap.Entry, error) {
+func (s *Server) fetch(b Backend, q *Query, sp *obs.Span) ([]*ldap.Entry, error) {
 	ttl := b.CacheTTL()
 	if ttl <= 0 {
 		s.Invocations.Inc()
+		sp.SetNote("invoke")
 		return b.Entries(q)
 	}
 	if entries, ok := s.cached(b.Name(), q.Now, ttl); ok {
 		s.CacheHits.Inc()
+		sp.SetNote("hit")
 		return entries, nil
 	}
-	return s.refresh(b, q.Now, ttl)
+	s.CacheMisses.Inc()
+	return s.refresh(b, q.Now, ttl, sp)
 }
 
 // cached returns the fresh cache contents for a backend, if any. Reads take
@@ -401,11 +425,13 @@ func (s *Server) cached(name string, now time.Time, ttl time.Duration) ([]*ldap.
 // refresh invokes the backend once per expiry, no matter how many queries
 // miss concurrently: the first miss becomes the flight leader and runs the
 // provider; the rest wait on the flight and share its result.
-func (s *Server) refresh(b Backend, now time.Time, ttl time.Duration) ([]*ldap.Entry, error) {
+func (s *Server) refresh(b Backend, now time.Time, ttl time.Duration, sp *obs.Span) ([]*ldap.Entry, error) {
 	name := b.Name()
 	s.flightMu.Lock()
 	if f := s.flights[name]; f != nil {
 		s.flightMu.Unlock()
+		s.Coalesced.Inc()
+		sp.SetNote("miss,coalesced")
 		<-f.done
 		if f.err != nil {
 			return nil, f.err
@@ -423,10 +449,12 @@ func (s *Server) refresh(b Backend, now time.Time, ttl time.Duration) ([]*ldap.E
 		f.entries = entries
 		s.finishFlight(name, f)
 		s.CacheHits.Inc()
+		sp.SetNote("hit")
 		return entries, nil
 	}
 
 	s.Invocations.Inc()
+	sp.SetNote("miss,invoke")
 	// Cacheable backends are queried for their full subtree so the cache
 	// is a superset serving any narrower query.
 	full := &Query{Base: b.Suffix(), Scope: ldap.ScopeWholeSubtree, Now: now}

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"mds2/internal/ber"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -33,7 +33,9 @@ type Client struct {
 	// operation — a protocol desync, or a reply that arrived after its
 	// caller timed out or abandoned. The first occurrence is also logged to
 	// ErrorLog, so desyncs are observable instead of silently dropped.
-	UnknownResponses metrics.Counter
+	// Owners aggregating many clients (the GIIS pool) surface it through an
+	// obs.Registry via a CounterFunc rather than a bespoke field.
+	UnknownResponses obs.Counter
 	// ErrorLog receives client-side protocol warnings; nil discards them.
 	ErrorLog *log.Logger
 
@@ -68,7 +70,7 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established connection (TCP or simulated pipe).
 func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, w: newConnWriter(conn, nil), nextID: 1,
+	c := &Client{conn: conn, w: newConnWriter(conn, nil, nil), nextID: 1,
 		pending: map[int64]*pendingOp{},
 		Timeout: 30 * time.Second, Clock: softstate.RealClock{}}
 	go c.readLoop()
@@ -275,12 +277,21 @@ type SearchResult struct {
 	Entries   []*Entry
 	Referrals []string
 	Result    Result
+	// DoneControls are the controls attached to the final SearchResultDone
+	// message (e.g. the trace-spans control a traced child hop reports).
+	DoneControls []Control
 }
 
 // Search runs a search to completion and collects all result entries.
 // The client Timeout bounds the whole operation (persistent searches use
 // SearchFunc with a caller-managed context instead).
 func (c *Client) Search(req *SearchRequest) (*SearchResult, error) {
+	return c.SearchWith(req, nil)
+}
+
+// SearchWith is Search with request controls attached — the chained-search
+// path a GIIS uses to propagate trace identity to child hops.
+func (c *Client) SearchWith(req *SearchRequest, controls []Control) (*SearchResult, error) {
 	ctx := context.Background()
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -288,13 +299,13 @@ func (c *Client) Search(req *SearchRequest) (*SearchResult, error) {
 		defer cancel()
 	}
 	res := &SearchResult{}
-	err := c.SearchFunc(ctx, req, nil, func(e *Entry, _ []Control) error {
+	err := c.searchFunc(ctx, req, controls, func(e *Entry, _ []Control) error {
 		res.Entries = append(res.Entries, e)
 		return nil
 	}, func(urls []string) error {
 		res.Referrals = append(res.Referrals, urls...)
 		return nil
-	}, &res.Result)
+	}, &res.Result, &res.DoneControls)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +325,14 @@ func (c *Client) Search(req *SearchRequest) (*SearchResult, error) {
 // GRIP subscription mode.
 func (c *Client) SearchFunc(ctx context.Context, req *SearchRequest, controls []Control,
 	entryFn func(*Entry, []Control) error, refFn func([]string) error, done *Result) error {
+	return c.searchFunc(ctx, req, controls, entryFn, refFn, done, nil)
+}
+
+// searchFunc additionally captures the final message's controls when
+// doneControls is non-nil.
+func (c *Client) searchFunc(ctx context.Context, req *SearchRequest, controls []Control,
+	entryFn func(*Entry, []Control) error, refFn func([]string) error,
+	done *Result, doneControls *[]Control) error {
 
 	id := c.allocID()
 	pop, err := c.register(id, 64)
@@ -351,6 +370,9 @@ func (c *Client) SearchFunc(ctx context.Context, req *SearchRequest, controls []
 			case *SearchResultDone:
 				if done != nil {
 					*done = op.Result
+				}
+				if doneControls != nil {
+					*doneControls = msg.Controls
 				}
 				return nil
 			default:

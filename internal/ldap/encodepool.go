@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -40,6 +41,10 @@ const idleFlushDelay = 2 * time.Millisecond
 type connWriter struct {
 	conn  net.Conn
 	clock softstate.Clock
+	// batch, when non-nil, observes the byte size of every coalesced write
+	// handed to the socket. Fixed at construction so drains from any
+	// goroutine read it without synchronization.
+	batch *obs.Histogram
 
 	mu      sync.Mutex
 	buf     []byte // encoded frames awaiting the wire
@@ -51,13 +56,14 @@ type connWriter struct {
 	done chan struct{} // closed by close: stops the idle goroutine
 }
 
-func newConnWriter(conn net.Conn, clock softstate.Clock) *connWriter {
+func newConnWriter(conn net.Conn, clock softstate.Clock, batch *obs.Histogram) *connWriter {
 	if clock == nil {
 		clock = softstate.RealClock{}
 	}
 	w := &connWriter{
 		conn:  conn,
 		clock: clock,
+		batch: batch,
 		wake:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
@@ -112,6 +118,7 @@ func (w *connWriter) drainLocked() error {
 		w.buf = w.spare[:0]
 		w.spare = nil
 		w.mu.Unlock()
+		w.batch.ObserveValue(int64(len(buf))) // nil-safe no-op when unobserved
 		_, err := w.conn.Write(buf)
 		w.mu.Lock()
 		if err != nil && w.err == nil {

@@ -6,9 +6,13 @@ import (
 	"errors"
 	"log"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mds2/internal/ber"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -65,6 +69,16 @@ type Request struct {
 	Ctx      context.Context
 	State    *ConnState
 	Controls []Control
+
+	// Span is the server-side span for this operation; handlers hang
+	// sub-spans (cache lookups, chain hops) off it. Nil when the request is
+	// untraced — all Span methods are no-ops on nil.
+	Span *obs.Span
+	// TraceID and TraceDepth identify the active trace so handlers that
+	// chain to child hops (GIIS) can propagate it via the trace control.
+	// TraceID is empty when the request is untraced.
+	TraceID    string
+	TraceDepth int
 }
 
 // Handler implements server-side LDAP semantics. GRIS and GIIS are both
@@ -130,6 +144,19 @@ type Server struct {
 	// means the wall clock. Injectable so FakeClock tests cover the
 	// coalescing path deterministically.
 	Clock softstate.Clock
+	// Obs, when non-nil, receives protocol-engine metrics (in-flight ops,
+	// per-op latency, write batch sizes). Set before serving; nil disables
+	// collection at zero cost (instruments resolve to nil no-op recorders).
+	Obs *obs.Registry
+	// Tracer, when non-nil, traces every dispatched operation. Independent
+	// of Tracer, a request carrying the trace-request control is always
+	// traced and its span tree returned on the final response, so a parent
+	// hop (or gridsearch -trace) gets spans from an otherwise untraced
+	// server.
+	Tracer *obs.Tracer
+
+	instOnce sync.Once
+	inst     serverInstruments
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -148,6 +175,7 @@ var ErrServerClosed = errors.New("ldap: server closed")
 
 // Serve accepts connections on l until Close is called.
 func (s *Server) Serve(l net.Listener) error {
+	s.instruments() // materialize registry series before the first connection
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -224,10 +252,49 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// serverInstruments are the protocol engine's registry-backed instruments,
+// resolved once per server. With no Obs registry every pointer is nil — a
+// no-op recorder — and enabled gates the clock reads, so the disabled path
+// adds one branch and zero allocations.
+type serverInstruments struct {
+	enabled  bool
+	inflight *obs.Gauge
+	opDur    [6]*obs.Histogram // indexed by opKind
+	batch    *obs.Histogram
+}
+
+type opKind int
+
+const (
+	opBind opKind = iota
+	opSearch
+	opAdd
+	opDelete
+	opModify
+	opExtended
+)
+
+var opKindNames = [6]string{"bind", "search", "add", "delete", "modify", "extended"}
+
+func (s *Server) instruments() *serverInstruments {
+	s.instOnce.Do(func() {
+		r := s.Obs // nil registry hands out nil (no-op) instruments
+		s.inst.enabled = r != nil
+		s.inst.inflight = r.Gauge("ldap_inflight_ops")
+		for k, name := range opKindNames {
+			s.inst.opDur[k] = r.Histogram("ldap_" + name + "_duration_ns")
+		}
+		s.inst.batch = r.Histogram("ldap_write_batch_bytes")
+	})
+	return &s.inst
+}
+
 type serverConn struct {
 	srv   *Server
 	conn  net.Conn
 	state *ConnState
+	clock softstate.Clock
+	inst  *serverInstruments
 	w     *connWriter // coalesces outbound messages onto the wire
 
 	opMu sync.Mutex
@@ -239,11 +306,18 @@ func (s *Server) newConn(conn net.Conn) *serverConn {
 	if ra := conn.RemoteAddr(); ra != nil {
 		addr = ra.String()
 	}
+	clock := s.Clock
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	inst := s.instruments()
 	return &serverConn{
 		srv:   s,
 		conn:  conn,
 		state: &ConnState{RemoteAddr: addr},
-		w:     newConnWriter(conn, s.Clock),
+		clock: clock,
+		inst:  inst,
+		w:     newConnWriter(conn, s.Clock, inst.batch),
 		ops:   map[int64]context.CancelFunc{},
 	}
 }
@@ -284,9 +358,22 @@ func (c *serverConn) serve() {
 			c.abandon(op.IDToAbandon)
 		case *BindRequest:
 			// Binds are serialized on the connection per RFC 4511 §4.2.1.
+			var start time.Time
+			if c.inst.enabled {
+				start = c.clock.Now()
+			}
 			resp := c.srv.Handler.Bind(c.request(root, msg), op)
+			if c.inst.enabled {
+				c.inst.opDur[opBind].Observe(c.clock.Now().Sub(start))
+			}
 			c.send(msg.ID, resp)
 		default:
+			// A trace starts here — minted locally when a Tracer is
+			// configured, or joined when the request carries the
+			// trace-request control from a parent hop. The queue span covers
+			// the handoff from the read loop to the dispatch goroutine.
+			tr := c.beginTrace(msg)
+			queued := tr.Root().Child("queue")
 			ctx, cancel := context.WithCancel(root)
 			c.opMu.Lock()
 			c.ops[msg.ID] = cancel
@@ -300,34 +387,106 @@ func (c *serverConn) serve() {
 					delete(c.ops, msg.ID)
 					c.opMu.Unlock()
 				}()
-				c.dispatch(ctx, msg)
+				queued.End()
+				c.dispatch(ctx, msg, tr)
 			}(msg)
 		}
 	}
+}
+
+// beginTrace starts (or joins) a trace for one dispatched operation.
+// Returns nil — tracing fully off for this request — unless the server has
+// a Tracer or the request carries a trace-request control.
+func (c *serverConn) beginTrace(msg *Message) *obs.Trace {
+	var id string
+	depth := 0
+	if ctl, ok := FindControl(msg.Controls, obs.OIDTraceRequest); ok {
+		if tid, d, err := obs.DecodeTraceRequest(ctl.Value); err == nil {
+			id, depth = tid, d
+		}
+	}
+	if c.srv.Tracer == nil && id == "" {
+		return nil
+	}
+	return obs.Begin(c.clock, c.srv.Tracer, opName(msg.Op), c.state.RemoteAddr, id, depth)
+}
+
+func opName(op Op) string {
+	switch op.(type) {
+	case *SearchRequest:
+		return "search"
+	case *AddRequest:
+		return "add"
+	case *DelRequest:
+		return "delete"
+	case *ModifyRequest:
+		return "modify"
+	case *ExtendedRequest:
+		return "extended"
+	}
+	return "other"
 }
 
 func (c *serverConn) request(ctx context.Context, msg *Message) *Request {
 	return &Request{Ctx: ctx, State: c.state, Controls: msg.Controls}
 }
 
-func (c *serverConn) dispatch(ctx context.Context, msg *Message) {
+func (c *serverConn) dispatch(ctx context.Context, msg *Message, tr *obs.Trace) {
 	req := c.request(ctx, msg)
+	if tr != nil {
+		req.Span = tr.Root()
+		req.TraceID = tr.ID
+		req.TraceDepth = tr.Depth
+	}
+	kind := opSearch
+	var start time.Time
+	if c.inst.enabled {
+		start = c.clock.Now()
+		c.inst.inflight.Inc()
+		defer c.inst.inflight.Dec()
+	}
+	var w *connSearchWriter
+	var reply Op
 	switch op := msg.Op.(type) {
 	case *SearchRequest:
-		w := &connSearchWriter{conn: c, id: msg.ID}
-		res := c.srv.Handler.Search(req, op, w)
-		c.send(msg.ID, &SearchResultDone{Result: res})
+		w = &connSearchWriter{conn: c, id: msg.ID, track: tr != nil}
+		reply = &SearchResultDone{Result: c.srv.Handler.Search(req, op, w)}
 	case *AddRequest:
-		c.send(msg.ID, &AddResponse{Result: c.srv.Handler.Add(req, op)})
+		kind = opAdd
+		reply = &AddResponse{Result: c.srv.Handler.Add(req, op)}
 	case *DelRequest:
-		c.send(msg.ID, &DelResponse{Result: c.srv.Handler.Delete(req, op)})
+		kind = opDelete
+		reply = &DelResponse{Result: c.srv.Handler.Delete(req, op)}
 	case *ModifyRequest:
-		c.send(msg.ID, &ModifyResponse{Result: c.srv.Handler.Modify(req, op)})
+		kind = opModify
+		reply = &ModifyResponse{Result: c.srv.Handler.Modify(req, op)}
 	case *ExtendedRequest:
-		c.send(msg.ID, c.srv.Handler.Extended(req, op))
+		kind = opExtended
+		reply = c.srv.Handler.Extended(req, op)
 	default:
 		c.srv.logf("ldap: %s: unexpected operation %T", c.state.RemoteAddr, msg.Op)
+		return
 	}
+	if c.inst.enabled {
+		c.inst.opDur[kind].Observe(c.clock.Now().Sub(start))
+	}
+	var ctls []Control
+	if tr != nil {
+		if w != nil {
+			if n := w.entries.Load(); n > 0 {
+				tr.Root().AddTimed("encode+write", time.Duration(w.encodeNs.Load()),
+					strconv.FormatInt(n, 10)+" entries")
+			}
+		}
+		tr.Finish()
+		// The span tree rides back on the final response only when the
+		// requester asked for it: parent hops and gridsearch -trace send the
+		// trace-request control, plain clients never see the extra bytes.
+		if _, ok := FindControl(msg.Controls, obs.OIDTraceRequest); ok {
+			ctls = append(ctls, Control{OID: obs.OIDTraceSpans, Value: obs.EncodeSpans(tr.Export())})
+		}
+	}
+	c.send(msg.ID, reply, ctls...)
 }
 
 func (c *serverConn) abandon(id int64) {
@@ -348,6 +507,12 @@ func (c *serverConn) send(id int64, op Op, controls ...Control) error {
 type connSearchWriter struct {
 	conn *serverConn
 	id   int64
+	// track turns on encode/write accounting for traced searches; when
+	// false (the common case) SendEntry takes the untimed path — no clock
+	// reads, no atomics, no allocations beyond the send itself.
+	track    bool
+	entries  atomic.Int64
+	encodeNs atomic.Int64
 }
 
 // SendEntry streams one result entry. Plain streamed entries buffer in the
@@ -357,8 +522,16 @@ type connSearchWriter struct {
 // there may be no further traffic on this search for hours.
 func (w *connSearchWriter) SendEntry(e *Entry, controls ...Control) error {
 	flush := len(controls) > 0
-	return w.conn.w.enqueue(&Message{ID: w.id,
+	if !w.track {
+		return w.conn.w.enqueue(&Message{ID: w.id,
+			Op: &SearchResultEntry{Entry: e}, Controls: controls}, flush)
+	}
+	start := w.conn.clock.Now()
+	err := w.conn.w.enqueue(&Message{ID: w.id,
 		Op: &SearchResultEntry{Entry: e}, Controls: controls}, flush)
+	w.encodeNs.Add(int64(w.conn.clock.Now().Sub(start)))
+	w.entries.Add(1)
+	return err
 }
 
 func (w *connSearchWriter) SendReferral(urls ...string) error {

@@ -1,0 +1,25 @@
+package ldap
+
+import "mds2/internal/obs"
+
+// NewTraceControl builds the trace-request control a parent hop (or a
+// tracing client) attaches to a search. id == "" asks the server to mint a
+// fresh trace; depth is the hop distance from the trace origin.
+// Non-critical by design: servers without observability ignore it.
+func NewTraceControl(id string, depth int) Control {
+	return Control{OID: obs.OIDTraceRequest, Value: obs.EncodeTraceRequest(id, depth)}
+}
+
+// TraceSpans extracts the span tree a traced server attached to the final
+// response (the trace-spans control), or ok=false when absent or garbled.
+func TraceSpans(controls []Control) (*obs.TraceExport, bool) {
+	ctl, ok := FindControl(controls, obs.OIDTraceSpans)
+	if !ok {
+		return nil, false
+	}
+	t, err := obs.DecodeSpans(ctl.Value)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}

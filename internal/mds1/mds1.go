@@ -15,7 +15,7 @@ import (
 
 	"mds2/internal/gris"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -28,8 +28,8 @@ type Central struct {
 
 	// Updates counts push operations; EntriesPushed counts entries
 	// uploaded (the update-load metric of E4).
-	Updates       metrics.Counter
-	EntriesPushed metrics.Counter
+	Updates       obs.Counter
+	EntriesPushed obs.Counter
 }
 
 // New creates an empty central directory.

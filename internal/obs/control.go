@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mds2/internal/ber"
+)
+
+// LDAP control OIDs for trace propagation (private-enterprise arc). The
+// request control rides on a chained search to a child hop; the spans
+// control rides back on the final response of a traced operation.
+const (
+	// OIDTraceRequest's value is BER: SEQUENCE { traceID OCTET STRING,
+	// depth INTEGER }. Non-critical: servers without obs ignore it.
+	OIDTraceRequest = "1.3.6.1.4.1.57846.1.1"
+	// OIDTraceSpans's value is the JSON TraceExport of the hop's span tree.
+	OIDTraceSpans = "1.3.6.1.4.1.57846.1.2"
+)
+
+// EncodeTraceRequest encodes a trace-request control value.
+func EncodeTraceRequest(id string, depth int) []byte {
+	return ber.Marshal(ber.NewSequence().Append(
+		ber.NewOctetString(id),
+		ber.NewInteger(int64(depth)),
+	))
+}
+
+// DecodeTraceRequest decodes a trace-request control value.
+func DecodeTraceRequest(value []byte) (id string, depth int, err error) {
+	p, err := ber.DecodeFull(value)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(p.Children) != 2 {
+		return "", 0, fmt.Errorf("obs: bad trace request control")
+	}
+	// Clone: Str may view the caller's frame buffer, and the trace ID
+	// outlives the request frame.
+	id = strings.Clone(p.Child(0).Str())
+	d, err := p.Child(1).Int64()
+	if err != nil {
+		return "", 0, err
+	}
+	return id, int(d), nil
+}
+
+// EncodeSpans encodes a trace-spans control value.
+func EncodeSpans(t *TraceExport) []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// DecodeSpans decodes a trace-spans control value.
+func DecodeSpans(value []byte) (*TraceExport, error) {
+	var t TraceExport
+	if err := json.Unmarshal(value, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

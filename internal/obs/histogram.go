@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: exponential bounds growing 25% per bucket from
+// 1, spanning ~1ns to ~45min when samples are nanoseconds. Fixed geometry
+// keeps Observe a binary search plus one atomic add — no locks, no
+// allocation — at the cost of ≤25% relative quantile error, which is ample
+// for latency telemetry.
+const (
+	numBuckets = 128
+	growth     = 1.25
+)
+
+// bounds[i] is the inclusive upper bound of bucket i.
+var bounds = func() [numBuckets]int64 {
+	var b [numBuckets]int64
+	f := 1.0
+	for i := range b {
+		f *= growth
+		v := int64(math.Ceil(f))
+		if i > 0 && v <= b[i-1] {
+			v = b[i-1] + 1
+		}
+		b[i] = v
+	}
+	return b
+}()
+
+// bucketFor returns the index of the bucket holding v (numBuckets for
+// overflow past the last bound).
+func bucketFor(v int64) int {
+	if v <= bounds[0] {
+		return 0
+	}
+	if v > bounds[numBuckets-1] {
+		return numBuckets
+	}
+	lo, hi := 1, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Histogram is a lock-free fixed-bucket histogram over int64 values
+// (conventionally nanoseconds; also used for widths and byte counts). The
+// zero value is ready to use; a nil *Histogram discards observations.
+// A Histogram must not be copied after first use.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Int64 // last bucket holds overflow
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records a duration sample as nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records one raw sample. Negative values clamp to zero.
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketFor(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the running sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the exact arithmetic mean as a duration, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// snapshot copies the bucket counts; total is their sum (consistent with the
+// copied buckets even while concurrent Observes land).
+func (h *Histogram) snapshot() (counts [numBuckets + 1]int64, total int64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// QuantileValue returns the q'th quantile (0 ≤ q ≤ 1) of the raw samples by
+// linear interpolation within the holding bucket, or ok=false when empty.
+func (h *Histogram) QuantileValue(q float64) (int64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0, false
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == numBuckets {
+			// Overflow bucket: the tracked max is the best upper estimate.
+			return h.max.Load(), true
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if m := h.max.Load(); m < hi {
+			hi = m // no sample exceeds the observed max
+		}
+		frac := float64(rank-cum) / float64(c)
+		v := lo + int64(frac*float64(hi-lo)+0.5)
+		if v > hi {
+			v = hi
+		}
+		return v, true
+	}
+	return h.max.Load(), true
+}
+
+// Quantile returns the q'th quantile as a duration (for histograms recording
+// nanoseconds), or ok=false when empty.
+func (h *Histogram) Quantile(q float64) (time.Duration, bool) {
+	v, ok := h.QuantileValue(q)
+	return time.Duration(v), ok
+}
+
+// Summary renders count/mean/p50/p95/p99 compactly, interpreting samples as
+// durations.
+func (h *Histogram) Summary() string {
+	p50, _ := h.Quantile(0.50)
+	p95, _ := h.Quantile(0.95)
+	p99, _ := h.Quantile(0.99)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v", h.Count(), h.Mean(), p50, p95, p99)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// Handler is the live introspection endpoint mounted behind -obs-addr:
+//
+//	/metrics         Prometheus text exposition of the Registry
+//	/debug/traces    recent + slow traces as JSON
+//	/debug/registry  soft-state tables: key, TTL remaining, last refresh
+//
+// Handler starts no goroutines and owns no listener; callers (cmd/gris,
+// cmd/giis, the wire experiment) pair it with http.Serve.
+type Handler struct {
+	reg    *Registry
+	tracer *Tracer
+	clock  softstate.Clock
+
+	mu     sync.Mutex
+	tables []namedTable
+}
+
+type namedTable struct {
+	name string
+	reg  *softstate.Registry
+}
+
+// NewHandler serves reg and tracer (either may be nil).
+func NewHandler(reg *Registry, tracer *Tracer, clock softstate.Clock) *Handler {
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	return &Handler{reg: reg, tracer: tracer, clock: clock}
+}
+
+// AddTable exposes a soft-state registry under /debug/registry.
+func (h *Handler) AddTable(name string, r *softstate.Registry) {
+	if h == nil || r == nil {
+		return
+	}
+	h.mu.Lock()
+	h.tables = append(h.tables, namedTable{name: name, reg: r})
+	h.mu.Unlock()
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.reg.WritePrometheus(w); err != nil {
+			return // client went away mid-write; nothing else to do
+		}
+	case "/debug/traces":
+		writeJSON(w, map[string]any{
+			"slow_threshold_ns": int64(h.slowThreshold()),
+			"recent":            orEmpty(h.tracer.Recent()),
+			"slow":              orEmpty(h.tracer.Slow()),
+		})
+	case "/debug/registry":
+		writeJSON(w, h.registrySnapshot())
+	case "/":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("mds2 obs endpoints: /metrics /debug/traces /debug/registry\n"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) slowThreshold() time.Duration {
+	if h.tracer == nil {
+		return 0
+	}
+	return h.tracer.SlowThreshold
+}
+
+func orEmpty(t []*TraceExport) []*TraceExport {
+	if t == nil {
+		return []*TraceExport{}
+	}
+	return t
+}
+
+// RegistryEntry is one row of a /debug/registry table.
+type RegistryEntry struct {
+	Key         string `json:"key"`
+	ExpiresInMs int64  `json:"expires_in_ms"`
+	LastRefresh string `json:"last_refresh"`
+	JoinedAt    string `json:"joined_at"`
+	Refreshes   int    `json:"refreshes"`
+}
+
+// RegistryTable is one named soft-state table snapshot.
+type RegistryTable struct {
+	Table   string          `json:"table"`
+	Live    int             `json:"live"`
+	Expired uint64          `json:"expired_total"`
+	Entries []RegistryEntry `json:"entries"`
+}
+
+func (h *Handler) registrySnapshot() []RegistryTable {
+	h.mu.Lock()
+	tables := make([]namedTable, len(h.tables))
+	copy(tables, h.tables)
+	h.mu.Unlock()
+	now := h.clock.Now()
+	out := make([]RegistryTable, 0, len(tables))
+	for _, t := range tables {
+		live := t.reg.Live()
+		rt := RegistryTable{
+			Table:   t.name,
+			Live:    len(live),
+			Expired: t.reg.ExpiredTotal(),
+			Entries: make([]RegistryEntry, 0, len(live)),
+		}
+		for _, it := range live {
+			rt.Entries = append(rt.Entries, RegistryEntry{
+				Key:         it.Key,
+				ExpiresInMs: it.ExpiresAt.Sub(now).Milliseconds(),
+				LastRefresh: it.LastRefresh.UTC().Format(time.RFC3339Nano),
+				JoinedAt:    it.JoinedAt.UTC().Format(time.RFC3339Nano),
+				Refreshes:   it.Refreshes,
+			})
+		}
+		out = append(out, rt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // best-effort: client may disconnect mid-body
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+func newTestHandler(t *testing.T) (*Handler, *softstate.FakeClock) {
+	t.Helper()
+	clock := softstate.NewFakeClock()
+	reg := NewRegistry()
+	reg.Counter("reqs_total").Add(4)
+	reg.Histogram("lat_ns").Observe(time.Millisecond)
+	tracer := NewTracer(clock, 10*time.Millisecond)
+	tr := Begin(clock, tracer, "search", "peer:1", "", 0)
+	clock.Advance(20 * time.Millisecond)
+	tr.Finish()
+
+	ss := softstate.NewRegistry(clock)
+	ss.Refresh("ldap://child:389", nil, time.Minute)
+	clock.Advance(10 * time.Second)
+
+	h := NewHandler(reg, tracer, clock)
+	h.AddTable("children", ss)
+	return h, clock
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h, _ := newTestHandler(t)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	types, samples := parseProm(t, rr.Body.String())
+	if types["reqs_total"] != "counter" || types["lat_ns"] != "histogram" {
+		t.Errorf("families missing: %v", types)
+	}
+	found := map[string]bool{}
+	for _, s := range samples {
+		found[s.name] = true
+	}
+	for _, want := range []string{"reqs_total", "lat_ns_bucket", "lat_ns_sum", "lat_ns_count"} {
+		if !found[want] {
+			t.Errorf("missing series %s in:\n%s", want, rr.Body.String())
+		}
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	h, _ := newTestHandler(t)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		SlowThresholdNs int64          `json:"slow_threshold_ns"`
+		Recent          []*TraceExport `json:"recent"`
+		Slow            []*TraceExport `json:"slow"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if body.SlowThresholdNs != int64(10*time.Millisecond) {
+		t.Errorf("threshold = %d", body.SlowThresholdNs)
+	}
+	if len(body.Recent) != 1 || body.Recent[0].Op != "search" || body.Recent[0].Peer != "peer:1" {
+		t.Errorf("recent = %+v", body.Recent)
+	}
+	if len(body.Slow) != 1 { // 20ms > 10ms threshold
+		t.Errorf("slow = %+v", body.Slow)
+	}
+}
+
+func TestHandlerRegistry(t *testing.T) {
+	h, _ := newTestHandler(t)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/registry", nil))
+	var tables []RegistryTable
+	if err := json.Unmarshal(rr.Body.Bytes(), &tables); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(tables) != 1 || tables[0].Table != "children" || tables[0].Live != 1 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	e := tables[0].Entries[0]
+	if e.Key != "ldap://child:389" {
+		t.Errorf("key = %q", e.Key)
+	}
+	if e.ExpiresInMs != 50_000 { // 60s TTL minus the 10s the clock advanced
+		t.Errorf("expires_in_ms = %d", e.ExpiresInMs)
+	}
+	if e.Refreshes != 1 { // the joining Refresh counts
+		t.Errorf("refreshes = %d", e.Refreshes)
+	}
+}
+
+func TestHandlerIndexAnd404(t *testing.T) {
+	h, _ := newTestHandler(t)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "/metrics") {
+		t.Errorf("index: %d %q", rr.Code, rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
+	if rr.Code != 404 {
+		t.Errorf("unknown path status = %d", rr.Code)
+	}
+}

@@ -1,0 +1,95 @@
+// Package obs is the observability subsystem: named counters, gauges, and
+// fixed-bucket latency histograms collected in a Registry (rendered as
+// Prometheus text), plus per-query request tracing with spans that follow a
+// GRIP search across GIIS→GRIS chain hops via an LDAP control.
+//
+// Two properties shape every type here:
+//
+//   - Disabled means free. Every instrument method is nil-safe: a nil
+//     *Counter, *Gauge, *Histogram, *Span, *Trace, or *Tracer is a no-op
+//     recorder, so instrumented hot paths pay one predictable branch and
+//     zero allocations when observability is off (verified by
+//     BenchmarkObsDisabledOverhead in internal/ldap).
+//
+//   - Time is injected. All timing flows through softstate.Clock, never raw
+//     time.Now, so mdslint's clockcheck stays exemption-free and traces are
+//     deterministic under FakeClock.
+package obs
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonic counter. The zero value is ready to use;
+// a nil *Counter discards increments and reads as zero.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a lock-free instantaneous value (in-flight operations, pool
+// sizes). The zero value is ready to use; a nil *Gauge is a no-op.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.n.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.n.Add(delta)
+}
+
+// Inc increments by one.
+func (g *Gauge) Inc() {
+	if g == nil {
+		return
+	}
+	g.n.Add(1)
+}
+
+// Dec decrements by one.
+func (g *Gauge) Dec() {
+	if g == nil {
+		return
+	}
+	g.n.Add(-1)
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 1000 {
+		t.Errorf("value = %d", c.Value())
+	}
+	c.Add(-1000)
+	if c.Value() != 0 {
+		t.Errorf("value = %d", c.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter should read zero")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Error("nil gauge should read zero")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.ObserveValue(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil histogram should read zero")
+	}
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("nil histogram quantile should report !ok")
+	}
+	var sp *Span
+	sp.Child("x").End()
+	sp.SetNote("note")
+	sp.AddTimed("y", time.Second, "")
+	sp.Graft(&SpanNode{Name: "z"})
+	sp.End()
+	var tr *Trace
+	tr.Finish()
+	if tr.Root() != nil || tr.Duration() != 0 || tr.Export() != nil {
+		t.Error("nil trace should be inert")
+	}
+	var tc *Tracer
+	if tc.Recent() != nil || tc.Slow() != nil {
+		t.Error("nil tracer should export nothing")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if g.Value() != 15 {
+		t.Errorf("value = %d", g.Value())
+	}
+}
+
+func TestBucketBoundsMonotonic(t *testing.T) {
+	for i := 1; i < numBuckets; i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds[%d]=%d <= bounds[%d]=%d", i, bounds[i], i-1, bounds[i-1])
+		}
+	}
+	// Geometry must cover realistic latencies: the last bound is > 30min in ns.
+	if bounds[numBuckets-1] < int64(30*time.Minute) {
+		t.Errorf("last bound %d covers too little", bounds[numBuckets-1])
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketFor(bounds[i]); got != i {
+			t.Errorf("bucketFor(bounds[%d]=%d) = %d", i, bounds[i], got)
+		}
+	}
+	if got := bucketFor(0); got != 0 {
+		t.Errorf("bucketFor(0) = %d", got)
+	}
+	if got := bucketFor(bounds[numBuckets-1] + 1); got != numBuckets {
+		t.Errorf("overflow bucket = %d", got)
+	}
+}
+
+// TestHistogramQuantiles checks quantiles against the bucket geometry's
+// documented ≤25% relative error (plus interpolation slack near bucket
+// edges), unlike the exact-sample histogram this package replaced.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != int64(5050*time.Millisecond) {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if mean := h.Mean(); mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v (mean is exact, not bucketed)", mean)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got, ok := h.Quantile(q)
+		if !ok {
+			t.Fatalf("q%.2f: !ok", q)
+		}
+		lo := want - want/3
+		hi := want + want/3
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	check(0.50, 50*time.Millisecond)
+	check(0.95, 95*time.Millisecond)
+	check(0.99, 99*time.Millisecond)
+	// The top quantile clamps to the tracked max exactly.
+	if max, _ := h.Quantile(1); max > 100*time.Millisecond {
+		t.Errorf("q1 = %v exceeds max sample", max)
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Hour) // beyond the last bound
+	h.ObserveValue(-5)       // clamps to zero
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q, _ := h.Quantile(1); q != 2*time.Hour {
+		t.Errorf("overflow quantile = %v, want the tracked max", q)
+	}
+	if q, _ := h.Quantile(0.01); q > time.Duration(bounds[0]) {
+		t.Errorf("low quantile = %v, want within the first bucket", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("empty quantile should report !ok")
+	}
+	if h.Mean() != 0 {
+		t.Error("empty mean should be zero")
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Error("summary should render empty histograms")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// quantiles are read; run under -race this is the storm test.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+				if i%100 == 0 {
+					h.Quantile(0.9)
+					h.Summary()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a name-keyed collection of instruments. Instruments are
+// created on first lookup and shared thereafter; components may also
+// register externally allocated instruments or read-only sampling
+// functions. A nil *Registry hands out nil instruments, which are no-op
+// recorders — so a component wired with an optional registry needs no
+// conditionals at observation sites.
+//
+// Metric names follow Prometheus conventions: counters end in _total,
+// histograms carry a unit suffix (_ns for nanoseconds, _bytes for sizes,
+// none for dimensionless widths).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	counterFns map[string]func() int64
+	gaugeFns   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		hists:      map[string]*Histogram{},
+		counterFns: map[string]func() int64{},
+		gaugeFns:   map[string]func() float64{},
+	}
+}
+
+// sanitizeName maps arbitrary strings onto the Prometheus metric-name
+// alphabet ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func sanitizeName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		ok = false
+		break
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Counter returns the named counter, creating it if absent. Nil registry →
+// nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterCounter adopts an externally allocated counter under name, so a
+// component's existing counter field and the registry share one value.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[sanitizeName(name)] = c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a read-only sampling function rendered as a counter
+// (for values maintained elsewhere, e.g. softstate expiry totals).
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFns[sanitizeName(name)] = fn
+}
+
+// GaugeFunc registers a read-only sampling function rendered as a gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[sanitizeName(name)] = fn
+}
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format, families sorted by name. Histogram buckets are emitted sparsely
+// (only boundaries whose cumulative count changed, plus +Inf) — valid input
+// for histogram_quantile, a fraction of the lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters)+len(r.counterFns))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	fns := make(map[string]func() int64, len(r.counterFns))
+	for name, fn := range r.counterFns {
+		fns[name] = fn
+	}
+	gauges := make(map[string]float64, len(r.gauges)+len(r.gaugeFns))
+	for name, g := range r.gauges {
+		gauges[name] = float64(g.Value())
+	}
+	gfns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		gfns[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Sampling functions run outside the registry lock: they may take other
+	// locks (softstate.Registry.mu) that must never nest under ours.
+	for name, fn := range fns {
+		counters[name] = fn()
+	}
+	for name, fn := range gfns {
+		gauges[name] = fn()
+	}
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(hists) {
+		writeHistogram(&b, name, hists[name])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	counts, total := h.snapshot()
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i := 0; i <= numBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		if i == numBuckets {
+			break // overflow renders as +Inf below
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bounds[i], cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}

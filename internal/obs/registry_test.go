@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Error("same name must return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name must return the same gauge")
+	}
+	if r.Histogram("h_ns") != r.Histogram("h_ns") {
+		t.Error("same name must return the same histogram")
+	}
+}
+
+func TestNilRegistryHandsOutNilInstruments(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	r.RegisterCounter("x", &Counter{})
+	r.CounterFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("x", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:v2":       "ok_name:v2",
+		"chain.ldap://x:1": "chain_ldap:__x:1", // ':' is legal in the Prometheus alphabet
+		"9lead":            "_lead",
+		"":                 "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegisterCounterAdoption(t *testing.T) {
+	r := NewRegistry()
+	var own Counter
+	own.Add(7)
+	r.RegisterCounter("adopted_total", &own)
+	if r.Counter("adopted_total").Value() != 7 {
+		t.Error("adopted counter must share the external value")
+	}
+}
+
+// promSample is one parsed line of Prometheus text exposition.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parseProm parses the subset of the text format the registry emits.
+func parseProm(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		labels := ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labels = name[i:]
+			name = name[:i]
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: v})
+	}
+	return types, samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Add(3)
+	r.Gauge("inflight").Set(2)
+	r.CounterFunc("sampled_total", func() int64 { return 9 })
+	r.GaugeFunc("ratio", func() float64 { return 0.5 })
+	h := r.Histogram("lat_ns")
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Hour) // overflow bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, b.String())
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.name+s.labels] = s.value
+	}
+	if types["reqs_total"] != "counter" || byName["reqs_total"] != 3 {
+		t.Errorf("counter family wrong: %v %v", types["reqs_total"], byName["reqs_total"])
+	}
+	if types["inflight"] != "gauge" || byName["inflight"] != 2 {
+		t.Errorf("gauge family wrong")
+	}
+	if byName["sampled_total"] != 9 || byName["ratio"] != 0.5 {
+		t.Errorf("sampling funcs wrong: %v %v", byName["sampled_total"], byName["ratio"])
+	}
+	if types["lat_ns"] != "histogram" {
+		t.Fatalf("lat_ns type = %q", types["lat_ns"])
+	}
+	if byName["lat_ns_count"] != 3 {
+		t.Errorf("histogram count = %v", byName["lat_ns_count"])
+	}
+	if byName[`lat_ns_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket = %v", byName[`lat_ns_bucket{le="+Inf"}`])
+	}
+	// Buckets are cumulative and non-decreasing in bound order.
+	var prevBound, prevCum float64 = -1, -1
+	for _, s := range samples {
+		if s.name != "lat_ns_bucket" || s.labels == `{le="+Inf"}` {
+			continue
+		}
+		bound, err := strconv.ParseFloat(strings.Trim(strings.TrimPrefix(s.labels, `{le="`), `"}`), 64)
+		if err != nil {
+			t.Fatalf("bad bucket label %q", s.labels)
+		}
+		if bound <= prevBound || s.value < prevCum {
+			t.Errorf("bucket %q=%v not cumulative after %v=%v", s.labels, s.value, prevBound, prevCum)
+		}
+		prevBound, prevCum = bound, s.value
+	}
+	if prevCum > byName[`lat_ns_bucket{le="+Inf"}`] {
+		t.Error("finite buckets exceed +Inf")
+	}
+}
+
+// TestRegistryConcurrentStorm races creation, observation, and rendering;
+// meaningful under -race.
+func TestRegistryConcurrentStorm(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter(fmt.Sprintf("c%d_total", i%5)).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_ns").ObserveValue(int64(i))
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 5; i++ {
+		total += r.Counter(fmt.Sprintf("c%d_total", i)).Value()
+	}
+	if total != 8*200 {
+		t.Errorf("counter total = %d", total)
+	}
+	if r.Histogram("h_ns").Count() != 8*200 {
+		t.Errorf("histogram count = %d", r.Histogram("h_ns").Count())
+	}
+}

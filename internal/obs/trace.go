@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// maxSpanChildren bounds the fan-out recorded under one span so a
+// pathological query (or a long-lived persistent search) cannot grow a
+// trace without bound; excess children are counted, not stored.
+const maxSpanChildren = 256
+
+// Span is one timed region of a traced request. Spans form a tree: child
+// spans for sub-operations, grafted remote nodes for work a downstream hop
+// reported back via the trace control. A nil *Span is a no-op, so
+// instrumented code never checks whether tracing is active.
+type Span struct {
+	clock softstate.Clock
+	start time.Time
+
+	mu       sync.Mutex
+	name     string
+	note     string
+	dur      time.Duration
+	ended    bool
+	children []*Span
+	remote   []*SpanNode
+	dropped  int
+}
+
+func newSpan(clock softstate.Clock, name string) *Span {
+	return &Span{clock: clock, name: name, start: clock.Now()}
+}
+
+// Child opens a sub-span. The child is returned even when the parent's
+// child list is full (the caller still times against it; it just is not
+// retained in the tree).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.clock, name)
+	s.mu.Lock()
+	if len(s.children) < maxSpanChildren {
+		s.children = append(s.children, c)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Subsequent Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.clock.Now()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = end.Sub(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetNote attaches a short annotation (e.g. "hit", "miss,coalesced").
+func (s *Span) SetNote(note string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.note = note
+	s.mu.Unlock()
+}
+
+// AddTimed records an already-measured sub-operation as a closed child span
+// (used where the duration is accumulated out-of-band, e.g. encode+write
+// time summed across streamed entries).
+func (s *Span) AddTimed(name string, d time.Duration, note string) {
+	if s == nil {
+		return
+	}
+	now := s.clock.Now()
+	c := &Span{clock: s.clock, name: name, start: now.Add(-d), dur: d, ended: true, note: note}
+	s.mu.Lock()
+	if len(s.children) < maxSpanChildren {
+		s.children = append(s.children, c)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Graft attaches a span tree reported by a remote hop.
+func (s *Span) Graft(node *SpanNode) {
+	if s == nil || node == nil {
+		return
+	}
+	node.Remote = true
+	s.mu.Lock()
+	if len(s.remote) < maxSpanChildren {
+		s.remote = append(s.remote, node)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// export renders the span subtree with start offsets relative to base.
+func (s *Span) export(base time.Time) *SpanNode {
+	s.mu.Lock()
+	node := &SpanNode{
+		Name:    s.name,
+		StartNs: s.start.Sub(base).Nanoseconds(),
+		Note:    s.note,
+		Dropped: s.dropped,
+	}
+	if s.ended {
+		node.DurNs = s.dur.Nanoseconds()
+	} else {
+		node.DurNs = s.clock.Now().Sub(s.start).Nanoseconds()
+		node.Open = true
+	}
+	children := s.children
+	remote := s.remote
+	s.mu.Unlock()
+	for _, c := range children {
+		node.Children = append(node.Children, c.export(base))
+	}
+	node.Children = append(node.Children, remote...)
+	return node
+}
+
+// SpanNode is the serialized form of a span tree — what /debug/traces emits
+// and what the trace-spans LDAP control carries between hops.
+type SpanNode struct {
+	Name     string      `json:"name"`
+	StartNs  int64       `json:"start_ns"` // offset from the trace root's start
+	DurNs    int64       `json:"dur_ns"`
+	Note     string      `json:"note,omitempty"`
+	Remote   bool        `json:"remote,omitempty"` // reported by a downstream hop
+	Open     bool        `json:"open,omitempty"`   // span had not ended at export
+	Dropped  int         `json:"dropped,omitempty"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Trace is one traced request: an ID (minted at the first hop, carried to
+// children via the trace control), the hop depth, and a root span.
+type Trace struct {
+	ID    string
+	Op    string
+	Peer  string
+	Depth int
+	Start time.Time
+
+	root   *Span
+	tracer *Tracer
+	dur    atomic.Int64 // set by Finish
+	done   atomic.Bool
+}
+
+// traceSeed randomizes trace IDs across processes; the per-process sequence
+// number keeps them unique (and deterministic in order) within one.
+var traceSeed = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15 // fixed fallback: IDs stay unique per process
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var traceSeq atomic.Uint64
+
+// Begin starts a trace. id == "" mints a fresh ID (the caller is the first
+// hop); a non-empty id joins a trace started upstream at the given depth.
+// A nil tracer with an empty id returns nil — tracing fully off.
+func Begin(clock softstate.Clock, tracer *Tracer, op, peer, id string, depth int) *Trace {
+	if tracer == nil && id == "" {
+		return nil
+	}
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	if id == "" {
+		id = fmt.Sprintf("%08x-%06x", uint32(traceSeed), traceSeq.Add(1))
+	}
+	root := newSpan(clock, op)
+	return &Trace{ID: id, Op: op, Peer: peer, Depth: depth, Start: root.start,
+		root: root, tracer: tracer}
+}
+
+// Root returns the trace's root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span and records the trace in the tracer's rings
+// (recent, and slow when over threshold). Idempotent.
+func (t *Trace) Finish() {
+	if t == nil || !t.done.CompareAndSwap(false, true) {
+		return
+	}
+	t.root.End()
+	t.dur.Store(int64(t.root.dur))
+	if t.tracer != nil {
+		t.tracer.record(t)
+	}
+}
+
+// Duration returns the root span's duration once finished.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.dur.Load())
+}
+
+// Export renders the whole trace, span offsets relative to the root start.
+func (t *Trace) Export() *TraceExport {
+	if t == nil {
+		return nil
+	}
+	return &TraceExport{
+		ID:    t.ID,
+		Op:    t.Op,
+		Peer:  t.Peer,
+		Depth: t.Depth,
+		Start: t.Start.UTC().Format(time.RFC3339Nano),
+		DurNs: int64(t.Duration()),
+		Spans: t.root.export(t.Start),
+	}
+}
+
+// TraceExport is the JSON form of a finished trace (also the payload of the
+// trace-spans response control).
+type TraceExport struct {
+	ID    string    `json:"id"`
+	Op    string    `json:"op"`
+	Peer  string    `json:"peer,omitempty"`
+	Depth int       `json:"depth"`
+	Start string    `json:"start"`
+	DurNs int64     `json:"dur_ns"`
+	Spans *SpanNode `json:"spans"`
+}
+
+// Tracer retains finished traces: a bounded ring of the most recent, and a
+// second ring of those slower than SlowThreshold. Recording is O(1) and
+// holds only the tracer's own lock.
+type Tracer struct {
+	clock softstate.Clock
+	// SlowThreshold promotes traces at least this slow into the slow ring
+	// and the slow counter. Zero disables the slow log.
+	SlowThreshold time.Duration
+	// SlowLog, when non-nil, receives a one-line record per slow trace.
+	SlowLog func(t *TraceExport)
+
+	mu     sync.Mutex
+	recent ring
+	slow   ring
+
+	// Recorded/Slow count all finished traces / slow traces (exposed so a
+	// Registry can surface them without reaching into the rings).
+	Recorded Counter
+	SlowSeen Counter
+}
+
+const (
+	recentRingCap = 128
+	slowRingCap   = 64
+)
+
+type ring struct {
+	buf  []*Trace
+	next int
+	n    int
+}
+
+func (r *ring) add(t *Trace, cap int) {
+	if r.buf == nil {
+		r.buf = make([]*Trace, cap)
+	}
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// newestFirst returns the ring contents, most recent first.
+func (r *ring) newestFirst() []*Trace {
+	out := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// NewTracer returns a tracer using the given clock for trace timing. slow
+// is the slow-query threshold (0 disables the slow log).
+func NewTracer(clock softstate.Clock, slow time.Duration) *Tracer {
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	return &Tracer{clock: clock, SlowThreshold: slow}
+}
+
+// Clock returns the tracer's clock (RealClock for a nil tracer), so callers
+// minting traces share its time source.
+func (t *Tracer) Clock() softstate.Clock {
+	if t == nil || t.clock == nil {
+		return softstate.RealClock{}
+	}
+	return t.clock
+}
+
+func (t *Tracer) record(tr *Trace) {
+	t.Recorded.Inc()
+	isSlow := t.SlowThreshold > 0 && tr.Duration() >= t.SlowThreshold
+	t.mu.Lock()
+	t.recent.add(tr, recentRingCap)
+	if isSlow {
+		t.slow.add(tr, slowRingCap)
+	}
+	t.mu.Unlock()
+	if isSlow {
+		t.SlowSeen.Inc()
+		if t.SlowLog != nil {
+			t.SlowLog(tr.Export())
+		}
+	}
+}
+
+// Recent exports the most recent finished traces, newest first.
+func (t *Tracer) Recent() []*TraceExport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := t.recent.newestFirst()
+	t.mu.Unlock()
+	return exportAll(traces)
+}
+
+// Slow exports the retained slow traces, newest first.
+func (t *Tracer) Slow() []*TraceExport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := t.slow.newestFirst()
+	t.mu.Unlock()
+	return exportAll(traces)
+}
+
+func exportAll(traces []*Trace) []*TraceExport {
+	out := make([]*TraceExport, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Export()
+	}
+	return out
+}
+
+// FormatSpanTree pretty-prints a span tree, one span per line:
+//
+//	search 12.4ms
+//	├─ queue 18µs
+//	├─ backend 2.1ms (hit)
+//	└─ chain:ldap://10.0.0.7:389 9.9ms
+//	   └─ ▸ search 9.1ms        (▸ marks spans reported by a remote hop)
+func FormatSpanTree(node *SpanNode) string {
+	if node == nil {
+		return ""
+	}
+	var b strings.Builder
+	formatNode(&b, node, "", "", "")
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n *SpanNode, prefix, branch, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(branch)
+	if n.Remote {
+		b.WriteString("▸ ")
+	}
+	b.WriteString(n.Name)
+	fmt.Fprintf(b, " %v", time.Duration(n.DurNs).Round(time.Microsecond))
+	if n.Open {
+		b.WriteString(" (open)")
+	}
+	if n.Note != "" {
+		fmt.Fprintf(b, " (%s)", n.Note)
+	}
+	if n.Dropped > 0 {
+		fmt.Fprintf(b, " [+%d dropped]", n.Dropped)
+	}
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			formatNode(b, c, prefix+childPrefix, "└─ ", "   ")
+		} else {
+			formatNode(b, c, prefix+childPrefix, "├─ ", "│  ")
+		}
+	}
+}

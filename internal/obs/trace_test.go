@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+func TestTraceSpansUnderFakeClock(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	tr := Begin(clock, NewTracer(clock, 0), "search", "127.0.0.1:9", "", 0)
+	if tr == nil {
+		t.Fatal("Begin returned nil with a tracer")
+	}
+	if tr.ID == "" {
+		t.Error("trace must mint an ID when none is supplied")
+	}
+	queue := tr.Root().Child("queue")
+	clock.Advance(3 * time.Millisecond)
+	queue.End()
+	backend := tr.Root().Child("backend:corpus")
+	backend.SetNote("hit")
+	clock.Advance(10 * time.Millisecond)
+	backend.End()
+	backend.End() // idempotent
+	tr.Root().AddTimed("encode+write", 2*time.Millisecond, "5 entries")
+	tr.Root().Child("open-span") // never ended: exports as open
+	clock.Advance(time.Millisecond)
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	if tr.Duration() != 14*time.Millisecond {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+	ex := tr.Export()
+	if ex.DurNs != int64(14*time.Millisecond) || ex.Op != "search" {
+		t.Errorf("export root wrong: %+v", ex)
+	}
+	if len(ex.Spans.Children) != 4 {
+		t.Fatalf("children = %d", len(ex.Spans.Children))
+	}
+	q := ex.Spans.Children[0]
+	if q.Name != "queue" || q.DurNs != int64(3*time.Millisecond) || q.StartNs != 0 {
+		t.Errorf("queue span wrong: %+v", q)
+	}
+	b := ex.Spans.Children[1]
+	if b.Note != "hit" || b.DurNs != int64(10*time.Millisecond) || b.StartNs != int64(3*time.Millisecond) {
+		t.Errorf("backend span wrong: %+v", b)
+	}
+	if e := ex.Spans.Children[2]; e.Name != "encode+write" || e.DurNs != int64(2*time.Millisecond) {
+		t.Errorf("timed span wrong: %+v", e)
+	}
+	if o := ex.Spans.Children[3]; !o.Open {
+		t.Errorf("unended span must export as open: %+v", o)
+	}
+}
+
+func TestTraceJoinsUpstreamID(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	// No tracer, but an upstream ID: the hop still traces (it must report
+	// spans back to the parent) without recording anything locally.
+	tr := Begin(clock, nil, "search", "", "abc-123", 2)
+	if tr == nil {
+		t.Fatal("Begin must trace when an upstream ID is present")
+	}
+	if tr.ID != "abc-123" || tr.Depth != 2 {
+		t.Errorf("trace = %+v", tr)
+	}
+	tr.Finish()
+	// Fully off: no tracer, no upstream ID.
+	if Begin(clock, nil, "search", "", "", 0) != nil {
+		t.Error("Begin must return nil with no tracer and no ID")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	tc := NewTracer(clock, 0)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tr := Begin(clock, tc, "op", "", "", 0)
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace ID %q", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+}
+
+func TestTracerRingsAndSlowLog(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	tc := NewTracer(clock, 10*time.Millisecond)
+	var slowLogged []string
+	tc.SlowLog = func(t *TraceExport) { slowLogged = append(slowLogged, t.ID) }
+
+	mk := func(d time.Duration) *Trace {
+		tr := Begin(clock, tc, "search", "", "", 0)
+		clock.Advance(d)
+		tr.Finish()
+		return tr
+	}
+	fast := mk(time.Millisecond)
+	slow := mk(25 * time.Millisecond)
+	edge := mk(10 * time.Millisecond) // >= threshold is slow
+
+	recent := tc.Recent()
+	if len(recent) != 3 || recent[0].ID != edge.ID || recent[2].ID != fast.ID {
+		t.Fatalf("recent order wrong: %+v", ids(recent))
+	}
+	slowTraces := tc.Slow()
+	if len(slowTraces) != 2 || slowTraces[0].ID != edge.ID || slowTraces[1].ID != slow.ID {
+		t.Fatalf("slow ring wrong: %+v", ids(slowTraces))
+	}
+	if len(slowLogged) != 2 {
+		t.Fatalf("slow log called %d times", len(slowLogged))
+	}
+	if tc.Recorded.Value() != 3 || tc.SlowSeen.Value() != 2 {
+		t.Errorf("counters: recorded=%d slow=%d", tc.Recorded.Value(), tc.SlowSeen.Value())
+	}
+
+	// The recent ring is bounded: oldest entries fall off.
+	for i := 0; i < recentRingCap+10; i++ {
+		mk(time.Microsecond)
+	}
+	if n := len(tc.Recent()); n != recentRingCap {
+		t.Errorf("recent ring length = %d, want %d", n, recentRingCap)
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	tr := Begin(clock, NewTracer(clock, 0), "search", "", "", 0)
+	for i := 0; i < maxSpanChildren+7; i++ {
+		tr.Root().Child("c").End()
+	}
+	tr.Finish()
+	ex := tr.Export()
+	if len(ex.Spans.Children) != maxSpanChildren {
+		t.Errorf("children = %d", len(ex.Spans.Children))
+	}
+	if ex.Spans.Dropped != 7 {
+		t.Errorf("dropped = %d", ex.Spans.Dropped)
+	}
+}
+
+func TestGraftAndFormat(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	tr := Begin(clock, NewTracer(clock, 0), "search", "", "", 0)
+	chain := tr.Root().Child("chain:ldap://child:389")
+	chain.Graft(&SpanNode{Name: "search", DurNs: int64(time.Millisecond),
+		Children: []*SpanNode{{Name: "queue", DurNs: 1000}}})
+	clock.Advance(2 * time.Millisecond)
+	chain.End()
+	tr.Finish()
+	ex := tr.Export()
+
+	remote := ex.Spans.Children[0].Children[0]
+	if !remote.Remote {
+		t.Error("grafted node must be marked remote")
+	}
+	out := FormatSpanTree(ex.Spans)
+	for _, want := range []string{"search 2ms", "└─ chain:ldap://child:389 2ms", "▸ search 1ms", "└─ queue 1µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	val := EncodeTraceRequest("abc-42", 3)
+	id, depth, err := DecodeTraceRequest(val)
+	if err != nil || id != "abc-42" || depth != 3 {
+		t.Fatalf("round trip: id=%q depth=%d err=%v", id, depth, err)
+	}
+	if _, _, err := DecodeTraceRequest([]byte{0xff, 0x00}); err == nil {
+		t.Error("garbage must not decode")
+	}
+
+	ex := &TraceExport{ID: "abc-42", Op: "search", DurNs: 5,
+		Spans: &SpanNode{Name: "search", DurNs: 5}}
+	got, err := DecodeSpans(EncodeSpans(ex))
+	if err != nil || got.ID != "abc-42" || got.Spans.Name != "search" {
+		t.Fatalf("spans round trip: %+v err=%v", got, err)
+	}
+}
+
+func ids(t []*TraceExport) []string {
+	out := make([]string, len(t))
+	for i, tr := range t {
+		out[i] = tr.ID
+	}
+	return out
+}

@@ -13,7 +13,7 @@ import (
 
 	"mds2/internal/grip"
 	"mds2/internal/ldap"
-	"mds2/internal/metrics"
+	"mds2/internal/obs"
 	"mds2/internal/softstate"
 )
 
@@ -65,7 +65,7 @@ type IdleTracker struct {
 	hosts map[string]*trackedHost // normalized DN -> state
 
 	// Queries counts provider enquiries issued (the cost being minimized).
-	Queries metrics.Counter
+	Queries obs.Counter
 }
 
 type trackedHost struct {

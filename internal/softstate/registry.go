@@ -52,6 +52,8 @@ type Item struct {
 	Refreshes int
 	// JoinedAt records when the key last transitioned to live.
 	JoinedAt time.Time
+	// LastRefresh records when the most recent refresh arrived.
+	LastRefresh time.Time
 }
 
 // Registry is a TTL-keyed soft-state table. Entries are established and kept
@@ -75,6 +77,10 @@ type Registry struct {
 	sweepGen uint64
 	sweepAt  time.Time
 	closed   bool
+	// expiredTotal counts entries that have ever expired (monotonic; the
+	// obs registry samples it as a counter without importing this package's
+	// consumers into a cycle).
+	expiredTotal uint64
 }
 
 // NewRegistry returns a registry driven by the given clock.
@@ -109,6 +115,7 @@ func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
 	it.Payload = payload
 	it.ExpiresAt = now.Add(ttl)
 	it.Refreshes++
+	it.LastRefresh = now
 	r.bumpLocked()
 	typ := EventRefreshed
 	if joined {
@@ -262,10 +269,20 @@ func (r *Registry) expireLocked(now time.Time) []string {
 	for _, key := range expired {
 		it := r.items[key]
 		delete(r.items, key)
+		r.expiredTotal++
 		r.bumpLocked()
 		r.notifyLocked(Event{Key: key, Type: EventExpired, Payload: it.Payload, At: now})
 	}
 	return expired
+}
+
+// ExpiredTotal returns the number of entries that have ever expired.
+func (r *Registry) ExpiredTotal() uint64 {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	return r.expiredTotal
 }
 
 // scheduleSweepLocked arranges a background sweep at the earliest expiry so
