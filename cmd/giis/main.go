@@ -22,6 +22,7 @@ import (
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
 	"mds2/internal/obs"
+	"mds2/internal/shard"
 	"mds2/internal/softstate"
 )
 
@@ -30,7 +31,11 @@ func main() {
 		name     = flag.String("name", "giis", "directory name")
 		suffix   = flag.String("suffix", "vo=grid", "namespace suffix")
 		listen   = flag.String("listen", ":2136", "LDAP listen address")
-		strategy = flag.String("strategy", "chain", "search strategy: chain | cache | referral | bloom")
+		strategy = flag.String("strategy", "chain", "search strategy: chain | cache | referral | bloom | sharded")
+		ringSpec = flag.String("shard-ring", "", "sharded strategy: ring members as id=url,id=url,...")
+		shardID  = flag.String("shard-id", "", "sharded strategy: this node's member ID in -shard-ring")
+		replicas = flag.Int("replicas", 2, "sharded strategy: owners per registration (K)")
+		shardMod = flag.String("shard-mode", "proxy", "sharded strategy: proxy | referral")
 		cacheTTL = flag.Duration("cache-ttl", 30*time.Second, "index freshness for cache/bloom strategies")
 		fanout   = flag.Int("max-fanout", giis.DefaultMaxFanout, "chain strategy: max concurrent child searches")
 		hedge    = flag.Duration("hedge", 0, "chain strategy: return partial results after this deadline (0 = wait for all children)")
@@ -70,6 +75,30 @@ func main() {
 		strat = giis.NewReferral()
 	case "bloom":
 		strat = giis.NewBloomRouted(*cacheTTL, 1<<16)
+	case "sharded":
+		if *ringSpec == "" || *shardID == "" {
+			log.Fatal("giis: -strategy sharded requires -shard-ring and -shard-id")
+		}
+		members, err := shard.ParseRing(*ringSpec)
+		if err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		ring := shard.NewRing(members, 0)
+		if _, ok := ring.Member(*shardID); !ok {
+			log.Fatalf("giis: -shard-id %q is not in -shard-ring", *shardID)
+		}
+		sh := giis.NewSharded(ring, *shardID, *replicas)
+		switch *shardMod {
+		case "proxy":
+			sh.Mode = giis.ShardProxy
+		case "referral":
+			sh.Mode = giis.ShardReferral
+		default:
+			log.Fatalf("giis: unknown -shard-mode %q", *shardMod)
+		}
+		sh.MaxFanout = *fanout
+		sh.SummaryTTL = *cacheTTL
+		strat = sh
 	default:
 		log.Fatalf("giis: unknown strategy %q", *strategy)
 	}

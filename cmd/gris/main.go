@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"mds2/internal/gris"
@@ -33,7 +34,7 @@ func main() {
 		hostName = flag.String("host", "hostX", "host name to publish")
 		org      = flag.String("org", "grid", "organization component of the namespace")
 		listen   = flag.String("listen", ":2135", "LDAP listen address")
-		register = flag.String("register", "", "GIIS address to register with (host:port; GRRP carried as LDAP add)")
+		register = flag.String("register", "", "GIIS address(es) to register with, comma-separated (host:port; GRRP carried as LDAP add — list every owner shard of a sharded ring)")
 		vo       = flag.String("vo", "", "VO name for registrations")
 		interval = flag.Duration("interval", 30*time.Second, "registration refresh interval")
 		ttl      = flag.Duration("ttl", 2*time.Minute, "registration TTL")
@@ -115,8 +116,11 @@ func main() {
 			return c.Add(m.ToEntry())
 		}), nil)
 		defer registrar.StopAll()
-		registrar.Start(grrp.Registration{
-			Target: *register,
+		targets := strings.Split(*register, ",")
+		for i := range targets {
+			targets[i] = strings.TrimSpace(targets[i])
+		}
+		registrar.StartFanout(grrp.Registration{
 			Message: grrp.Message{
 				Type:       grrp.TypeRegister,
 				ServiceURL: fmt.Sprintf("ldap://%s", listenAddr(*listen)),
@@ -127,7 +131,7 @@ func main() {
 			Interval: *interval,
 			TTL:      *ttl,
 			Keys:     keys, // nil means unsigned registrations
-		})
+		}, targets)
 		log.Printf("gris: registering with %s every %v (ttl %v)", *register, *interval, *ttl)
 	}
 

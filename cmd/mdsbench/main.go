@@ -33,6 +33,14 @@ func main() {
 		"wire-duration", time.Second, "wire experiment: measurement window per cell")
 	flag.StringVar(&experiments.WireOptions.ObsAddr,
 		"wire-obs", "", "wire experiment: serve the root GIIS introspection endpoint here and print a chained trace")
+	flag.IntVar(&experiments.ShardOptions.PerShard,
+		"shard-pershard", experiments.ShardOptions.PerShard, "shard experiment: resident registrations per shard (250000 with -shard-rings 1,2,4,8 is the 1M-provider headline run)")
+	flag.StringVar(&experiments.ShardOptions.Rings,
+		"shard-rings", experiments.ShardOptions.Rings, "shard experiment: comma-separated ring sizes to sweep")
+	flag.IntVar(&experiments.ShardOptions.Replicas,
+		"shard-replicas", experiments.ShardOptions.Replicas, "shard experiment: owners per registration (K)")
+	flag.IntVar(&experiments.ShardOptions.Queries,
+		"shard-queries", experiments.ShardOptions.Queries, "shard experiment: routed lookups timed per ring size")
 	flag.Parse()
 
 	switch {

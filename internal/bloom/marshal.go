@@ -1,0 +1,57 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format for summaries exchanged between shards: a fixed header
+// followed by the bit words, all big-endian. Versioned by magic so future
+// geometry changes stay decodable.
+const marshalMagic = 0x4d425331 // "MBS1"
+
+// ErrBadSummary reports a malformed marshaled filter.
+var ErrBadSummary = errors.New("bloom: malformed summary")
+
+// MarshalBinary encodes the filter for transfer (shard summary exchange).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 20+len(f.bits)*8)
+	var hdr [20]byte
+	binary.BigEndian.PutUint32(hdr[0:], marshalMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(f.k))
+	binary.BigEndian.PutUint64(hdr[8:], f.m)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(f.n))
+	out = append(out, hdr[:]...)
+	var w [8]byte
+	for _, word := range f.bits {
+		binary.BigEndian.PutUint64(w[:], word)
+		out = append(out, w[:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func UnmarshalBinary(b []byte) (*Filter, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrBadSummary, len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:]) != marshalMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSummary)
+	}
+	k := int(binary.BigEndian.Uint32(b[4:]))
+	m := binary.BigEndian.Uint64(b[8:])
+	n := int(binary.BigEndian.Uint32(b[16:]))
+	if k < 1 || m < 64 || m%64 != 0 {
+		return nil, fmt.Errorf("%w: geometry k=%d m=%d", ErrBadSummary, k, m)
+	}
+	words := int(m / 64)
+	if len(b) != 20+words*8 {
+		return nil, fmt.Errorf("%w: want %d payload bytes, have %d", ErrBadSummary, words*8, len(b)-20)
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k, n: n}
+	for i := 0; i < words; i++ {
+		f.bits[i] = binary.BigEndian.Uint64(b[20+i*8:])
+	}
+	return f, nil
+}

@@ -1,0 +1,54 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewForCapacity(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("hn=h%04d", i))
+	}
+	b, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Count() != f.Count() {
+		t.Fatalf("geometry changed: bits %d->%d count %d->%d", f.Bits(), g.Bits(), f.Count(), g.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.Test(fmt.Sprintf("hn=h%04d", i)) {
+			t.Fatalf("decoded filter lost term %d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if g.Test(fmt.Sprintf("hn=x%04d", i)) {
+			fp++
+		}
+	}
+	if fp > 50 {
+		t.Fatalf("decoded filter false-positive rate implausible: %d/1000", fp)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	good, _ := NewForCapacity(10, 0.01).MarshalBinary()
+	bad := [][]byte{
+		nil,
+		{1, 2, 3},
+		append([]byte{0xff}, good[1:]...), // wrong magic
+		good[:len(good)-4],                // truncated payload
+		append(append([]byte(nil), good...), 0), // trailing bytes
+	}
+	for i, b := range bad {
+		if _, err := UnmarshalBinary(b); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}

@@ -249,6 +249,16 @@ func (s *Server) Ingest(m *grrp.Message) bool {
 	return ok
 }
 
+// IngestBatch validates and applies a batch of GRRP messages through one
+// registry transaction (one lock pass, one version bump), returning the
+// number accepted. Bulk loaders and refresh-storm absorbers use it to keep
+// the child-set cache from rebuilding per message.
+func (s *Server) IngestBatch(msgs []*grrp.Message) int {
+	n := s.receiver.IngestBatch(msgs)
+	s.Registrations.Add(int64(n))
+	return n
+}
+
 // HandleDatagram ingests one datagram-carried GRRP payload; wire it into
 // simnet.HandleDatagrams or a UDP read loop.
 func (s *Server) HandleDatagram(_ string, payload []byte) {
@@ -435,6 +445,14 @@ func (s *Server) evict(pe *poolEntry) {
 // root directory's trace shows every hop of a multi-level search.
 func (s *Server) chain(req *ldap.Request, child Child, base ldap.DN, scope ldap.Scope,
 	filter *ldap.Filter, attrs []string, sizeLimit int64) ([]*ldap.Entry, error) {
+	return s.chainWith(req, child, base, scope, filter, attrs, sizeLimit, nil)
+}
+
+// chainWith is chain with extra request controls attached — the sharded
+// strategy rides its shard-local marker here so a peer shard answers from
+// its own children without fanning out again.
+func (s *Server) chainWith(req *ldap.Request, child Child, base ldap.DN, scope ldap.Scope,
+	filter *ldap.Filter, attrs []string, sizeLimit int64, extra []ldap.Control) ([]*ldap.Entry, error) {
 
 	childBase, childScope, ok := translateRegion(base, scope, child)
 	if !ok {
@@ -448,11 +466,12 @@ func (s *Server) chain(req *ldap.Request, child Child, base ldap.DN, scope ldap.
 		SizeLimit:  sizeLimit,
 	}
 	var sp *obs.Span
-	var ctls []ldap.Control
+	ctls := extra
 	traced := req != nil && req.TraceID != ""
 	if traced {
 		sp = req.Span.Child("chain:" + child.URL.String())
-		ctls = []ldap.Control{ldap.NewTraceControl(req.TraceID, req.TraceDepth + 1)}
+		ctls = append(append([]ldap.Control(nil), extra...),
+			ldap.NewTraceControl(req.TraceID, req.TraceDepth+1))
 	}
 	var start time.Time
 	if s.hChainChild != nil || traced {
@@ -621,28 +640,34 @@ func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.Search
 	}
 	children := s.Children()
 
-	// Serve local entries (self + name index) that fall in the region.
+	// Serve local entries (self + name index) that fall in the region. The
+	// mayContainLocal guard skips materializing the index entirely for
+	// regions that provably cannot touch it — at shard scale the index is
+	// hundreds of thousands of entries, and the common routed data query
+	// ("hn=hostX, o=grid" subtree) never intersects it.
 	sent := int64(0)
-	cf := op.Filter.Compile()
-	sendLocal := func(e *ldap.Entry) error {
-		if !e.DN.WithinScope(base, op.Scope) {
-			return nil
+	if mayContainLocal(s.cfg.Suffix, base, op.Scope) {
+		cf := op.Filter.Compile()
+		sendLocal := func(e *ldap.Entry) error {
+			if !e.DN.WithinScope(base, op.Scope) {
+				return nil
+			}
+			if !cf.Matches(e) {
+				return nil
+			}
+			if op.SizeLimit > 0 && sent >= op.SizeLimit {
+				return errSizeLimit
+			}
+			sent++
+			return w.SendEntry(e.Select(op.Attributes))
 		}
-		if !cf.Matches(e) {
-			return nil
-		}
-		if op.SizeLimit > 0 && sent >= op.SizeLimit {
-			return errSizeLimit
-		}
-		sent++
-		return w.SendEntry(e.Select(op.Attributes))
-	}
-	if err := sendLocal(s.selfEntry(children)); err != nil {
-		return sizeOrUnavailable(err)
-	}
-	for _, c := range children {
-		if err := sendLocal(s.childIndexEntry(c)); err != nil {
+		if err := sendLocal(s.selfEntry(children)); err != nil {
 			return sizeOrUnavailable(err)
+		}
+		for _, c := range children {
+			if err := sendLocal(s.childIndexEntry(c)); err != nil {
+				return sizeOrUnavailable(err)
+			}
 		}
 	}
 
@@ -652,6 +677,47 @@ func (s *Server) Search(req *ldap.Request, op *ldap.SearchRequest, w ldap.Search
 		Base: base, Children: children, sent: &sent,
 	})
 	return res
+}
+
+// mayContainLocal reports whether a search region could include the
+// directory's own service entry or any child index entry. All local entries
+// live at exactly suffix.Depth()+1, directly under the suffix, so most data
+// regions rule them out without touching the (potentially huge) child set.
+func mayContainLocal(suffix, base ldap.DN, scope ldap.Scope) bool {
+	level := suffix.Depth() + 1
+	switch {
+	case base.Depth() > level:
+		// Local entries are shallower than the base; no scope reaches up.
+		return false
+	case base.Depth() == level:
+		// Only the entry equal to base itself can match, and only for
+		// scopes that include the base object.
+		if scope == ldap.ScopeSingleLevel {
+			return false
+		}
+		if !base.IsDescendantOf(suffix) {
+			return false
+		}
+		leaf := base.Leaf()
+		if len(leaf) != 1 {
+			return false
+		}
+		switch strings.ToLower(leaf[0].Attr) {
+		case "mds-service", "mds-child":
+			return true
+		}
+		return false
+	default:
+		// Base is above the local level; the scope must reach down to it.
+		switch scope {
+		case ldap.ScopeBaseObject:
+			return false
+		case ldap.ScopeSingleLevel:
+			return base.Equal(suffix)
+		default:
+			return base.Equal(suffix) || suffix.IsDescendantOf(base)
+		}
+	}
 }
 
 var errSizeLimit = fmt.Errorf("size limit")

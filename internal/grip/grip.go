@@ -272,6 +272,93 @@ func (g *Client) SearchFollowing(base ldap.DN, filter string,
 	return entries, nil
 }
 
+// DefaultReferralHops bounds SearchFollowingReferrals when maxHops <= 0.
+const DefaultReferralHops = 32
+
+// SearchFollowingReferrals is the multi-hop generalization of
+// SearchFollowing for a sharded or hierarchical referral-mode directory
+// tier: a referral target may itself answer with further referrals (a
+// coordinator shard referring to owner shards, an owner referring on), so
+// the client walks the referral graph breadth-first. Each distinct
+// (service, DN) target is visited at most once — a referral loop between
+// shards terminates instead of hanging — and result entries are
+// deduplicated by DN, because K-way replication means two shards can both
+// authoritatively return the same provider's entries. maxHops bounds the
+// total number of referral targets followed (DefaultReferralHops when
+// <= 0). Unreachable or failing targets are skipped: partial results over
+// no results (§2.2).
+func (g *Client) SearchFollowingReferrals(base ldap.DN, filter string,
+	dial func(url ldap.URL) (*Client, error),
+	authenticate func(*Client) error, maxHops int) ([]*ldap.Entry, error) {
+
+	if maxHops <= 0 {
+		maxHops = DefaultReferralHops
+	}
+	entries, referrals, err := g.SearchReferrals(base, filter)
+	if err != nil {
+		return nil, err
+	}
+
+	seenDN := make(map[string]bool, len(entries))
+	var out []*ldap.Entry
+	keep := func(es []*ldap.Entry) {
+		for _, e := range es {
+			k := e.DN.Normalize()
+			if seenDN[k] {
+				continue
+			}
+			seenDN[k] = true
+			out = append(out, e)
+		}
+	}
+	keep(entries)
+
+	visited := map[string]bool{}
+	var queue []ldap.URL
+	enqueue := func(refs []string) {
+		for _, ref := range refs {
+			url, err := ldap.ParseURL(ref)
+			if err != nil {
+				continue // malformed referral: skip, keep what we have
+			}
+			if url.DN.IsZero() {
+				url = url.WithDN(base)
+			}
+			k := url.ServiceKey() + "|" + url.DN.Normalize()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			queue = append(queue, url)
+		}
+	}
+	enqueue(referrals)
+
+	for hops := 0; len(queue) > 0 && hops < maxHops; hops++ {
+		url := queue[0]
+		queue = queue[1:]
+		next, err := dial(url)
+		if err != nil {
+			continue // unreachable target: partial results (§2.2)
+		}
+		if authenticate != nil {
+			if err := authenticate(next); err != nil {
+				next.Close()
+				continue
+			}
+		}
+		got, refs, err := next.SearchReferrals(url.DN, filter)
+		next.Close()
+		if err != nil {
+			continue
+		}
+		keep(got)
+		enqueue(refs)
+	}
+	ldap.SortEntries(out)
+	return out, nil
+}
+
 // Register pushes a GRRP registration carried as an LDAP add (the MDS-2.1
 // transport, §10.1). Most callers instead sustain streams with
 // grrp.Registrar; this is the one-shot building block.

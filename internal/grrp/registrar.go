@@ -117,6 +117,30 @@ func (g *Registrar) sendOnce(r Registration, key string) {
 	_ = g.transport.Send(r.Target, msg.Marshal())
 }
 
+// StartFanout begins one registration stream per target: the K-way
+// replication path of a sharded directory tier, where a provider sustains
+// its soft-state registration at every shard that owns its key. Each
+// stream is independent — a partitioned owner misses refreshes and expires
+// the registration there while the surviving owners stay fresh, which is
+// exactly the per-directory soft-state semantics of §4.3 applied per
+// replica.
+func (g *Registrar) StartFanout(r Registration, targets []string) {
+	for _, t := range targets {
+		fr := r
+		fr.Target = t
+		g.Start(fr)
+	}
+}
+
+// StopFanout ends the streams StartFanout began toward targets.
+func (g *Registrar) StopFanout(r Registration, targets []string) {
+	for _, t := range targets {
+		fr := r
+		fr.Target = t
+		g.Stop(fr)
+	}
+}
+
 // Pause suppresses sends for a stream without tearing it down, simulating a
 // silent provider (used by failure-injection experiments).
 func (g *Registrar) Pause(r Registration) { g.setPaused(streamKey(r), true) }
@@ -231,6 +255,42 @@ func (r *Receiver) Ingest(msg *Message) bool {
 	}
 	r.Registry.Refresh(msg.ServiceURL, msg, ttl)
 	return true
+}
+
+// IngestBatch validates a refresh storm's worth of messages and applies the
+// accepted ones through one softstate.RefreshBatch — one lock acquisition,
+// one expiry pass, and one version bump for the whole batch, so directory
+// caches derived from the registry version (child sets, shard routing
+// tables) rebuild once instead of once per message. It returns the number
+// accepted.
+func (r *Receiver) IngestBatch(msgs []*Message) int {
+	now := r.clock.Now()
+	batch := make([]softstate.Refreshment, 0, len(msgs))
+	for _, msg := range msgs {
+		if err := msg.CheckTimes(now); err != nil {
+			r.reject()
+			continue
+		}
+		var cred *gsi.Credential
+		if r.Trust != nil {
+			var err error
+			if cred, err = msg.VerifySignature(r.Trust, now); err != nil {
+				r.reject()
+				continue
+			}
+		}
+		if r.Accept != nil && !r.Accept(msg, cred) {
+			r.reject()
+			continue
+		}
+		ttl := msg.TTL(now)
+		if ttl <= 0 {
+			r.reject()
+			continue
+		}
+		batch = append(batch, softstate.Refreshment{Key: msg.ServiceURL, Payload: msg, TTL: ttl})
+	}
+	return r.Registry.RefreshBatch(batch)
 }
 
 func (r *Receiver) reject() {

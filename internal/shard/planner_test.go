@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"testing"
+
+	"mds2/internal/ldap"
+)
+
+func newTestPlanner(self string) *Planner {
+	ring := NewRing(testMembers(8), 0)
+	return NewPlanner(ring, self, 2, ldap.MustParseDN("o=grid"), nil)
+}
+
+func TestRegistrationKey(t *testing.T) {
+	p := newTestPlanner("s00")
+	cases := []struct {
+		suffix string
+		key    string
+		keyed  bool
+	}{
+		{"hn=HostA, o=grid", "hn=hosta", true},
+		{"hn=h1, o=site3, o=grid", "hn=h1", true},
+		{"o=site3, o=grid", "", false}, // non-key leaf: broadcast
+		{"", "", false},
+		{"queue=default+hn=h1, o=grid", "", false}, // multi-valued leaf
+	}
+	for _, c := range cases {
+		key, keyed := p.RegistrationKey(c.suffix)
+		if key != c.key || keyed != c.keyed {
+			t.Errorf("RegistrationKey(%q) = (%q, %v), want (%q, %v)",
+				c.suffix, key, keyed, c.key, c.keyed)
+		}
+	}
+}
+
+func TestOwnershipMatchesOwners(t *testing.T) {
+	p := newTestPlanner("s00")
+	owned := 0
+	for i := 0; i < 400; i++ {
+		suffix := "hn=h" + string(rune('a'+i%26)) + string(rune('a'+i/26)) + ", o=grid"
+		owners := p.Owners(suffix)
+		if len(owners) != 2 {
+			t.Fatalf("suffix %q: %d owners, want 2", suffix, len(owners))
+		}
+		has := false
+		for _, m := range owners {
+			if m.ID == "s00" {
+				has = true
+			}
+		}
+		if has != p.OwnsRegistration(suffix) {
+			t.Fatalf("suffix %q: OwnsRegistration disagrees with Owners", suffix)
+		}
+		if has {
+			owned++
+		}
+	}
+	if owned == 0 || owned == 400 {
+		t.Fatalf("implausible ownership distribution: %d/400", owned)
+	}
+	// Broadcast registration is owned by everyone.
+	if !p.OwnsRegistration("o=site9, o=grid") {
+		t.Fatal("broadcast registration should be owned everywhere")
+	}
+	if len(p.Owners("o=site9, o=grid")) != 8 {
+		t.Fatal("broadcast registration should list all members as owners")
+	}
+}
+
+func mustFilter(t *testing.T, s string) *ldap.Filter {
+	t.Helper()
+	f, err := ldap.ParseFilter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPlanRoutability(t *testing.T) {
+	p := newTestPlanner("s00")
+	grid := ldap.MustParseDN("o=grid")
+	cases := []struct {
+		name     string
+		base     ldap.DN
+		filter   string
+		routable bool
+		keys     []string
+	}{
+		{"base names host", ldap.MustParseDN("hn=h7, o=grid"), "(objectclass=*)", true, []string{"hn=h7"}},
+		{"base below host", ldap.MustParseDN("queue=default, hn=h7, o=grid"), "(objectclass=*)", true, []string{"hn=h7"}},
+		{"equality filter", grid, "(hn=H7)", true, []string{"hn=h7"}},
+		{"and with key conjunct", grid, "(&(objectclass=mdshost)(hn=h7))", true, []string{"hn=h7"}},
+		{"or all routable", grid, "(|(hn=h1)(hn=h2))", true, []string{"hn=h1", "hn=h2"}},
+		{"or with unroutable branch", grid, "(|(hn=h1)(cpu=4))", false, nil},
+		{"not unroutable", grid, "(!(hn=h1))", false, nil},
+		{"plain attr filter", grid, "(cpu=4)", false, nil},
+		{"presence", grid, "(hn=*)", false, nil},
+		{"base outside suffix", ldap.MustParseDN("o=elsewhere"), "(hn=h1)", true, []string{"hn=h1"}},
+	}
+	for _, c := range cases {
+		pl := p.Plan(c.base, mustFilter(t, c.filter))
+		if pl.Routable != c.routable {
+			t.Errorf("%s: routable=%v, want %v", c.name, pl.Routable, c.routable)
+			continue
+		}
+		if !c.routable {
+			if len(pl.Remote) != 7 {
+				t.Errorf("%s: scatter should target 7 peers, got %d", c.name, len(pl.Remote))
+			}
+			continue
+		}
+		if len(pl.Keys) != len(c.keys) {
+			t.Errorf("%s: keys=%v, want %v", c.name, pl.Keys, c.keys)
+			continue
+		}
+		for i := range c.keys {
+			if pl.Keys[i] != c.keys[i] {
+				t.Errorf("%s: keys=%v, want %v", c.name, pl.Keys, c.keys)
+			}
+		}
+	}
+}
+
+func TestPlanSkipsSelfOwnedKeys(t *testing.T) {
+	ring := NewRing(testMembers(8), 0)
+	grid := ldap.MustParseDN("o=grid")
+	// Find a key and make its primary the planner's self: no remote hop.
+	key := "hn=h42"
+	owners := ring.Owners(key, 2)
+	self := NewPlanner(ring, owners[0].ID, 2, grid, nil)
+	pl := self.Plan(ldap.MustParseDN("hn=h42, o=grid"), nil)
+	if !pl.Routable || len(pl.Remote) != 0 {
+		t.Fatalf("owner's plan should have no remote members: %+v", pl)
+	}
+	// A non-owner must plan remote hops to the owners, in failover order.
+	var outsider string
+	for _, m := range ring.Members() {
+		if m.ID != owners[0].ID && m.ID != owners[1].ID {
+			outsider = m.ID
+			break
+		}
+	}
+	p2 := NewPlanner(ring, outsider, 2, grid, nil)
+	pl2 := p2.Plan(ldap.MustParseDN("hn=h42, o=grid"), nil)
+	if !pl2.Routable || len(pl2.Remote) != 2 {
+		t.Fatalf("outsider's plan should target both owners: %+v", pl2)
+	}
+	of := pl2.OwnersFor(key)
+	if len(of) != 2 || of[0].ID != owners[0].ID || of[1].ID != owners[1].ID {
+		t.Fatalf("OwnersFor(%s) = %v, want failover order %v", key, of, owners)
+	}
+}
+
+func TestSummaryTerms(t *testing.T) {
+	terms := SuffixTerms(ldap.MustParseDN("hn=HostA, o=Site3, o=grid"))
+	want := []string{"hn=hosta", "o=site3", "o=grid"}
+	if len(terms) != len(want) {
+		t.Fatalf("terms = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Fatalf("terms = %v, want %v", terms, want)
+		}
+	}
+
+	q := QueryTerms(mustFilter(t, "(&(objectclass=mdshost)(o=Site3))"), DefaultSummaryAttrs)
+	if len(q) != 1 || q[0] != "o=site3" {
+		t.Fatalf("query terms = %v, want [o=site3]", q)
+	}
+	// Terms under OR/NOT must not be required.
+	if q := QueryTerms(mustFilter(t, "(|(o=site3)(o=site4))"), DefaultSummaryAttrs); len(q) != 0 {
+		t.Fatalf("OR branches should contribute no required terms, got %v", q)
+	}
+	if q := QueryTerms(mustFilter(t, "(!(o=site3))"), DefaultSummaryAttrs); len(q) != 0 {
+		t.Fatalf("NOT should contribute no required terms, got %v", q)
+	}
+}

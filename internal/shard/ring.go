@@ -1,0 +1,189 @@
+// Package shard partitions a GIIS replica set's registration namespace so
+// that no single directory node holds the whole soft-state registry — the
+// §11.1 argument that VO-scale information services must be decentralized,
+// taken to production scale. A consistent-hash ring assigns each provider
+// registration to K owner shards (replication tolerates a shard failure),
+// and a query planner routes searches to owning shards when the query names
+// a partition key, falling back to scatter-gather across the ring when it
+// does not. DESIGN.md §11 records the DN-subtree vs consistent-hash
+// decision.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mds2/internal/ldap"
+)
+
+// Control and extension OIDs (under the same private arc as the obs trace
+// controls).
+const (
+	// OIDShardLocal marks a search as a peer shard's sub-query: the
+	// receiving shard answers only from its own children and never fans out
+	// again, which is what terminates proxy chains after one hop.
+	OIDShardLocal = "1.3.6.1.4.1.57846.2.1"
+	// OIDShardSummary is the extended operation returning a shard's Bloom
+	// summary of its owned registrations' namespace terms, the per-shard
+	// pre-filter peers consult before scatter fan-out (§5.1 lossy
+	// aggregation).
+	OIDShardSummary = "1.3.6.1.4.1.57846.2.2"
+)
+
+// Member is one shard of the ring: a GIIS replica identified by its shard
+// ID, reachable at a GRIP URL.
+type Member struct {
+	ID  string
+	URL ldap.URL
+}
+
+// DefaultVnodes is the virtual-node count per member when NewRing is given
+// zero. 128 points per shard keeps the worst shard within ~15% of the mean
+// at realistic ring sizes (TestRingBalance pins this).
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring over a shard set. Keys hash to
+// a point; a key's K owners are the first K distinct members at or after
+// that point walking clockwise. Immutability is deliberate: every node and
+// every registrar must agree on placement, so the ring is configuration,
+// not state.
+type Ring struct {
+	members []Member
+	points  []point
+	vnodes  int
+}
+
+type point struct {
+	h uint64
+	m int // index into members
+}
+
+// NewRing builds a ring from the member set; vnodes <= 0 selects
+// DefaultVnodes. Member order does not affect placement (points are keyed
+// by member ID), so differently ordered configurations agree.
+func NewRing(members []Member, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	r := &Ring{members: ms, vnodes: vnodes}
+	r.points = make([]point, 0, len(ms)*vnodes)
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{h: hashString(m.ID + "#" + strconv.Itoa(v)), m: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].m < r.points[j].m
+	})
+	return r
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	// FNV alone leaves sequential inputs ("s0#1", "s0#2", …) correlated,
+	// which skews vnode placement far past the balance bound; a murmur-style
+	// avalanche finalizer decorrelates them.
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Members returns the member set sorted by ID; callers must not mutate it.
+func (r *Ring) Members() []Member { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Member looks a member up by ID.
+func (r *Ring) Member(id string) (Member, bool) {
+	for _, m := range r.members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// Owners returns the k distinct members owning key, in failover order: the
+// first entry is the primary, the rest are the replicas a client or
+// coordinator tries next. k is clamped to the ring size. An empty key means
+// "not partitionable" and is owned by every member (broadcast placement).
+func (r *Ring) Owners(key string, k int) []Member {
+	if len(r.members) == 0 {
+		return nil
+	}
+	if key == "" || k >= len(r.members) {
+		return r.members
+	}
+	if k < 1 {
+		k = 1
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]Member, 0, k)
+	taken := make(map[int]bool, k)
+	for n := 0; n < len(r.points) && len(out) < k; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if taken[p.m] {
+			continue
+		}
+		taken[p.m] = true
+		out = append(out, r.members[p.m])
+	}
+	return out
+}
+
+// Owns reports whether the member with the given ID is among key's k
+// owners.
+func (r *Ring) Owns(id, key string, k int) bool {
+	for _, m := range r.Owners(key, k) {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseRing parses the CLI ring specification "id=url,id=url,...", e.g.
+// "s0=ldap://a:2136,s1=ldap://b:2136". IDs must be unique and non-empty.
+func ParseRing(spec string) ([]Member, error) {
+	var out []Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.Index(part, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("shard: ring entry %q is not id=url", part)
+		}
+		id, rawURL := part[:eq], part[eq+1:]
+		if seen[id] {
+			return nil, fmt.Errorf("shard: duplicate ring member %q", id)
+		}
+		seen[id] = true
+		u, err := ldap.ParseURL(rawURL)
+		if err != nil {
+			return nil, fmt.Errorf("shard: ring member %q: %w", id, err)
+		}
+		out = append(out, Member{ID: id, URL: u})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shard: empty ring spec")
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"mds2/internal/ldap"
+)
+
+func testMembers(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		id := fmt.Sprintf("s%02d", i)
+		out[i] = Member{ID: id, URL: ldap.MustParseURL(fmt.Sprintf("sim://%s-node:389", id))}
+	}
+	return out
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	ring := NewRing(testMembers(8), 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("hn=h%04d", i)
+		owners := ring.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %s: got %d owners, want 2", key, len(owners))
+		}
+		if owners[0].ID == owners[1].ID {
+			t.Fatalf("key %s: owners not distinct: %v", key, owners)
+		}
+		again := ring.Owners(key, 2)
+		if owners[0].ID != again[0].ID || owners[1].ID != again[1].ID {
+			t.Fatalf("key %s: placement not stable: %v vs %v", key, owners, again)
+		}
+	}
+}
+
+func TestRingOrderIndependence(t *testing.T) {
+	ms := testMembers(5)
+	reversed := make([]Member, len(ms))
+	for i, m := range ms {
+		reversed[len(ms)-1-i] = m
+	}
+	a, b := NewRing(ms, 64), NewRing(reversed, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("hn=h%03d", i)
+		oa, ob := a.Owners(key, 3), b.Owners(key, 3)
+		for j := range oa {
+			if oa[j].ID != ob[j].ID {
+				t.Fatalf("key %s: member order changed placement: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingEmptyKeyBroadcasts(t *testing.T) {
+	ring := NewRing(testMembers(4), 0)
+	if got := len(ring.Owners("", 2)); got != 4 {
+		t.Fatalf("empty key owners = %d, want all 4", got)
+	}
+	for _, m := range ring.Members() {
+		if !ring.Owns(m.ID, "", 2) {
+			t.Fatalf("member %s should own broadcast key", m.ID)
+		}
+	}
+}
+
+func TestRingKClamped(t *testing.T) {
+	ring := NewRing(testMembers(3), 0)
+	if got := len(ring.Owners("hn=x", 8)); got != 3 {
+		t.Fatalf("k beyond ring size: got %d owners, want 3", got)
+	}
+	if got := len(ring.Owners("hn=x", 0)); got != 1 {
+		t.Fatalf("k=0: got %d owners, want 1", got)
+	}
+}
+
+// TestRingBalance pins the load-balance property the 1.25·(N·K/shards)
+// acceptance bound depends on: with default vnodes, no shard owns more
+// than 25% above the mean.
+func TestRingBalance(t *testing.T) {
+	const n, k, shards = 100000, 2, 8
+	ring := NewRing(testMembers(shards), 0)
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		for _, m := range ring.Owners(fmt.Sprintf("hn=h%06d", i), k) {
+			counts[m.ID]++
+		}
+	}
+	mean := float64(n*k) / shards
+	for id, c := range counts {
+		if float64(c) > 1.25*mean {
+			t.Fatalf("shard %s holds %d keys, above 1.25x mean %.0f", id, c, mean)
+		}
+	}
+}
+
+func TestParseRing(t *testing.T) {
+	ms, err := ParseRing("s0=ldap://a:2136, s1=ldap://b:2136")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].ID != "s0" || ms[1].URL.Address() != "b:2136" {
+		t.Fatalf("unexpected parse: %+v", ms)
+	}
+	for _, bad := range []string{"", "nourl", "s0=://x", "s0=ldap://a:1,s0=ldap://b:2"} {
+		if _, err := ParseRing(bad); err == nil {
+			t.Fatalf("ParseRing(%q) should fail", bad)
+		}
+	}
+}

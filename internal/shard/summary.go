@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"strings"
+
+	"mds2/internal/ldap"
+)
+
+// Shard summaries are Bloom filters over the namespace terms of a shard's
+// registered children: every "attr=value" AVA of every child's suffix DN.
+// A peer consults another shard's summary before scatter fan-out — if a
+// query's required terms cannot all be present, the shard cannot hold a
+// matching provider and the chained query is skipped (§5.1 lossy
+// aggregation, after the Service Discovery Service).
+//
+// Soundness rests on a naming convention, so the testable vocabulary is
+// restricted: only query terms on SummaryAttrs attributes are consulted,
+// and SummaryAttrs must be attributes whose values are namespace-carried —
+// any entry with attr=value lives under a provider whose suffix DN contains
+// that AVA (true of "hn" host naming and "o" organization placement in the
+// MDS data model). Terms outside the vocabulary fail open: the peer is
+// queried anyway. False positives cost one wasted chained query; false
+// negatives cannot occur for conforming attributes.
+
+// DefaultSummaryAttrs is the namespace-carried vocabulary consulted when a
+// strategy configures none.
+var DefaultSummaryAttrs = []string{"hn", "o"}
+
+// SuffixTerms enumerates the lowercase attr=value terms of a registration
+// suffix DN — the vocabulary one child contributes to its shard's summary.
+func SuffixTerms(suffix ldap.DN) []string {
+	var out []string
+	for _, rdn := range suffix {
+		for _, ava := range rdn {
+			out = append(out, Key(ava.Attr, ava.Value))
+		}
+	}
+	return out
+}
+
+// QueryTerms extracts the terms a matching entry's provider suffix must
+// contain: top-level conjunctive equality assertions on the given
+// attributes. Terms under OR or NOT are not required and contribute
+// nothing (fail open).
+func QueryTerms(f *ldap.Filter, attrs []string) []string {
+	var out []string
+	var walk func(*ldap.Filter)
+	walk = func(g *ldap.Filter) {
+		switch g.Kind {
+		case ldap.FilterAnd:
+			for _, sub := range g.Subs {
+				walk(sub)
+			}
+		case ldap.FilterEquality:
+			a := strings.ToLower(g.Attr)
+			for _, want := range attrs {
+				if a == want {
+					out = append(out, Key(g.Attr, g.Value))
+					return
+				}
+			}
+		}
+	}
+	if f != nil {
+		walk(f)
+	}
+	return out
+}

@@ -81,6 +81,16 @@ type Registry struct {
 	// obs registry samples it as a counter without importing this package's
 	// consumers into a cycle).
 	expiredTotal uint64
+	// earliest is a lower bound on every live item's ExpiresAt (zero:
+	// unknown, recompute on next expiry pass). It lets expireLocked answer
+	// "nothing can have expired yet" without scanning the table, which turns
+	// a refresh storm from O(n) scans per refresh — O(n²) overall — into
+	// O(1) per refresh.
+	earliest time.Time
+	// owns, when set, is the shard-ownership admission check: refreshes for
+	// keys this node does not own are refused and counted in notOwned.
+	owns     func(key string, payload any) bool
+	notOwned uint64
 }
 
 // NewRegistry returns a registry driven by the given clock.
@@ -89,6 +99,23 @@ func NewRegistry(clock Clock) *Registry {
 		clock = RealClock{}
 	}
 	return &Registry{clock: clock, items: map[string]*Item{}, subs: map[int]chan Event{}}
+}
+
+// SetOwns installs a shard-ownership admission check: Refresh and
+// RefreshBatch refuse (and count) keys for which owns reports false. A nil
+// check accepts everything. Install before the registry receives traffic.
+func (r *Registry) SetOwns(owns func(key string, payload any) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.owns = owns
+}
+
+// NotOwnedTotal returns the number of refreshes refused by the SetOwns
+// check.
+func (r *Registry) NotOwnedTotal() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.notOwned
 }
 
 // Refresh establishes or renews key with the given TTL and payload,
@@ -105,7 +132,22 @@ func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
 		r.mu.Unlock()
 		return false
 	}
+	if r.owns != nil && !r.owns(key, payload) {
+		r.notOwned++
+		r.mu.Unlock()
+		return false
+	}
 	r.expireLocked(now)
+	joined := r.refreshLocked(key, payload, ttl, now)
+	r.bumpLocked()
+	r.scheduleSweepLocked()
+	r.mu.Unlock()
+	return joined
+}
+
+// refreshLocked applies one refresh and emits its event; the caller bumps
+// the version and schedules the sweep (batched across a RefreshBatch).
+func (r *Registry) refreshLocked(key string, payload any, ttl time.Duration, now time.Time) bool {
 	it, exists := r.items[key]
 	joined := !exists
 	if joined {
@@ -116,15 +158,56 @@ func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
 	it.ExpiresAt = now.Add(ttl)
 	it.Refreshes++
 	it.LastRefresh = now
-	r.bumpLocked()
+	if r.earliest.IsZero() || it.ExpiresAt.Before(r.earliest) {
+		r.earliest = it.ExpiresAt
+	}
 	typ := EventRefreshed
 	if joined {
 		typ = EventJoined
 	}
 	r.notifyLocked(Event{Key: key, Type: typ, Payload: payload, At: now})
-	r.scheduleSweepLocked()
-	r.mu.Unlock()
 	return joined
+}
+
+// Refreshment is one element of a RefreshBatch.
+type Refreshment struct {
+	Key     string
+	Payload any
+	TTL     time.Duration
+}
+
+// RefreshBatch applies a batch of refreshes under one lock acquisition,
+// one expiry pass, one version bump, and one sweep reschedule — the
+// amortization that keeps a registration storm from invalidating derived
+// caches (and rescanning the table) once per message. It returns the
+// number of accepted refreshes. Per-item events still fire so observers
+// see every membership change.
+func (r *Registry) RefreshBatch(batch []Refreshment) int {
+	now := r.clock.Now()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0
+	}
+	r.expireLocked(now)
+	accepted := 0
+	for _, b := range batch {
+		if b.TTL <= 0 {
+			continue
+		}
+		if r.owns != nil && !r.owns(b.Key, b.Payload) {
+			r.notOwned++
+			continue
+		}
+		r.refreshLocked(b.Key, b.Payload, b.TTL, now)
+		accepted++
+	}
+	if accepted > 0 {
+		r.bumpLocked()
+		r.scheduleSweepLocked()
+	}
+	r.mu.Unlock()
+	return accepted
 }
 
 // Remove explicitly deletes a key (soft-state protocols do not require
@@ -139,6 +222,11 @@ func (r *Registry) Remove(key string) bool {
 		return false
 	}
 	delete(r.items, key)
+	if len(r.items) == 0 {
+		// Keep the "zero earliest ⇔ empty table" shape; a stale non-zero
+		// bound over an empty table would schedule pointless sweeps.
+		r.earliest = time.Time{}
+	}
 	r.bumpLocked()
 	r.notifyLocked(Event{Key: key, Type: EventRemoved, Payload: it.Payload, At: now})
 	return true
@@ -259,12 +347,24 @@ func (r *Registry) notifyLocked(ev Event) {
 }
 
 func (r *Registry) expireLocked(now time.Time) []string {
+	// Fast path: earliest is a lower bound on all expiries, so nothing can
+	// have expired before it. This is what every read and refresh hits in
+	// steady state.
+	if !r.earliest.IsZero() && now.Before(r.earliest) {
+		return nil
+	}
 	var expired []string
+	var nextEarliest time.Time
 	for key, it := range r.items {
 		if !it.ExpiresAt.After(now) {
 			expired = append(expired, key)
+			continue
+		}
+		if nextEarliest.IsZero() || it.ExpiresAt.Before(nextEarliest) {
+			nextEarliest = it.ExpiresAt
 		}
 	}
+	r.earliest = nextEarliest
 	sort.Strings(expired)
 	for _, key := range expired {
 		it := r.items[key]
@@ -287,14 +387,12 @@ func (r *Registry) ExpiredTotal() uint64 {
 
 // scheduleSweepLocked arranges a background sweep at the earliest expiry so
 // that expiry events fire promptly even when nobody polls. Each call
-// supersedes prior schedules.
+// supersedes prior schedules. The cached earliest bound replaces the old
+// full-table scan: it may be conservative (earlier than the true minimum
+// after an item's expiry was extended), in which case the sweep fires,
+// expires nothing, and reschedules at the recomputed bound.
 func (r *Registry) scheduleSweepLocked() {
-	var earliest time.Time
-	for _, it := range r.items {
-		if earliest.IsZero() || it.ExpiresAt.Before(earliest) {
-			earliest = it.ExpiresAt
-		}
-	}
+	earliest := r.earliest
 	if earliest.IsZero() {
 		return
 	}
