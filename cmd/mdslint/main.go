@@ -1,13 +1,21 @@
 // Command mdslint runs the project's custom static analyzers over the
-// tree and exits non-zero when any concurrency or determinism invariant
-// is violated (see internal/mdslint and DESIGN.md "Static analysis &
-// invariants").
+// tree and exits non-zero when any concurrency, determinism, or memory
+// invariant is violated (see internal/mdslint and DESIGN.md "Static
+// analysis & invariants" / "Invariant catalog").
+//
+// By default the whole module is type-checked (stdlib go/types, packages
+// loaded in parallel) so the type-aware analyzers — snapshotcheck,
+// poolcheck, berbalance — run alongside the syntax-only ones. Pass
+// -syntax to skip type checking (fast, syntax-only rules), or explicit
+// file/directory patterns to lint a subset syntax-only.
 //
 // Usage:
 //
-//	go run ./cmd/mdslint ./...
-//	go run ./cmd/mdslint -rules            # list analyzers
-//	go run ./cmd/mdslint internal/gris     # one package directory
+//	go run ./cmd/mdslint               # whole module, typed
+//	go run ./cmd/mdslint -rules       # list analyzers
+//	go run ./cmd/mdslint -json        # machine-readable findings
+//	go run ./cmd/mdslint -github     # GitHub Actions ::error annotations
+//	go run ./cmd/mdslint -syntax ./...  # syntax-only, pattern walk
 //
 // Suppress a finding, with a reason, on the offending line or the line
 // above:
@@ -16,19 +24,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"os"
+	"strings"
+	"time"
 
 	"mds2/internal/mdslint"
 )
 
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	rules := flag.Bool("rules", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	syntax := flag.Bool("syntax", false, "skip type checking; run syntax-only analyzers")
+	seq := flag.Bool("seq", false, "type-check packages sequentially (for timing comparison)")
+	timing := flag.Bool("time", false, "report load+analysis wall clock to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: mdslint [-rules] [pattern ...]\n\npatterns are directories, .go files, or dir/... walks (default ./...)\n\n")
+			"usage: mdslint [-rules] [-json|-github] [-syntax] [-seq] [-time] [pattern ...]\n\n"+
+				"with no patterns the whole module is loaded and type-checked;\n"+
+				"patterns (directories, .go files, dir/... walks) imply -syntax\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,28 +62,76 @@ func main() {
 	analyzers := mdslint.Analyzers()
 	if *rules {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			kind := "syntax"
+			if a.NeedsTypes {
+				kind = "typed"
+			}
+			fmt.Printf("%-16s %-6s %s\n", a.Name, kind, a.Doc)
 		}
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	fset := token.NewFileSet()
-	files, err := mdslint.Load(fset, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdslint:", err)
-		os.Exit(2)
+	var pass *mdslint.Pass
+	start := time.Now()
+	if patterns := flag.Args(); len(patterns) > 0 || *syntax {
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		files, err := mdslint.Load(fset, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdslint:", err)
+			os.Exit(2)
+		}
+		pass = &mdslint.Pass{Fset: fset, Files: files}
+	} else {
+		wd, err := os.Getwd()
+		if err == nil {
+			var root string
+			root, err = mdslint.FindModuleRoot(wd)
+			if err == nil {
+				pass, err = mdslint.LoadModule(fset, root, !*seq)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdslint:", err)
+			os.Exit(2)
+		}
 	}
-	pass := &mdslint.Pass{Fset: fset, Files: files}
+	loaded := time.Since(start)
+
 	findings := mdslint.RunAll(pass, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "mdslint: load %v, analyze %v (%d files)\n",
+			loaded.Round(time.Millisecond), (time.Since(start) - loaded).Round(time.Millisecond), len(pass.Files))
+	}
+
+	switch {
+	case *asJSON:
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Msg: f.Msg}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mdslint:", err)
+			os.Exit(2)
+		}
+	case *github:
+		for _, f := range findings {
+			// ::error annotation values must not contain raw newlines.
+			msg := strings.ReplaceAll(f.Msg, "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=mdslint(%s)::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, msg)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mdslint: %d finding(s) in %d file(s)\n", len(findings), len(files))
+		fmt.Fprintf(os.Stderr, "mdslint: %d finding(s) in %d file(s)\n", len(findings), len(pass.Files))
 		os.Exit(1)
 	}
 }

@@ -87,6 +87,9 @@ type Packet struct {
 	// Packets decoded from caller-reused buffers (Decode, ReadPacketBuf)
 	// leave it false and Str copies.
 	viewOK bool
+	// san tracks the reuse generation of the frame buffer this packet
+	// aliases; zero-sized outside -tags mdsdebug builds.
+	san packetSan
 }
 
 // NewSequence returns an empty universal SEQUENCE.
@@ -163,6 +166,7 @@ func (p *Packet) Child(i int) *Packet {
 
 // Bool interprets a primitive contents as a BOOLEAN.
 func (p *Packet) Bool() (bool, error) {
+	p.san.check()
 	if p.Constructed || len(p.Value) != 1 {
 		return false, fmt.Errorf("ber: not a boolean: %s", p)
 	}
@@ -172,6 +176,7 @@ func (p *Packet) Bool() (bool, error) {
 // Int64 interprets a primitive contents as a two's-complement INTEGER or
 // ENUMERATED of at most 8 octets.
 func (p *Packet) Int64() (int64, error) {
+	p.san.check()
 	if p.Constructed {
 		return 0, fmt.Errorf("ber: not an integer: constructed %s", p)
 	}
@@ -182,6 +187,7 @@ func (p *Packet) Int64() (int64, error) {
 // ReadPacket the string is a zero-copy view into the decoder-owned frame
 // buffer; otherwise it is a copy.
 func (p *Packet) Str() string {
+	p.san.check()
 	if p.viewOK && len(p.Value) > 0 {
 		return unsafe.String(&p.Value[0], len(p.Value))
 	}
@@ -321,6 +327,7 @@ func DecodeFull(b []byte) (*Packet, error) {
 type decoder struct {
 	arena  []Packet
 	viewOK bool
+	san    packetSan
 }
 
 func (d *decoder) node() *Packet {
@@ -330,6 +337,7 @@ func (d *decoder) node() *Packet {
 	p := &d.arena[0]
 	d.arena = d.arena[1:]
 	p.viewOK = d.viewOK
+	p.san = d.san
 	return p
 }
 
@@ -547,11 +555,12 @@ func ReadPacketBuf(r io.Reader, buf []byte) (*Packet, []byte, error) {
 	} else {
 		buf = buf[:total]
 	}
+	san := sanRecycle(buf)
 	copy(buf, hdr)
 	if _, err := io.ReadFull(r, buf[len(hdr):]); err != nil {
 		return nil, buf, err
 	}
-	var d decoder
+	d := decoder{san: san}
 	p, err := d.decodeFull(buf)
 	return p, buf, err
 }

@@ -42,8 +42,8 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{1, 2, 3},
-		append([]byte{0xff}, good[1:]...), // wrong magic
-		good[:len(good)-4],                // truncated payload
+		append([]byte{0xff}, good[1:]...),       // wrong magic
+		good[:len(good)-4],                      // truncated payload
 		append(append([]byte(nil), good...), 0), // trailing bytes
 	}
 	for i, b := range bad {

@@ -12,8 +12,8 @@ import (
 
 	"mds2/internal/giis"
 	"mds2/internal/grip"
-	"mds2/internal/grrp"
 	"mds2/internal/gris"
+	"mds2/internal/grrp"
 	"mds2/internal/ldap"
 	"mds2/internal/obs"
 	"mds2/internal/softstate"
@@ -52,10 +52,10 @@ type corpusBackend struct {
 	entries []*ldap.Entry
 }
 
-func (b *corpusBackend) Name() string                            { return "corpus" }
-func (b *corpusBackend) Suffix() ldap.DN                         { return b.suffix }
-func (b *corpusBackend) Attributes() []string                    { return nil }
-func (b *corpusBackend) CacheTTL() time.Duration                 { return time.Hour }
+func (b *corpusBackend) Name() string                               { return "corpus" }
+func (b *corpusBackend) Suffix() ldap.DN                            { return b.suffix }
+func (b *corpusBackend) Attributes() []string                       { return nil }
+func (b *corpusBackend) CacheTTL() time.Duration                    { return time.Hour }
 func (b *corpusBackend) Entries(*gris.Query) ([]*ldap.Entry, error) { return b.entries, nil }
 
 // wireEntries builds n host-shaped entries under suffix, sized like real

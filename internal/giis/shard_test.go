@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"mds2/internal/grip"
-	"mds2/internal/grrp"
 	"mds2/internal/gris"
+	"mds2/internal/grrp"
 	"mds2/internal/hostinfo"
 	"mds2/internal/ldap"
 	"mds2/internal/providers"

@@ -18,6 +18,9 @@ type Attribute struct {
 type Entry struct {
 	DN    DN
 	Attrs []Attribute
+	// san is the snapshot seal: set when the store publishes this entry as
+	// an immutable snapshot; zero-sized outside -tags mdsdebug builds.
+	san entrySan
 }
 
 // NewEntry returns an entry with the given DN and no attributes.
@@ -25,6 +28,7 @@ func NewEntry(dn DN) *Entry { return &Entry{DN: dn} }
 
 // Add appends values to the named attribute, creating it if needed.
 func (e *Entry) Add(name string, values ...string) *Entry {
+	e.checkMutable()
 	for i := range e.Attrs {
 		if strings.EqualFold(e.Attrs[i].Name, name) {
 			e.Attrs[i].Values = append(e.Attrs[i].Values, values...)
@@ -37,6 +41,7 @@ func (e *Entry) Add(name string, values ...string) *Entry {
 
 // Set replaces the named attribute's values.
 func (e *Entry) Set(name string, values ...string) *Entry {
+	e.checkMutable()
 	for i := range e.Attrs {
 		if strings.EqualFold(e.Attrs[i].Name, name) {
 			e.Attrs[i].Values = append([]string(nil), values...)
@@ -48,6 +53,7 @@ func (e *Entry) Set(name string, values ...string) *Entry {
 
 // Delete removes the named attribute entirely; it is a no-op if absent.
 func (e *Entry) Delete(name string) {
+	e.checkMutable()
 	for i := range e.Attrs {
 		if strings.EqualFold(e.Attrs[i].Name, name) {
 			e.Attrs = append(e.Attrs[:i], e.Attrs[i+1:]...)
@@ -156,6 +162,7 @@ func (e *Entry) Select(requested []string) *Entry {
 // SortAttrs orders the entry's attributes by case-folded name, for
 // deterministic serialization and golden tests.
 func (e *Entry) SortAttrs() {
+	e.checkMutable()
 	sort.Slice(e.Attrs, func(i, j int) bool {
 		return strings.ToLower(e.Attrs[i].Name) < strings.ToLower(e.Attrs[j].Name)
 	})

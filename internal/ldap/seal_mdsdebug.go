@@ -1,0 +1,79 @@
+//go:build mdsdebug
+
+package ldap
+
+// Snapshot-seal sanitizer, debug flavor. The store's copy-on-write
+// contract says entries handed out by Find/FindLimit/All and delivered in
+// ChangeEvents are shared immutable snapshots; mutating one corrupts every
+// concurrent reader and the equality indexes. Under -tags mdsdebug each
+// snapshot is sealed (a checksum of its contents taken) at the moment it
+// is installed in the tree, and
+//
+//   - the mutating Entry methods (Add, Set, Delete, SortAttrs) panic
+//     outright when called on a sealed entry — the earliest, most precise
+//     catch;
+//   - every hand-out (FindLimit, findScan) and every ChangeEvent delivery
+//     re-verifies the checksum, catching raw field/slice writes that
+//     bypass the methods.
+//
+// Clone and Select build fresh keyed literals, so their results carry a
+// zero (unsealed) seal and stay freely mutable — exactly the laundering
+// contract the snapshotcheck analyzer enforces statically. The release
+// twin (seal_release.go) compiles all of this to nothing.
+
+// entrySan is the per-entry seal: zero value means unsealed (mutable).
+type entrySan struct {
+	sealed bool
+	sum    uint64
+}
+
+// checksum is FNV-1a over the entry's logical contents.
+func (e *Entry) checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+		h = (h ^ 0xff) * prime // terminator so "ab","c" ≠ "a","bc"
+	}
+	mix(e.DN.Normalize())
+	for _, a := range e.Attrs {
+		mix(a.Name)
+		for _, v := range a.Values {
+			mix(v)
+		}
+	}
+	return h
+}
+
+// seal freezes the entry: called exactly once, before publication, while
+// the store's write lock is held.
+func (e *Entry) seal() {
+	e.san = entrySan{sealed: true, sum: e.checksum()}
+}
+
+// verifySeal panics if a sealed entry's contents changed after publication.
+func (e *Entry) verifySeal() {
+	if e.san.sealed && e.san.sum != e.checksum() {
+		panic("ldap: store snapshot mutated after publication (mdsdebug); Clone or Select before modifying entries from Find or ChangeEvents: " + e.DN.String())
+	}
+}
+
+// checkMutable panics when a mutating method is invoked on a sealed entry.
+func (e *Entry) checkMutable() {
+	if e.san.sealed {
+		panic("ldap: mutating method called on a sealed store snapshot (mdsdebug); Clone or Select a private copy first: " + e.DN.String())
+	}
+}
+
+// verifyEntries re-verifies a result set on its way out of the store.
+func verifyEntries(es []*Entry) []*Entry {
+	for _, e := range es {
+		e.verifySeal()
+	}
+	return es
+}

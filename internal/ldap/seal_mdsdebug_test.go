@@ -1,0 +1,76 @@
+//go:build mdsdebug
+
+package ldap
+
+import (
+	"strings"
+	"testing"
+)
+
+func sealTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	e := NewEntry(MustParseDN("hn=hostA, o=grid")).
+		Add("objectclass", "MdsHost").
+		Add("hn", "hostA")
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func findOne(t *testing.T, s *Store) *Entry {
+	t.Helper()
+	es := s.Find(MustParseDN("o=grid"), ScopeWholeSubtree, nil)
+	if len(es) != 1 {
+		t.Fatalf("got %d entries", len(es))
+	}
+	return es[0]
+}
+
+func TestSealPanicsOnMutatingMethod(t *testing.T) {
+	s := sealTestStore(t)
+	e := findOne(t, s)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add on a sealed snapshot did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "sealed") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Add("seen", "1")
+}
+
+func TestSealCatchesRawSnapshotMutation(t *testing.T) {
+	s := sealTestStore(t)
+	e := findOne(t, s)
+	// Bypass the mutating methods entirely: scribble on the shared
+	// attribute slice. The next hand-out re-verifies the checksum.
+	e.Attrs[1].Values[0] = "evil"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redelivery of a scribbled snapshot did not panic")
+		}
+	}()
+	findOne(t, s)
+}
+
+func TestSealClonedEntriesStayMutable(t *testing.T) {
+	s := sealTestStore(t)
+	e := findOne(t, s)
+	c := e.Clone()
+	c.Add("seen", "1")
+	c.Set("hn", "hostB")
+	c.Delete("seen")
+	c.SortAttrs()
+	sel := e.Select([]string{"hn"})
+	sel.Add("seen", "1")
+	// And the caller's own pre-Put entry is never sealed: Put clones.
+	mine := NewEntry(MustParseDN("hn=hostC, o=grid")).Add("objectclass", "MdsHost")
+	if err := s.Put(mine); err != nil {
+		t.Fatal(err)
+	}
+	mine.Add("hn", "hostC")
+}

@@ -209,6 +209,7 @@ func (s *Store) unindexLocked(n *node) {
 // putLocked installs cp (already cloned, never mutated afterwards) at its
 // node, maintaining the indexes, and reports whether a prior entry existed.
 func (s *Store) putLocked(cp *Entry) bool {
+	cp.seal()
 	n := s.ensureNodeLocked(cp.DN)
 	existed := n.entry != nil
 	if existed {
@@ -279,6 +280,7 @@ func (s *Store) notifyLocked(existed bool, e *Entry) {
 // the store's immutable snapshot, delivered without cloning; for deletes it
 // is the pre-delete state.
 func (s *Store) deliverLocked(w *watch, ev ChangeEvent) {
+	ev.Entry.verifySeal()
 	if !ev.Entry.DN.WithinScope(w.base, w.scope) {
 		return
 	}
@@ -373,9 +375,11 @@ func (s *Store) FindLimit(base DN, scope Scope, filter *Filter, limit int64) ([]
 		return nil, false
 	}
 	if cands, ok := s.candidatesLocked(cf); ok {
-		return collectCandidates(cands, bn, scope, cf, limit)
+		out, more := collectCandidates(cands, bn, scope, cf, limit)
+		return verifyEntries(out), more
 	}
-	return walkScope(bn, scope, cf, limit)
+	out, more := walkScope(bn, scope, cf, limit)
+	return verifyEntries(out), more
 }
 
 // candidatesLocked derives a candidate node set from the indexable shape
@@ -528,6 +532,7 @@ func (s *Store) findScan(base DN, scope Scope, filter *Filter) []*Entry {
 		out = append(out, e)
 	}
 	s.mu.RUnlock()
+	verifyEntries(out)
 	SortEntries(out)
 	return out
 }
@@ -702,6 +707,7 @@ func (s *Store) Modify(_ *Request, op *ModifyRequest) Result {
 			return Result{Code: ResultProtocolError, Message: fmt.Sprintf("bad modify op %d", ch.Op)}
 		}
 	}
+	e.seal()
 	s.unindexLocked(n)
 	n.entry = e
 	s.indexLocked(n)

@@ -48,12 +48,18 @@ type File struct {
 }
 
 // Pass hands every analyzer the full parsed file set so cross-file facts
-// (like which ber/ldap functions return errors) are available.
+// (like which ber/ldap functions return errors) are available. A Pass built
+// by LoadModule additionally carries the type-checked packages (Pkgs, in
+// dependency order) and the fact store the typed analyzers share; a
+// syntax-only Pass leaves Pkgs nil and typed analyzers are skipped.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*File
+	Pkgs  []*Package // typed packages in dependency order; nil = syntax-only
 
-	index *declIndex // lazily built by Index()
+	index  *declIndex // lazily built by Index()
+	facts  map[factKey]any
+	shapes bool // funcShape facts computed (see shapes.go)
 }
 
 // Finding is one diagnostic.
@@ -71,12 +77,16 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Pass) []Finding
+	// NeedsTypes marks analyzers that require a type-checked Pass (built
+	// by LoadModule); they are skipped on syntax-only passes.
+	NeedsTypes bool
+	Run        func(p *Pass) []Finding
 }
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ClockCheck, LockCheck, ErrCheckLite, GoroutineCheck}
+	return []*Analyzer{ClockCheck, LockCheck, ErrCheckLite, GoroutineCheck,
+		SnapshotCheck, PoolCheck, BerBalance}
 }
 
 // IgnoreDirective is the parsed form of //mdslint:ignore <rule> <reason>.
@@ -158,6 +168,9 @@ func RunAll(p *Pass, analyzers []*Analyzer) []Finding {
 		all = append(all, bad...)
 	}
 	for _, a := range analyzers {
+		if a.NeedsTypes && p.Pkgs == nil {
+			continue
+		}
 		for _, fd := range a.Run(p) {
 			dirs := dirsByPath[fd.Pos.Filename]
 			if suppressed(dirs, fd.Rule, fd.Pos.Line) {

@@ -1,0 +1,315 @@
+package mdslint
+
+// The funcShape fact pass: for every function in the module, discover
+//
+//   - aliases: which results alias which inputs (receiver/parameters)
+//     without an intervening clone — e.g. Entry.Values returns a live view
+//     of the receiver's attribute slice, so taint must flow through it;
+//   - mutates: which inputs the function writes through — e.g. Entry.Add
+//     assigns e.Attrs[i].Values, so calling Add on a snapshot is a
+//     mutation even though the write happens two calls away.
+//
+// Facts are computed with the shared taint engine, seeding each input with
+// its own tag bit and reading the tags back off return expressions and
+// write targets. Packages arrive in dependency order, so callee facts are
+// normally ready before callers; a short module-level fixed point handles
+// recursion and same-package ordering.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mutation severities, from the caller's point of view: a shallow
+// mutation writes the argument's own top-level memory (entries[i] = x in
+// SortEntries) and only matters when the caller's value itself aliases
+// shared memory; a deep mutation writes memory reachable through the
+// argument (e.Attrs[i].Values = … in Entry.Add) and also matters when the
+// caller passes a fresh container holding shared values.
+const (
+	mutShallow uint8 = 1 << iota
+	mutDeep
+)
+
+// funcShape is the per-function fact record. Sources are -1 for the
+// receiver and i >= 0 for the i'th parameter.
+type funcShape struct {
+	// aliases maps result index → a tag-space taint mask recording, per
+	// input source, at which lattice level the result refers to it
+	// (self = is the input, elem = fresh container holding it,
+	// primary = aliases memory reachable through it).
+	aliases map[int]taintBits
+	// mutates maps input source → mutation severity bits.
+	mutates map[int]uint8
+}
+
+const factShape = "shape"
+
+func shapeOf(p *Pass, fn *types.Func) *funcShape {
+	if v, ok := p.Fact(fn, factShape); ok {
+		return v.(*funcShape)
+	}
+	return nil
+}
+
+// isCloneLaunder reports whether a call is a by-convention deep-copy whose
+// result is safe to mutate: methods/functions named Clone or Select (the
+// repo's entry-copy API) and the stdlib Clone helpers.
+func isCloneLaunder(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Clone", "Select":
+		return true
+	}
+	return false
+}
+
+// applyShapeAliases folds a callee's alias facts into per-result taint,
+// given the taint of the call's receiver and arguments. The callee's
+// per-source lattice level composes with the caller-side input taint:
+// returning the input passes it through unchanged, returning a fresh
+// container of it wraps it (toElem), returning a read-through of it
+// dereferences it (toPrimary).
+func applyShapeAliases(p *Pass, callee *types.Func, recv taintBits, args []taintBits, res []taintBits) {
+	sh := shapeOf(p, callee)
+	if sh == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for ri, mask := range sh.aliases {
+		if ri >= len(res) {
+			continue
+		}
+		for _, src := range tagSources(mask) {
+			in := inputTaint(sig, src, recv, args)
+			if in == 0 {
+				continue
+			}
+			g := groupShift(src)
+			if mask&(taintSelf<<g) != 0 {
+				res[ri] |= in
+			}
+			if mask&(taintElem<<g) != 0 {
+				res[ri] |= toElem(in)
+			}
+			if mask&(taintPrimary<<g) != 0 {
+				res[ri] |= toPrimary(in)
+			}
+		}
+	}
+}
+
+// inputTaint returns the taint of the call input identified by src,
+// accounting for variadic tails.
+func inputTaint(sig *types.Signature, src int, recv taintBits, args []taintBits) taintBits {
+	if src == -1 {
+		return recv
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && src == np-1 {
+		var b taintBits
+		for i := src; i < len(args); i++ {
+			b |= args[i]
+		}
+		return b
+	}
+	if src >= 0 && src < len(args) {
+		return args[src]
+	}
+	return 0
+}
+
+// shapeSeed builds the tag-seeded taint map for a function's inputs.
+func shapeSeed(info *types.Info, decl *ast.FuncDecl) map[types.Object]taintBits {
+	seed := map[types.Object]taintBits{}
+	add := func(fl *ast.FieldList, start int) int {
+		idx := start
+		if fl == nil {
+			return idx
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil && pointerish(obj.Type()) {
+					seed[obj] |= tagFor(idx)
+				}
+				idx++
+			}
+		}
+		return idx
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil && pointerish(obj.Type()) {
+					seed[obj] |= tagFor(-1)
+				}
+			}
+		}
+	}
+	add(decl.Type.Params, 0)
+	return seed
+}
+
+// ensureShapes computes funcShape facts for every function in the module.
+func (p *Pass) ensureShapes() {
+	if p.shapes || p.Pkgs == nil {
+		return
+	}
+	p.shapes = true
+	decls := p.funcDecls()
+	for range 4 {
+		changed := false
+		for _, d := range decls {
+			if p.computeShape(d) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (p *Pass) computeShape(d declInfo) bool {
+	info := d.pkg.Info
+	cfg := &taintConfig{
+		info: info,
+		seed: shapeSeed(info, d.decl),
+		callTaint: func(call *ast.CallExpr, callee *types.Func, recv taintBits, args []taintBits, nres int) []taintBits {
+			if callee == nil || isCloneLaunder(callee) {
+				return nil
+			}
+			res := make([]taintBits, nres)
+			applyShapeAliases(p, callee, recv, args, res)
+			return res
+		},
+	}
+	en := newTaintEngine(cfg)
+	en.run(d.decl.Body)
+
+	sh := &funcShape{aliases: map[int]taintBits{}, mutates: map[int]uint8{}}
+	sig := d.obj.Type().(*types.Signature)
+
+	// Aliases: union tag-space bits over every return site (the resource
+	// group is never seeded here, so the mask is pure tag space).
+	for _, ret := range collectReturns(d.decl.Body) {
+		for i, b := range en.returnTaints(sig, d.decl, ret) {
+			if b &^= taintAny; b != 0 {
+				sh.aliases[i] |= b
+			}
+		}
+	}
+	// Mutations: the severity is read off the taint level of the memory
+	// the write lands in — the container one step in from the lvalue.
+	markWrite := func(c ast.Expr) {
+		bits := en.taintOf(c)
+		for _, src := range tagSources(bits) {
+			g := groupShift(src)
+			if bits&(taintSelf<<g) != 0 {
+				sh.mutates[src] |= mutShallow
+			}
+			if bits&(taintPrimary<<g) != 0 {
+				sh.mutates[src] |= mutDeep
+			}
+		}
+	}
+	markCalleeMutation := func(sev uint8, in taintBits) {
+		for _, s := range tagSources(in) {
+			g := groupShift(s)
+			if sev&mutShallow != 0 {
+				if in&(taintSelf<<g) != 0 {
+					sh.mutates[s] |= mutShallow
+				}
+				if in&(taintPrimary<<g) != 0 {
+					sh.mutates[s] |= mutDeep
+				}
+			}
+			if sev&mutDeep != 0 {
+				sh.mutates[s] |= mutDeep
+			}
+		}
+	}
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if c := writeContainer(lhs); c != nil {
+					markWrite(c)
+				}
+			}
+		case *ast.IncDecStmt:
+			if c := writeContainer(v.X); c != nil {
+				markWrite(c)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+				if _, isB := info.Uses[id].(*types.Builtin); isB {
+					if (id.Name == "copy" || id.Name == "delete" || id.Name == "clear") && len(v.Args) > 0 {
+						markWrite(v.Args[0])
+					}
+					return true
+				}
+			}
+			callee := calleeOf(info, v)
+			if callee != nil && isCloneLaunder(callee) {
+				// Clone-by-convention writes only its own fresh result;
+				// whatever its body looks like to the field-insensitive
+				// engine, calling it mutates nothing the caller shares.
+				return true
+			}
+			csh := shapeOf(p, callee)
+			if csh == nil {
+				return true
+			}
+			csig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			var recv taintBits
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && csig.Recv() != nil {
+				recv = en.taintOf(sel.X)
+			}
+			args := make([]taintBits, len(v.Args))
+			for i, a := range v.Args {
+				args[i] = en.taintOf(a)
+			}
+			for src, sev := range csh.mutates {
+				markCalleeMutation(sev, inputTaint(csig, src, recv, args))
+			}
+		}
+		return true
+	})
+
+	old := shapeOf(p, d.obj)
+	if old != nil && shapeEqual(old, sh) {
+		return false
+	}
+	p.SetFact(d.obj, factShape, sh)
+	return true
+}
+
+func shapeEqual(a, b *funcShape) bool {
+	if len(a.aliases) != len(b.aliases) || len(a.mutates) != len(b.mutates) {
+		return false
+	}
+	for i, am := range a.aliases {
+		if b.aliases[i] != am {
+			return false
+		}
+	}
+	for s, sev := range a.mutates {
+		if b.mutates[s] != sev {
+			return false
+		}
+	}
+	return true
+}

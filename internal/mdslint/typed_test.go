@@ -1,0 +1,575 @@
+package mdslint
+
+// Fixture tests for the typed analyzers. Each case type-checks a small
+// in-memory module (CheckSources) whose file paths mirror the real tree —
+// the analyzers key on the mds2/internal/ber and mds2/internal/ldap import
+// paths — and asserts that findings appear exactly on the lines marked
+// `// want`, and nowhere else.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// berStub mimics the parts of internal/ber the typed analyzers key on.
+const berStub = `package ber
+
+type Packet struct {
+	Tag      int
+	Value    []byte
+	Children []*Packet
+}
+
+func (p *Packet) Str() string { return string(p.Value) }
+
+func (p *Packet) Clone() *Packet {
+	cp := &Packet{Tag: p.Tag, Value: append([]byte(nil), p.Value...)}
+	for _, c := range p.Children {
+		cp.Children = append(cp.Children, c.Clone())
+	}
+	return cp
+}
+
+func ReadPacketBuf(buf []byte) (*Packet, error) { return &Packet{Value: buf}, nil }
+
+type Builder struct {
+	buf   []byte
+	stack []int
+}
+
+func (b *Builder) Begin(tag int)          { b.stack = append(b.stack, len(b.buf)) }
+func (b *Builder) BeginPrimitive(tag int) { b.stack = append(b.stack, len(b.buf)) }
+func (b *Builder) End()                   { b.stack = b.stack[:len(b.stack)-1] }
+func (b *Builder) Reset()                 { b.buf, b.stack = b.buf[:0], b.stack[:0] }
+func (b *Builder) Int(v int64)            {}
+func (b *Builder) Bytes() []byte          { return b.buf }
+`
+
+// ldapStub mimics the parts of internal/ldap the typed analyzers key on.
+const ldapStub = `package ldap
+
+type Attribute struct {
+	Name   string
+	Values []string
+}
+
+type Entry struct {
+	DN    string
+	Attrs []Attribute
+}
+
+func (e *Entry) Clone() *Entry {
+	out := &Entry{DN: e.DN, Attrs: make([]Attribute, len(e.Attrs))}
+	for i, a := range e.Attrs {
+		out.Attrs[i] = Attribute{Name: a.Name, Values: append([]string(nil), a.Values...)}
+	}
+	return out
+}
+
+func (e *Entry) Select(names []string) *Entry { return e.Clone() }
+
+func (e *Entry) Values(name string) []string {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Values
+		}
+	}
+	return nil
+}
+
+func (e *Entry) Add(name string, vals ...string) {
+	e.Attrs = append(e.Attrs, Attribute{Name: name, Values: vals})
+}
+
+func (e *Entry) Set(name string, vals ...string) {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			e.Attrs[i].Values = vals
+			return
+		}
+	}
+	e.Add(name, vals...)
+}
+
+type ChangeEvent struct {
+	Type  int
+	Entry *Entry
+}
+
+type Store struct{ entries []*Entry }
+
+func (s *Store) Find(base string) []*Entry { return append([]*Entry(nil), s.entries...) }
+
+func (s *Store) FindLimit(base string, n int) ([]*Entry, bool) { return s.Find(base), false }
+
+func (s *Store) All() []*Entry { return s.Find("") }
+`
+
+// runTyped type-checks the fixture module and runs one analyzer.
+func runTyped(t *testing.T, a *Analyzer, files map[string]string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	var fs []*File
+	for p, src := range files {
+		f, err := ParseSource(fset, p, src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Path < fs[j].Path })
+	pkgs, err := CheckSources(fset, fs)
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	pass := &Pass{Fset: fset, Files: fs, Pkgs: pkgs}
+	return RunAll(pass, []*Analyzer{a})
+}
+
+// checkWants asserts findings appear exactly on `// want` lines.
+func checkWants(t *testing.T, files map[string]string, findings []Finding) {
+	t.Helper()
+	want := map[string]bool{}
+	for p, src := range files {
+		for i, line := range strings.Split(src, "\n") {
+			if strings.Contains(line, "// want") {
+				want[fmt.Sprintf("%s:%d", p, i+1)] = true
+			}
+		}
+	}
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing finding at %s", k)
+		}
+	}
+	for _, f := range findings {
+		k := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		if !want[k] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestSnapshotCheckFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"direct field write", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	es := s.Find("o=grid")
+	es[0].DN = "o=evil" // want
+}
+`},
+		{"write through helper alias", `package app
+
+import "mds2/internal/ldap"
+
+func first(es []*ldap.Entry) *ldap.Entry { return es[0] }
+
+func f(s *ldap.Store) {
+	e := first(s.Find("o=grid"))
+	e.Attrs[0].Values[0] = "x" // want
+}
+`},
+		{"mutating method on ranged snapshot", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	for _, e := range s.Find("o=grid") {
+		e.Add("seen", "1") // want
+	}
+}
+`},
+		{"deep set through FindLimit", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	es, _ := s.FindLimit("o=grid", 10)
+	es[0].Set("hn", "x") // want
+}
+`},
+		{"change event entry", `package app
+
+import "mds2/internal/ldap"
+
+func deliver(ev ldap.ChangeEvent) {
+	ev.Entry.Add("seen", "1") // want
+}
+`},
+		{"copy builtin onto attribute view", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	vs := s.Find("o=grid")[0].Values("hn")
+	copy(vs, []string{"x"}) // want
+}
+`},
+		{"snapshot via field store and reload", `package app
+
+import "mds2/internal/ldap"
+
+type cache struct{ hot *ldap.Entry }
+
+func fill(c *cache, s *ldap.Store) { c.hot = s.Find("o=grid")[0] }
+
+func f(c *cache) {
+	c.hot.DN = "o=evil" // want
+}
+`},
+		{"clone launders", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	c := s.Find("o=grid")[0].Clone()
+	c.DN = "o=mine"
+	c.Add("x", "y")
+}
+`},
+		{"select launders", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	c := s.Find("o=grid")[0].Select([]string{"hn"})
+	c.Attrs[0].Values[0] = "x"
+}
+`},
+		{"fresh container of snapshots is writable", `package app
+
+import "mds2/internal/ldap"
+
+func f(s *ldap.Store) {
+	out := append([]*ldap.Entry(nil), s.Find("o=grid")...)
+	out[0], out[1] = out[1], out[0]
+	out = out[:1]
+	_ = out
+}
+`},
+		{"sorting a fresh result slice is fine", `package app
+
+import "mds2/internal/ldap"
+
+func reorder(es []*ldap.Entry) {
+	for i := range es {
+		es[i] = es[len(es)-1-i]
+	}
+}
+
+func f(s *ldap.Store) {
+	reorder(s.Find("o=grid"))
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{
+				"internal/ldap/ldap.go": ldapStub,
+				"internal/app/app.go":   tc.src,
+			}
+			checkWants(t, files, runTyped(t, SnapshotCheck, files))
+		})
+	}
+}
+
+func TestPoolCheckFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"field store escapes frame", `package app
+
+import "mds2/internal/ber"
+
+type conn struct{ last *ber.Packet }
+
+func (c *conn) read(buf []byte) error {
+	p, err := ber.ReadPacketBuf(buf)
+	if err != nil {
+		return err
+	}
+	c.last = p // want
+	return nil
+}
+`},
+		{"value slice store escapes frame", `package app
+
+import "mds2/internal/ber"
+
+type conn struct{ dn []byte }
+
+func (c *conn) read(buf []byte) {
+	p, _ := ber.ReadPacketBuf(buf)
+	c.dn = p.Value // want
+}
+`},
+		{"channel send escapes frame", `package app
+
+import "mds2/internal/ber"
+
+func f(buf []byte, ch chan *ber.Packet) {
+	p, _ := ber.ReadPacketBuf(buf)
+	ch <- p // want
+}
+`},
+		{"goroutine capture races reuse", `package app
+
+import "mds2/internal/ber"
+
+func handle(p *ber.Packet) {}
+
+func f(buf []byte) {
+	p, _ := ber.ReadPacketBuf(buf)
+	go func() { // want
+		handle(p)
+	}()
+}
+`},
+		{"package-level store escapes frame", `package app
+
+import "mds2/internal/ber"
+
+var last *ber.Packet
+
+func f(buf []byte) {
+	p, _ := ber.ReadPacketBuf(buf)
+	last = p // want
+}
+`},
+		{"helper fact propagates the frame", `package app
+
+import "mds2/internal/ber"
+
+type conn struct{ last *ber.Packet }
+
+func decode(buf []byte) *ber.Packet {
+	p, _ := ber.ReadPacketBuf(buf)
+	return p
+}
+
+func (c *conn) read(buf []byte) {
+	c.last = decode(buf) // want
+}
+`},
+		{"sync.Pool value escapes", `package app
+
+import "sync"
+
+type holder struct{ b []byte }
+
+var pool sync.Pool
+
+func f(h *holder) {
+	b := pool.Get().([]byte)
+	h.b = b // want
+}
+`},
+		{"clone launders the frame", `package app
+
+import "mds2/internal/ber"
+
+type conn struct {
+	last *ber.Packet
+	dn   string
+}
+
+func (c *conn) read(buf []byte) {
+	p, _ := ber.ReadPacketBuf(buf)
+	c.last = p.Clone()
+	c.dn = p.Str()
+}
+`},
+		{"unsafe view minting outside ber", `package app
+
+import "unsafe"
+
+func view(b []byte) string {
+	return unsafe.String(&b[0], len(b)) // want
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{
+				"internal/ber/ber.go": berStub,
+				"internal/app/app.go": tc.src,
+			}
+			checkWants(t, files, runTyped(t, PoolCheck, files))
+		})
+	}
+}
+
+func TestBerBalanceFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"early return with open element", `package app
+
+import "mds2/internal/ber"
+
+func enc(ok bool) []byte {
+	var b ber.Builder
+	b.Begin(0x30)
+	if !ok {
+		return nil // want
+	}
+	b.End()
+	return b.Bytes()
+}
+`},
+		{"fall-off with open element", `package app
+
+import "mds2/internal/ber"
+
+func enc() {
+	var b ber.Builder
+	b.Begin(0x30)
+	b.Int(1)
+} // want
+`},
+		{"loop body imbalance", `package app
+
+import "mds2/internal/ber"
+
+func enc(n int) {
+	var b ber.Builder
+	for i := 0; i < n; i++ { // want
+		b.Begin(0x30)
+	}
+}
+`},
+		{"param builder inconsistent across paths", `package app
+
+import "mds2/internal/ber"
+
+func helper(b *ber.Builder, ok bool) {
+	b.Begin(0x30)
+	if !ok {
+		return // want
+	}
+	b.End()
+}
+`},
+		{"open helper fact reaches caller", `package app
+
+import "mds2/internal/ber"
+
+func begin(b *ber.Builder) { b.Begin(0x30) }
+
+func enc() {
+	var b ber.Builder
+	begin(&b)
+	b.Int(1)
+} // want
+`},
+		{"balanced if else", `package app
+
+import "mds2/internal/ber"
+
+func enc(ok bool) {
+	var b ber.Builder
+	b.Begin(0x30)
+	if ok {
+		b.Int(1)
+	} else {
+		b.Int(2)
+	}
+	b.End()
+}
+`},
+		{"balanced loop and switch", `package app
+
+import "mds2/internal/ber"
+
+func enc(vals []int64, mode int) {
+	var b ber.Builder
+	b.Begin(0x30)
+	for _, v := range vals {
+		b.BeginPrimitive(0x02)
+		b.Int(v)
+		b.End()
+	}
+	switch mode {
+	case 1:
+		b.Begin(0x31)
+		b.End()
+	default:
+	}
+	b.End()
+}
+`},
+		{"reset clears depth", `package app
+
+import "mds2/internal/ber"
+
+func enc(bad bool) {
+	var b ber.Builder
+	b.Begin(0x30)
+	if bad {
+		b.Reset()
+		return
+	}
+	b.End()
+}
+`},
+		{"paired open close helper facts", `package app
+
+import "mds2/internal/ber"
+
+func open(b *ber.Builder)  { b.Begin(0x30) }
+func close(b *ber.Builder) { b.End() }
+
+func enc() {
+	var b ber.Builder
+	open(&b)
+	b.Int(1)
+	close(&b)
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{
+				"internal/ber/ber.go": berStub,
+				"internal/app/app.go": tc.src,
+			}
+			checkWants(t, files, runTyped(t, BerBalance, files))
+		})
+	}
+}
+
+// TestRepoCleanTyped is the whole-repo gate: the real module must produce
+// zero typed-analyzer findings (suppressions included, of which there are
+// currently none for the typed rules).
+func TestRepoCleanTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typed whole-module load is slow")
+	}
+	fset := token.NewFileSet()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := LoadModule(fset, root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunAll(pass, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}
