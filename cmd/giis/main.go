@@ -47,8 +47,11 @@ func main() {
 		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
 		authKids = flag.Bool("auth-children", false, "authenticate to providers when chaining")
 		signed   = flag.Bool("require-signed", false, "refuse unsigned registrations")
-		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /debug/registry); empty disables observability")
+		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /debug/registry, /debug/qcache); empty disables observability")
 		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
+		qcOn     = flag.Bool("query-cache", false, "cache chained query results keyed by (child, base, scope, filter, attrs)")
+		qcTTL    = flag.Duration("query-cache-ttl", 15*time.Second, "query cache TTL ceiling (results also expire with the child registration)")
+		qcMax    = flag.Int("query-cache-max", 4096, "query cache capacity in result sets")
 	)
 	flag.Parse()
 
@@ -108,11 +111,14 @@ func main() {
 		log.Fatalf("giis: %v", err)
 	}
 	cfg := giis.Config{
-		Name:     *name,
-		Suffix:   dn,
-		SelfURL:  selfURL,
-		Strategy: strat,
-		AcceptVO: *vo,
+		Name:          *name,
+		Suffix:        dn,
+		SelfURL:       selfURL,
+		Strategy:      strat,
+		AcceptVO:      *vo,
+		QueryCache:    *qcOn,
+		QueryCacheTTL: *qcTTL,
+		QueryCacheMax: *qcMax,
 	}
 	var obsReg *obs.Registry
 	var tracer *obs.Tracer
@@ -173,6 +179,9 @@ func main() {
 	if *obsAddr != "" {
 		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
 		h.AddTable("children", server.Receiver().Registry)
+		if qc := server.QueryCache(); qc != nil {
+			h.AddCache("query", func() any { return qc.Debug() })
+		}
 		go func() {
 			log.Printf("giis: observability on http://%s", *obsAddr)
 			if err := http.ListenAndServe(*obsAddr, h); err != nil {

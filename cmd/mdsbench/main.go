@@ -33,6 +33,17 @@ func main() {
 		"wire-duration", time.Second, "wire experiment: measurement window per cell")
 	flag.StringVar(&experiments.WireOptions.ObsAddr,
 		"wire-obs", "", "wire experiment: serve the root GIIS introspection endpoint here and print a chained trace")
+	flag.IntVar(&experiments.QCacheOptions.Entries,
+		"cache-entries", 0, "cache experiment: entries per query (0 = 200)")
+	flag.IntVar(&experiments.QCacheOptions.Concurrency,
+		"cache-conc", 0, "cache experiment: concurrent clients (0 = sweep 1, 8, 32)")
+	flag.DurationVar(&experiments.QCacheOptions.Duration,
+		"cache-duration", time.Second, "cache experiment: measurement window per cell")
+	flag.DurationVar(&experiments.QCacheOptions.TTL,
+		"cache-ttl", 15*time.Second, "cache experiment: query-cache TTL for the cached topology")
+	flag.DurationVar(&experiments.QCacheOptions.ProviderCost,
+		"cache-provider-cost", experiments.QCacheOptions.ProviderCost,
+		"cache experiment: leaf provider execution cost per uncached invocation")
 	flag.IntVar(&experiments.ShardOptions.PerShard,
 		"shard-pershard", experiments.ShardOptions.PerShard, "shard experiment: resident registrations per shard (250000 with -shard-rings 1,2,4,8 is the 1M-provider headline run)")
 	flag.StringVar(&experiments.ShardOptions.Rings,

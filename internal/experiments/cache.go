@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	register("cache", "E2 (§10.3): GRIS result caching — provider intrusiveness and staleness vs cache TTL", runCache)
+	register("griscache", "E2 (§10.3): GRIS result caching — provider intrusiveness and staleness vs cache TTL", runCache)
 	register("pushpull", "E6 (§6): pull polling vs push subscription for monitoring — messages vs update latency", runPushPull)
 }
 

@@ -80,15 +80,15 @@ func TestFig4ConvergesForAllIntervals(t *testing.T) {
 	}
 }
 
-func TestCacheReportMentionsAllTTLs(t *testing.T) {
+func TestGRISCacheReportMentionsAllTTLs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("cache", &buf); err != nil {
+	if err := Run("griscache", &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	for _, want := range []string{"off", "10s", "1m0s", "5m0s"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("cache report missing %q:\n%s", want, out)
+			t.Errorf("griscache report missing %q:\n%s", want, out)
 		}
 	}
 }

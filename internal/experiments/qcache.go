@@ -1,0 +1,205 @@
+package experiments
+
+// The query-cache experiment reproduces the shape of Zhang & Schopf's MDS
+// performance study (PAPERS.md): aggregate-directory throughput and
+// response time as a function of concurrent users, with and without result
+// caching. A 2-level GIIS chain over real loopback TCP answers a hot
+// whole-subtree query; the cached topology answers repeats from the
+// internal/qcache result cache instead of re-fanning out to the leaves.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mds2/internal/giis"
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+)
+
+func init() {
+	register("cache", "query-result cache: 2-level GIIS chain over TCP — throughput and response time vs concurrent users, cached vs uncached", runQueryCache)
+}
+
+// QCacheOptions tunes the query-cache experiment; cmd/mdsbench exposes
+// them as flags. Zero values select the default sweep.
+var QCacheOptions = struct {
+	// Entries fixes the per-query result size (0 = 200).
+	Entries int
+	// Concurrency fixes the concurrent client count (0 sweeps 1, 8, 32).
+	Concurrency int
+	// Duration is the measurement window per cell.
+	Duration time.Duration
+	// TTL is the query-cache TTL for the cached topology.
+	TTL time.Duration
+	// ProviderCost is the execution cost each leaf charges per provider
+	// invocation, modelling the sensor/fork expense real GRIS providers
+	// pay (the study this reproduces queried providers that fork per
+	// invocation). Leaves run with provider caching off so the uncached
+	// chain pays it on every query, exactly as E2's slowBackend does.
+	ProviderCost time.Duration
+}{Duration: time.Second, TTL: 15 * time.Second, ProviderCost: 5 * time.Millisecond}
+
+// slowCorpus is a corpusBackend charging a fixed provider execution cost
+// per invocation, with provider-side caching disabled (CacheTTL 0), so the
+// cost is paid on every query that reaches the leaf.
+type slowCorpus struct {
+	corpusBackend
+	cost time.Duration
+}
+
+func (b *slowCorpus) CacheTTL() time.Duration { return 0 }
+
+func (b *slowCorpus) Entries(q *gris.Query) ([]*ldap.Entry, error) {
+	time.Sleep(b.cost)
+	return b.corpusBackend.Entries(q)
+}
+
+// startSlowGRIS serves a slowCorpus-backed GRIS over loopback TCP.
+func startSlowGRIS(suffix ldap.DN, entries []*ldap.Entry, cost time.Duration) (string, func(), error) {
+	g := gris.New(gris.Config{Suffix: suffix})
+	g.Register(&slowCorpus{corpusBackend: corpusBackend{suffix: suffix, entries: entries}, cost: cost})
+	srv := ldap.NewServer(g)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// qcacheTopology builds the 2-level chain — top GIIS over 2 mid GIIS over
+// 4 GRIS leaves — with mods applied to every GIIS tier, and returns the
+// top's address and server (for cache counters).
+func qcacheTopology(perLeaf int, mods ...func(*giis.Config)) (string, *giis.Server, func(), error) {
+	const leaves = 4
+	base := ldap.MustParseDN("o=grid")
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	leafAddrs := make([]string, leaves)
+	leafSuffixes := make([]ldap.DN, leaves)
+	for i := 0; i < leaves; i++ {
+		suffix := ldap.MustParseDN(fmt.Sprintf("ou=s%d, o=grid", i))
+		addr, stop, err := startSlowGRIS(suffix, wireEntries(suffix, perLeaf), QCacheOptions.ProviderCost)
+		if err != nil {
+			stopAll()
+			return "", nil, nil, err
+		}
+		stops = append(stops, stop)
+		leafAddrs[i] = addr
+		leafSuffixes[i] = suffix
+	}
+	midAddrs := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		addr, _, stop, err := startWireGIIS(fmt.Sprintf("giis.mid%d", i), base,
+			leafAddrs[i*2:i*2+2], leafSuffixes[i*2:i*2+2], "gris", nil, mods...)
+		if err != nil {
+			stopAll()
+			return "", nil, nil, err
+		}
+		stops = append(stops, stop)
+		midAddrs[i] = addr
+	}
+	topAddr, top, stopTop, err := startWireGIIS("giis.top", base,
+		midAddrs, []ldap.DN{base, base}, "giis", nil, mods...)
+	if err != nil {
+		stopAll()
+		return "", nil, nil, err
+	}
+	stops = append(stops, stopTop)
+	return topAddr, top, stopAll, nil
+}
+
+func runQueryCache(w io.Writer) error {
+	window := QCacheOptions.Duration
+	if window <= 0 {
+		window = time.Second
+	}
+	total := QCacheOptions.Entries
+	if total <= 0 {
+		total = 200
+	}
+	perLeaf := total / 4
+	total = perLeaf * 4
+	concSweep := []int{1, 8, 32}
+	if QCacheOptions.Concurrency > 0 {
+		concSweep = []int{QCacheOptions.Concurrency}
+	}
+	ttl := QCacheOptions.TTL
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+
+	tab := NewTable(
+		fmt.Sprintf("cache — hot query against a 2-level GIIS chain over loopback TCP (%d entries/query, %v per cell, cache TTL %v, leaf provider cost %v uncached-per-query)",
+			total, window, ttl, QCacheOptions.ProviderCost),
+		"topology", "clients", "queries/s", "p50", "p99", "cache hits")
+
+	type cell struct {
+		qps      float64
+		p50, p99 time.Duration
+	}
+	base := ldap.MustParseDN("o=grid")
+	run := func(cached bool) (map[int]cell, error) {
+		var mods []func(*giis.Config)
+		if cached {
+			mods = append(mods, func(c *giis.Config) {
+				c.QueryCache = true
+				c.QueryCacheTTL = ttl
+			})
+		}
+		topAddr, top, stop, err := qcacheTopology(perLeaf, mods...)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		out := make(map[int]cell)
+		for _, clients := range concSweep {
+			m, err := measureWire(topAddr, base, "(objectclass=computer)", clients, window, total)
+			if err != nil {
+				return nil, err
+			}
+			c := cell{qps: float64(m.queries) / window.Seconds(), p50: m.p50, p99: m.p99}
+			out[clients] = c
+			hits := "-"
+			if qc := top.QueryCache(); qc != nil {
+				hits = fmt.Sprintf("%d", qc.Stats().Hits)
+			}
+			name := "chain-uncached"
+			if cached {
+				name = "chain-cached"
+			}
+			tab.AddRow(name, clients, fmt.Sprintf("%.0f", c.qps),
+				c.p50.Round(10*time.Microsecond), c.p99.Round(10*time.Microsecond), hits)
+		}
+		return out, nil
+	}
+
+	uncached, err := run(false)
+	if err != nil {
+		return err
+	}
+	cached, err := run(true)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, tab); err != nil {
+		return err
+	}
+	for _, clients := range concSweep {
+		u, c := uncached[clients], cached[clients]
+		if u.p50 <= 0 || c.p50 <= 0 || u.qps <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "cache: clients=%d speedup: %.1fx queries/s, %.1fx p50\n",
+			clients, c.qps/u.qps, float64(u.p50)/float64(c.p50)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

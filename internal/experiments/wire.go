@@ -88,9 +88,12 @@ func startWireGRIS(suffix ldap.DN, entries []*ldap.Entry) (string, func(), error
 }
 
 // startWireGIIS serves a chaining GIIS over loopback TCP with the given
-// children registered (childSuffix[i] served at childAddr[i]).
+// children registered (childSuffix[i] served at childAddr[i]). mods adjust
+// the Config before the server starts (e.g. enabling the query cache); the
+// returned Server lets callers read its counters after measurement.
 func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
-	childSuffixes []ldap.DN, childType string, o *wireObs) (string, func(), error) {
+	childSuffixes []ldap.DN, childType string, o *wireObs,
+	mods ...func(*giis.Config)) (string, *giis.Server, func(), error) {
 
 	cfg := giis.Config{
 		Name:   name,
@@ -98,6 +101,9 @@ func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
 	}
 	if o != nil {
 		cfg.Obs = o.reg
+	}
+	for _, mod := range mods {
+		mod(&cfg)
 	}
 	d := giis.New(cfg)
 	now := time.Now()
@@ -112,7 +118,7 @@ func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
 		}
 		if !d.Ingest(msg) {
 			d.Close()
-			return "", nil, fmt.Errorf("wire: %s refused registration of %s", name, addr)
+			return "", nil, nil, fmt.Errorf("wire: %s refused registration of %s", name, addr)
 		}
 	}
 	srv := ldap.NewServer(d)
@@ -123,14 +129,14 @@ func startWireGIIS(name string, suffix ldap.DN, childAddrs []string,
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		d.Close()
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	go srv.Serve(l)
 	stop := func() {
 		srv.Close()
 		d.Close()
 	}
-	return l.Addr().String(), stop, nil
+	return l.Addr().String(), d, stop, nil
 }
 
 type wireCell struct {
@@ -315,7 +321,7 @@ func runWire(w io.Writer) error {
 		}
 		midAddrs := make([]string, 2)
 		for i := 0; i < 2; i++ {
-			addr, stop, err := startWireGIIS(fmt.Sprintf("giis.mid%d", i), base,
+			addr, _, stop, err := startWireGIIS(fmt.Sprintf("giis.mid%d", i), base,
 				leafAddrs[i*2:i*2+2], leafSuffixes[i*2:i*2+2], "gris", nil)
 			if err != nil {
 				stopAll()
@@ -324,7 +330,7 @@ func runWire(w io.Writer) error {
 			stops = append(stops, stop)
 			midAddrs[i] = addr
 		}
-		topAddr, stopTop, err := startWireGIIS("giis.top", base,
+		topAddr, _, stopTop, err := startWireGIIS("giis.top", base,
 			midAddrs, []ldap.DN{base, base}, "giis", wo)
 		if err != nil {
 			stopAll()

@@ -24,6 +24,7 @@ import (
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
 	"mds2/internal/obs"
+	"mds2/internal/qcache"
 	"mds2/internal/softstate"
 )
 
@@ -107,6 +108,19 @@ type Config struct {
 	// soft-state registry live/expired series. The pooled LDAP clients'
 	// UnknownResponses counters aggregate here too.
 	Obs *obs.Registry
+	// QueryCache enables the per-child-hop query-result cache: chained
+	// search results are kept (keyed per child, so one slow or hedged child
+	// never poisons another's key) and served to identical queries until
+	// min(QueryCacheTTL, the child's soft-state deadline), with early
+	// invalidation when a child registration expires or is removed.
+	// Persistent-search subscriptions always bypass the cache.
+	QueryCache bool
+	// QueryCacheTTL bounds cached result freshness (qcache.DefaultTTL when
+	// zero).
+	QueryCacheTTL time.Duration
+	// QueryCacheMax bounds the number of cached keys (qcache.DefaultMax
+	// when zero).
+	QueryCacheMax int
 }
 
 // Extension handles one GRIP extended operation: it receives the request
@@ -155,6 +169,11 @@ type Server struct {
 	hChainChild *obs.Histogram
 	hFanout     *obs.Histogram
 
+	// qc is the per-child-hop query-result cache (nil unless
+	// Config.QueryCache); qcStop cancels its registry-event subscription.
+	qc     *qcache.Cache
+	qcStop func()
+
 	sasl *gsi.SASLBinder
 }
 
@@ -189,6 +208,34 @@ func New(cfg Config) *Server {
 			return false
 		}
 		return true
+	}
+	if cfg.QueryCache {
+		s.qc = qcache.New(qcache.Config{
+			Name:  "giis_query",
+			Clock: cfg.Clock,
+			TTL:   cfg.QueryCacheTTL,
+			Max:   cfg.QueryCacheMax,
+			Obs:   cfg.Obs,
+		})
+		// Registry churn is the version-invalidation path: when a child's
+		// registration lapses or is withdrawn, its cached results drop
+		// immediately instead of waiting out their TTL. Joins and refreshes
+		// need nothing — keys are per child, so a new child is simply a
+		// future miss.
+		ch, cancel := s.receiver.Registry.Subscribe()
+		s.qcStop = cancel
+		go func() {
+			for ev := range ch {
+				if ev.Type != softstate.EventExpired && ev.Type != softstate.EventRemoved {
+					continue
+				}
+				owner := ev.Key
+				if url, err := ldap.ParseURL(ev.Key); err == nil {
+					owner = url.ServiceKey()
+				}
+				s.qc.InvalidateOwner(owner)
+			}
+		}()
 	}
 	if cfg.Strategy == nil {
 		cfg.Strategy = NewChaining()
@@ -338,9 +385,16 @@ type poolEntry struct {
 	evicted bool
 }
 
+// QueryCache returns the query-result cache, or nil when disabled — the
+// /debug introspection mount point.
+func (s *Server) QueryCache() *qcache.Cache { return s.qc }
+
 // Close releases pooled connections and the registry. Connections still
 // borrowed by in-flight chains close on their final release.
 func (s *Server) Close() {
+	if s.qcStop != nil {
+		s.qcStop()
+	}
 	s.receiver.Close()
 	s.poolMu.Lock()
 	s.closed = true
@@ -448,9 +502,28 @@ func (s *Server) chain(req *ldap.Request, child Child, base ldap.DN, scope ldap.
 	return s.chainWith(req, child, base, scope, filter, attrs, sizeLimit, nil)
 }
 
+// chainUncached is chain with the query cache deliberately bypassed —
+// strategies that maintain their own result cache (CachedIndex) fill
+// through here so an entry set is never cached twice at different TTLs.
+func (s *Server) chainUncached(req *ldap.Request, child Child, base ldap.DN, scope ldap.Scope,
+	filter *ldap.Filter, attrs []string, sizeLimit int64) ([]*ldap.Entry, error) {
+	childBase, childScope, ok := translateRegion(base, scope, child)
+	if !ok {
+		return nil, nil
+	}
+	return s.chainTranslated(req, child, childBase, childScope, filter, attrs, sizeLimit, nil)
+}
+
 // chainWith is chain with extra request controls attached — the sharded
 // strategy rides its shard-local marker here so a peer shard answers from
 // its own children without fanning out again.
+//
+// With the query cache enabled, the hop result is cached per child (the
+// owner component of the key), so identical queries hit without re-fanning
+// out and one slow or hedged child never poisons another child's key.
+// Persistent-search subscriptions bypass the cache entirely: a subscriber
+// wants the live change stream, and a cached snapshot answered in its
+// place would silently go stale for the subscription's whole lifetime.
 func (s *Server) chainWith(req *ldap.Request, child Child, base ldap.DN, scope ldap.Scope,
 	filter *ldap.Filter, attrs []string, sizeLimit int64, extra []ldap.Control) ([]*ldap.Entry, error) {
 
@@ -458,6 +531,59 @@ func (s *Server) chainWith(req *ldap.Request, child Child, base ldap.DN, scope l
 	if !ok {
 		return nil, nil
 	}
+	if s.qc == nil || isPersistentSearch(req) {
+		return s.chainTranslated(req, child, childBase, childScope, filter, attrs, sizeLimit, extra)
+	}
+	region := qcache.Region{
+		Owner:  chainOwner(child, extra),
+		Base:   childBase,
+		Scope:  childScope,
+		Filter: filter,
+	}
+	key := region.Key(attrs, sizeLimit)
+	// The child's soft-state deadline caps freshness: a cached result never
+	// outlives the registration that produced it (two-tier expiry).
+	entries, how, err := s.qc.GetOrFill(key, region, child.ExpiresAt, func() ([]*ldap.Entry, error) {
+		return s.chainTranslated(req, child, childBase, childScope, filter, attrs, sizeLimit, extra)
+	})
+	if how != qcache.OutcomeMiss && req != nil && req.TraceID != "" {
+		// The miss path records a real chain span inside chainTranslated;
+		// hits record a zero-fan-out marker span so traces show where the
+		// cache cut the chain short.
+		sp := req.Span.Child("chain:" + child.URL.String())
+		sp.SetNote("cache " + how.String())
+		sp.End()
+	}
+	return entries, err
+}
+
+// chainOwner renders the cache-key owner for a hop: the child's service
+// key, plus any extra control OIDs (a shard-local probe and a full chain to
+// the same peer are different questions and must not share results).
+func chainOwner(child Child, extra []ldap.Control) string {
+	owner := child.URL.ServiceKey()
+	for _, c := range extra {
+		owner += "|" + c.OID
+	}
+	return owner
+}
+
+// isPersistentSearch reports whether the client request carries the
+// persistent-search control.
+func isPersistentSearch(req *ldap.Request) bool {
+	if req == nil {
+		return false
+	}
+	_, ok := ldap.FindControl(req.Controls, ldap.OIDPersistentSearch)
+	return ok
+}
+
+// chainTranslated runs one uncached hop against a region already translated
+// into the child's namespace (the fill path under the query cache).
+func (s *Server) chainTranslated(req *ldap.Request, child Child, childBase ldap.DN,
+	childScope ldap.Scope, filter *ldap.Filter, attrs []string, sizeLimit int64,
+	extra []ldap.Control) ([]*ldap.Entry, error) {
+
 	sreq := &ldap.SearchRequest{
 		BaseDN:     childBase.String(),
 		Scope:      childScope,

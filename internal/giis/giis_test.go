@@ -27,7 +27,7 @@ type rig struct {
 	servers []*ldap.Server
 }
 
-func newRig(t *testing.T, strategy Strategy) *rig {
+func newRig(t *testing.T, strategy Strategy, mods ...func(*Config)) *rig {
 	t.Helper()
 	r := &rig{
 		t:       t,
@@ -35,7 +35,7 @@ func newRig(t *testing.T, strategy Strategy) *rig {
 		network: simnet.New(1),
 		grises:  map[string]*gris.Server{},
 	}
-	r.giis = New(Config{
+	cfg := Config{
 		Name:     "giis.vo",
 		Suffix:   ldap.MustParseDN("vo=alliance"),
 		SelfURL:  ldap.MustParseURL("sim://giis-node:389"),
@@ -48,7 +48,11 @@ func newRig(t *testing.T, strategy Strategy) *rig {
 			}
 			return ldap.NewClient(conn), nil
 		},
-	})
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	r.giis = New(cfg)
 	t.Cleanup(r.giis.Close)
 	return r
 }

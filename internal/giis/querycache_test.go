@@ -1,0 +1,191 @@
+package giis
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mds2/internal/grrp"
+	"mds2/internal/ldap"
+)
+
+func withQueryCache(ttl time.Duration) func(*Config) {
+	return func(c *Config) {
+		c.QueryCache = true
+		c.QueryCacheTTL = ttl
+	}
+}
+
+func computerQuery() *ldap.SearchRequest {
+	return &ldap.SearchRequest{BaseDN: "vo=alliance", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.MustParseFilter("(objectclass=computer)")}
+}
+
+func TestQueryCacheHitSkipsChain(t *testing.T) {
+	r := newRig(t, NewChaining(), withQueryCache(time.Minute))
+	r.addHost("hostA", 1)
+	r.addHost("hostB", 2)
+
+	first, res := r.search(computerQuery())
+	if res.Code != ldap.ResultSuccess || len(first) != 2 {
+		t.Fatalf("prime: %d entries, res %+v", len(first), res)
+	}
+	chained := r.giis.ChainedOps.Value()
+	if chained == 0 {
+		t.Fatal("prime query did not chain")
+	}
+
+	second, res := r.search(computerQuery())
+	if res.Code != ldap.ResultSuccess || len(second) != 2 {
+		t.Fatalf("hit: %d entries, res %+v", len(second), res)
+	}
+	if got := r.giis.ChainedOps.Value(); got != chained {
+		t.Fatalf("identical query re-chained: %d ops, want %d", got, chained)
+	}
+
+	// Normalization: a semantically equal query (case-folded filter) shares
+	// the key and also hits.
+	eq := computerQuery()
+	eq.Filter = ldap.MustParseFilter("(ObjectClass=COMPUTER)")
+	if _, res := r.search(eq); res.Code != ldap.ResultSuccess {
+		t.Fatalf("equivalent query failed: %+v", res)
+	}
+	if got := r.giis.ChainedOps.Value(); got != chained {
+		t.Fatalf("equivalent query re-chained: %d ops, want %d", got, chained)
+	}
+	if s := r.giis.QueryCache().Stats(); s.Hits == 0 {
+		t.Fatalf("cache stats show no hits: %+v", s)
+	}
+}
+
+// TestPersistentSearchBypassesQueryCache is the regression test for the
+// subscriber bug: a persistent-search request answered from the result
+// cache would silently freeze the subscription at the cached snapshot, so
+// those requests must always chain to the authoritative provider even when
+// an identical plain query was just cached.
+func TestPersistentSearchBypassesQueryCache(t *testing.T) {
+	r := newRig(t, NewChaining(), withQueryCache(time.Minute))
+	r.addHost("hostA", 1)
+
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("prime failed: %+v", res)
+	}
+	chained := r.giis.ChainedOps.Value()
+
+	w := &sink{}
+	psReq := &ldap.Request{Ctx: context.Background(), State: &ldap.ConnState{},
+		Controls: []ldap.Control{ldap.NewPersistentSearchControl(
+			ldap.PersistentSearch{ChangeTypes: ldap.ChangeAll})}}
+	if res := r.giis.Search(psReq, computerQuery(), w); res.Code != ldap.ResultSuccess {
+		t.Fatalf("persistent search failed: %+v", res)
+	}
+	if got := r.giis.ChainedOps.Value(); got == chained {
+		t.Fatal("persistent search was answered from the query cache instead of chaining")
+	}
+}
+
+// TestQueryCacheBoundedByChildSoftState pins the two-tier freshness rule:
+// even with a long cache TTL, a cached result expires when the child
+// registration that produced it would have — a refresh that extends the
+// registration does not resurrect results cached under the old deadline.
+func TestQueryCacheBoundedByChildSoftState(t *testing.T) {
+	r := newRig(t, NewChaining(), withQueryCache(time.Hour))
+	r.addHost("hostA", 1)
+
+	// Shrink hostA's registration to 30s from now.
+	reingest := func(ttl time.Duration) {
+		now := r.clock.Now()
+		if !r.giis.Ingest(&grrp.Message{
+			Type: grrp.TypeRegister, ServiceURL: "sim://hostA-node:389",
+			MDSType: "gris", SuffixDN: "hn=hostA, o=center1",
+			IssuedAt: now, ValidUntil: now.Add(ttl),
+		}) {
+			t.Fatal("re-registration refused")
+		}
+	}
+	reingest(30 * time.Second)
+
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("prime failed: %+v", res)
+	}
+	chained := r.giis.ChainedOps.Value()
+
+	// Still inside the registration window: served from cache.
+	r.clock.Advance(10 * time.Second)
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("in-window query failed: %+v", res)
+	}
+	if got := r.giis.ChainedOps.Value(); got != chained {
+		t.Fatalf("in-window query re-chained: %d ops, want %d", got, chained)
+	}
+
+	// Extend the registration, then cross the ORIGINAL deadline. The child
+	// is alive, but the cached result was produced under the old
+	// registration and must not be served past it.
+	reingest(time.Hour)
+	r.clock.Advance(25 * time.Second)
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("post-deadline query failed: %+v", res)
+	}
+	if got := r.giis.ChainedOps.Value(); got == chained {
+		t.Fatal("result cached under the lapsed registration was served past its soft-state bound")
+	}
+}
+
+// TestRegistryExpiryInvalidatesQueryCache pins the early-invalidation
+// path: when a child's registration expires, its cached results drop via
+// the registry event subscription instead of lingering until their TTL.
+func TestRegistryExpiryInvalidatesQueryCache(t *testing.T) {
+	r := newRig(t, NewChaining(), withQueryCache(24*time.Hour))
+	r.addHost("hostA", 1) // registration valid for one hour
+
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("prime failed: %+v", res)
+	}
+	if n := r.giis.QueryCache().Len(); n == 0 {
+		t.Fatal("prime query left nothing in the cache")
+	}
+
+	// Cross the registration deadline; the sweep fires EventExpired and the
+	// invalidation goroutine drops the child's keys (asynchronously).
+	r.clock.Advance(time.Hour + time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.giis.QueryCache().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("expired child's cached results never invalidated (stats %+v)",
+				r.giis.QueryCache().Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := r.giis.QueryCache().Stats(); s.Invalidated == 0 {
+		t.Fatalf("invalidation counter did not move: %+v", s)
+	}
+}
+
+// TestCachedIndexSingleFetchPerChild verifies the rebased CachedIndex
+// still fetches each child's subtree once per TTL window and serves
+// queries from the index in between.
+func TestCachedIndexSingleFetchPerChild(t *testing.T) {
+	r := newRig(t, NewCachedIndex(time.Minute))
+	r.addHost("hostA", 1)
+
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("prime failed: %+v", res)
+	}
+	chained := r.giis.ChainedOps.Value()
+	for i := 0; i < 3; i++ {
+		if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+			t.Fatalf("indexed query failed: %+v", res)
+		}
+	}
+	if got := r.giis.ChainedOps.Value(); got != chained {
+		t.Fatalf("indexed queries re-fetched the child: %d ops, want %d", got, chained)
+	}
+	r.clock.Advance(time.Minute)
+	if _, res := r.search(computerQuery()); res.Code != ldap.ResultSuccess {
+		t.Fatalf("post-TTL query failed: %+v", res)
+	}
+	if got := r.giis.ChainedOps.Value(); got == chained {
+		t.Fatal("index never refreshed after its TTL")
+	}
+}

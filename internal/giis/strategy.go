@@ -6,6 +6,7 @@ import (
 
 	"mds2/internal/bloom"
 	"mds2/internal/ldap"
+	"mds2/internal/qcache"
 )
 
 // SearchContext carries one data search through a strategy.
@@ -191,31 +192,39 @@ type CachedIndex struct {
 	// TTL bounds index staleness; stale children are re-fetched on demand.
 	TTL time.Duration
 
-	s  *Server
-	mu sync.Mutex
-	// cache maps child service keys to fetched view-namespace entries.
-	cache map[string]*indexEntry
-}
-
-type indexEntry struct {
-	entries   []*ldap.Entry
-	fetchedAt time.Time
+	s *Server
+	// qc is the per-child entry-set cache. The strategy predates the qcache
+	// core and used to carry its own TTL map; it now rides the shared
+	// implementation (one freshness/singleflight/eviction path in the tree)
+	// with ServeStale on, preserving the §2.2 partition behaviour.
+	qc *qcache.Cache
 }
 
 // NewCachedIndex returns a cached-index strategy with the given freshness
 // bound.
 func NewCachedIndex(ttl time.Duration) *CachedIndex {
-	return &CachedIndex{TTL: ttl, cache: map[string]*indexEntry{}}
+	return &CachedIndex{TTL: ttl}
 }
 
 // Name implements Strategy.
 func (c *CachedIndex) Name() string { return "cached-index" }
 
-func (c *CachedIndex) attach(s *Server) { c.s = s }
+func (c *CachedIndex) attach(s *Server) {
+	c.s = s
+	c.qc = qcache.New(qcache.Config{
+		Name:  "giis_index",
+		Clock: s.clock,
+		TTL:   c.TTL,
+		// An empty child subtree is as expensive to re-fetch as a full one:
+		// negative results keep the full index TTL.
+		NegTTL:     c.TTL,
+		ServeStale: true,
+		Obs:        s.cfg.Obs,
+	})
+}
 
 // Search implements Strategy.
 func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
-	now := c.s.clock.Now()
 	partial := false
 	// Filter before sorting: the index holds every child's full subtree,
 	// and sorting the (usually small) matching subset is far cheaper than
@@ -224,7 +233,7 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 	cf := ctx.Op.Filter.Compile()
 	var matched []*ldap.Entry
 	for _, child := range ctx.Children {
-		entries, err := c.childEntries(ctx.Req, child, now)
+		entries, err := c.childEntries(ctx.Req, child)
 		if err != nil {
 			partial = true
 			continue
@@ -252,51 +261,34 @@ func (c *CachedIndex) Search(ctx *SearchContext) ldap.Result {
 	return res
 }
 
-func (c *CachedIndex) childEntries(req *ldap.Request, child Child, now time.Time) ([]*ldap.Entry, error) {
-	key := child.URL.ServiceKey()
-	c.mu.Lock()
-	ce, ok := c.cache[key]
-	if ok && now.Sub(ce.fetchedAt) < c.TTL {
-		entries := ce.entries
-		c.mu.Unlock()
-		return entries, nil
+// childEntries returns the indexed entry set for one child, re-fetching
+// the child's whole subtree when the cached copy has expired. The fetch
+// bypasses the server-level query cache (chainUncached) so an entry set is
+// never cached twice at different TTLs; ServeStale on the index cache
+// keeps serving stale data when the authoritative source is unreachable:
+// "users should have as much partial or even inconsistent information as
+// is available" (§2.2).
+func (c *CachedIndex) childEntries(req *ldap.Request, child Child) ([]*ldap.Entry, error) {
+	reg := qcache.Region{
+		Owner: child.URL.ServiceKey(),
+		Base:  child.ViewSuffix,
+		Scope: ldap.ScopeWholeSubtree,
 	}
-	c.mu.Unlock()
-	entries, err := c.s.chain(req, child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
-	if err != nil {
-		// Serve stale data when the authoritative source is unreachable:
-		// "users should have as much partial or even inconsistent
-		// information as is available" (§2.2).
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		if ce != nil {
-			return ce.entries, nil
-		}
-		return nil, err
-	}
-	c.mu.Lock()
-	c.cache[key] = &indexEntry{entries: entries, fetchedAt: now}
-	c.mu.Unlock()
-	return entries, nil
+	entries, _, err := c.qc.GetOrFill(reg.Key(nil, 0), reg, child.ExpiresAt,
+		func() ([]*ldap.Entry, error) {
+			return c.s.chainUncached(req, child, child.ViewSuffix, ldap.ScopeWholeSubtree, nil, nil, 0)
+		})
+	return entries, err
 }
 
 // Flush drops the index (tests and failover drills).
-func (c *CachedIndex) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache = map[string]*indexEntry{}
-}
+func (c *CachedIndex) Flush() { c.qc.Flush() }
 
 // Entries returns a snapshot of every indexed entry across all children,
 // the corpus specialized services (e.g. the matchmaker extension) evaluate
 // against.
 func (c *CachedIndex) Entries() []*ldap.Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []*ldap.Entry
-	for _, ce := range c.cache {
-		out = append(out, ce.entries...)
-	}
+	out := c.qc.Entries()
 	ldap.SortEntries(out)
 	return out
 }

@@ -77,3 +77,20 @@ func verifyEntries(es []*Entry) []*Entry {
 	}
 	return es
 }
+
+// SealSnapshots extends the store's seal contract to result sets that
+// become shared snapshots outside the store — e.g. the qcache query-result
+// cache, which hands the same entries to every hit. Entries already sealed
+// (store hand-outs flowing through unchanged) are re-verified instead, so
+// a mutation between store and cache is still caught; unsealed entries
+// (decoded from the wire, grafted, then published) are sealed here. A
+// no-op outside -tags mdsdebug.
+func SealSnapshots(es []*Entry) {
+	for _, e := range es {
+		if e.san.sealed {
+			e.verifySeal()
+			continue
+		}
+		e.seal()
+	}
+}

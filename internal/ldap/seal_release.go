@@ -14,3 +14,7 @@ func (e *Entry) verifySeal() {}
 func (e *Entry) checkMutable() {}
 
 func verifyEntries(es []*Entry) []*Entry { return es }
+
+// SealSnapshots is the release no-op twin of the mdsdebug seal extension
+// for caches that publish shared snapshots (see seal_mdsdebug.go).
+func SealSnapshots(es []*Entry) {}

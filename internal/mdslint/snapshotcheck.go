@@ -29,17 +29,21 @@ var SnapshotCheck = &Analyzer{
 
 const (
 	factSnapshotResults = "snapshotResults" // on *types.Func: map[int]taintBits result → resource level
-	factHoldsSnapshot   = "holdsSnapshot"   // on field *types.Var: bool
+	factHoldsSnapshot   = "holdsSnapshot"   // on field *types.Var: taintBits (elem and/or primary)
 )
 
-// isSnapshotSource reports whether fn is one of the store's snapshot
-// hand-out entry points.
+// isSnapshotSource reports whether fn is one of the snapshot hand-out
+// entry points: the store's Find family, and the qcache result cache,
+// whose hits share the same sealed entries with every caller.
 func isSnapshotSource(fn *types.Func) bool {
 	switch {
 	case isMethod(fn, pkgLdap, "Store", "Find"),
 		isMethod(fn, pkgLdap, "Store", "FindLimit"),
 		isMethod(fn, pkgLdap, "Store", "All"),
-		isMethod(fn, pkgLdap, "Store", "findScan"):
+		isMethod(fn, pkgLdap, "Store", "findScan"),
+		isMethod(fn, pkgQcache, "Cache", "Get"),
+		isMethod(fn, pkgQcache, "Cache", "GetOrFill"),
+		isMethod(fn, pkgQcache, "Cache", "Entries"):
 		return true
 	}
 	return false
@@ -74,7 +78,7 @@ func seedSnapshotFields(p *Pass) {
 		}
 		for i := range st.NumFields() {
 			if f := st.Field(i); f.Name() == "Entry" {
-				p.SetFact(f, factHoldsSnapshot, true)
+				p.SetFact(f, factHoldsSnapshot, taintPrimary)
 			}
 		}
 	}
@@ -104,18 +108,28 @@ func snapshotTaintConfig(p *Pass, pkg *Package, changed *bool) *taintConfig {
 			applyShapeAliases(p, callee, recv, args, res)
 			return res
 		},
+		// The field fact is level-aware: a field holding a fresh container of
+		// snapshots (elem — e.g. a reply struct carrying a cache hand-out)
+		// reads back as elem, so sorting or compacting that container stays
+		// legal; only fields aliasing snapshot memory itself (primary, like
+		// ChangeEvent.Entry) make every write through them a finding.
 		fieldRead: func(field *types.Var) taintBits {
-			if _, ok := p.Fact(field, factHoldsSnapshot); ok {
-				return taintPrimary
+			if v, ok := p.Fact(field, factHoldsSnapshot); ok {
+				return v.(taintBits)
 			}
 			return 0
 		},
 		onFieldStore: func(field *types.Var, bits taintBits) {
-			if bits&taintShared == 0 {
+			bits &= taintShared
+			if bits == 0 {
 				return
 			}
-			if _, ok := p.Fact(field, factHoldsSnapshot); !ok {
-				p.SetFact(field, factHoldsSnapshot, true)
+			var old taintBits
+			if v, ok := p.Fact(field, factHoldsSnapshot); ok {
+				old = v.(taintBits)
+			}
+			if old|bits != old {
+				p.SetFact(field, factHoldsSnapshot, old|bits)
 				if changed != nil {
 					*changed = true
 				}

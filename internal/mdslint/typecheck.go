@@ -51,8 +51,9 @@ type Package struct {
 // Import paths of the packages whose invariants the typed analyzers encode.
 // Fixture tests reconstruct stub packages under the same paths.
 const (
-	pkgBer  = "mds2/internal/ber"
-	pkgLdap = "mds2/internal/ldap"
+	pkgBer    = "mds2/internal/ber"
+	pkgLdap   = "mds2/internal/ldap"
+	pkgQcache = "mds2/internal/qcache"
 )
 
 // disableCgo turns cgo off for the whole process before any typed load:

@@ -108,6 +108,40 @@ func (s *Store) FindLimit(base string, n int) ([]*Entry, bool) { return s.Find(b
 func (s *Store) All() []*Entry { return s.Find("") }
 `
 
+// qcacheStub mimics the parts of internal/qcache that snapshotcheck keys
+// on: the Cache hand-out methods whose hits share sealed entries across
+// callers.
+const qcacheStub = `package qcache
+
+import (
+	"time"
+
+	"mds2/internal/ldap"
+)
+
+type Outcome int
+
+type Region struct {
+	Owner string
+	Base  string
+}
+
+type Cache struct{ entries []*ldap.Entry }
+
+func (c *Cache) Get(key string) ([]*ldap.Entry, bool) {
+	return append([]*ldap.Entry(nil), c.entries...), len(c.entries) > 0
+}
+
+func (c *Cache) GetOrFill(key string, region Region, bound time.Time,
+	fill func() ([]*ldap.Entry, error)) ([]*ldap.Entry, Outcome, error) {
+	return append([]*ldap.Entry(nil), c.entries...), 0, nil
+}
+
+func (c *Cache) Entries() []*ldap.Entry {
+	return append([]*ldap.Entry(nil), c.entries...)
+}
+`
+
 // runTyped type-checks the fixture module and runs one analyzer.
 func runTyped(t *testing.T, a *Analyzer, files map[string]string) []Finding {
 	t.Helper()
@@ -280,6 +314,84 @@ func f(s *ldap.Store) {
 			files := map[string]string{
 				"internal/ldap/ldap.go": ldapStub,
 				"internal/app/app.go":   tc.src,
+			}
+			checkWants(t, files, runTyped(t, SnapshotCheck, files))
+		})
+	}
+}
+
+// TestSnapshotCheckQcacheFixtures pins the query-cache contract: entries
+// handed out by qcache.Cache are the same sealed snapshots every other
+// cache hit sees, so mutating one is a finding, while reordering the fresh
+// container they arrive in — or cloning first — is fine.
+func TestSnapshotCheckQcacheFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"mutating a cache hit", `package app
+
+import "mds2/internal/qcache"
+
+func f(c *qcache.Cache) {
+	es, _ := c.Get("k")
+	es[0].DN = "o=evil" // want
+}
+`},
+		{"mutating method on GetOrFill result", `package app
+
+import (
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/qcache"
+)
+
+func f(c *qcache.Cache) {
+	es, _, _ := c.GetOrFill("k", qcache.Region{}, time.Time{},
+		func() ([]*ldap.Entry, error) { return nil, nil })
+	for _, e := range es {
+		e.Set("hn", "x") // want
+	}
+}
+`},
+		{"deep write through Entries", `package app
+
+import "mds2/internal/qcache"
+
+func f(c *qcache.Cache) {
+	c.Entries()[0].Attrs[0].Values[0] = "x" // want
+}
+`},
+		{"clone launders a cache hit", `package app
+
+import "mds2/internal/qcache"
+
+func f(c *qcache.Cache) {
+	es, _ := c.Get("k")
+	e := es[0].Clone()
+	e.DN = "o=mine"
+	e.Add("x", "y")
+}
+`},
+		{"reordering the hand-out container is fine", `package app
+
+import "mds2/internal/qcache"
+
+func f(c *qcache.Cache) {
+	es, _ := c.Get("k")
+	es[0], es[len(es)-1] = es[len(es)-1], es[0]
+	es = es[:1]
+	_ = es
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{
+				"internal/ldap/ldap.go":     ldapStub,
+				"internal/qcache/qcache.go": qcacheStub,
+				"internal/app/app.go":       tc.src,
 			}
 			checkWants(t, files, runTyped(t, SnapshotCheck, files))
 		})

@@ -15,6 +15,7 @@ import (
 //	/metrics         Prometheus text exposition of the Registry
 //	/debug/traces    recent + slow traces as JSON
 //	/debug/registry  soft-state tables: key, TTL remaining, last refresh
+//	/debug/qcache    query-result cache snapshots: config, stats, keys
 //
 // Handler starts no goroutines and owns no listener; callers (cmd/gris,
 // cmd/giis, the wire experiment) pair it with http.Serve.
@@ -25,11 +26,17 @@ type Handler struct {
 
 	mu     sync.Mutex
 	tables []namedTable
+	caches []namedCache
 }
 
 type namedTable struct {
 	name string
 	reg  *softstate.Registry
+}
+
+type namedCache struct {
+	name string
+	fn   func() any
 }
 
 // NewHandler serves reg and tracer (either may be nil).
@@ -50,6 +57,18 @@ func (h *Handler) AddTable(name string, r *softstate.Registry) {
 	h.mu.Unlock()
 }
 
+// AddCache exposes a query-cache debug snapshot under /debug/qcache. fn is
+// called per request (typically qcache.Cache.Debug) so the page always
+// reflects live state.
+func (h *Handler) AddCache(name string, fn func() any) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.caches = append(h.caches, namedCache{name: name, fn: fn})
+	h.mu.Unlock()
+}
+
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/metrics":
@@ -65,9 +84,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		})
 	case "/debug/registry":
 		writeJSON(w, h.registrySnapshot())
+	case "/debug/qcache":
+		writeJSON(w, h.cacheSnapshot())
 	case "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("mds2 obs endpoints: /metrics /debug/traces /debug/registry\n"))
+		_, _ = w.Write([]byte("mds2 obs endpoints: /metrics /debug/traces /debug/registry /debug/qcache\n"))
 	default:
 		http.NotFound(w, r)
 	}
@@ -131,6 +152,25 @@ func (h *Handler) registrySnapshot() []RegistryTable {
 		out = append(out, rt)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// CacheSnapshot is one named query-cache debug dump.
+type CacheSnapshot struct {
+	Cache string `json:"cache"`
+	State any    `json:"state"`
+}
+
+func (h *Handler) cacheSnapshot() []CacheSnapshot {
+	h.mu.Lock()
+	caches := make([]namedCache, len(h.caches))
+	copy(caches, h.caches)
+	h.mu.Unlock()
+	out := make([]CacheSnapshot, 0, len(caches))
+	for _, c := range caches {
+		out = append(out, CacheSnapshot{Cache: c.name, State: c.fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cache < out[j].Cache })
 	return out
 }
 

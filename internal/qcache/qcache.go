@@ -1,0 +1,638 @@
+// Package qcache is the GIIS-tier query-result cache: a bounded,
+// concurrency-safe map from normalized query regions to the immutable
+// entry snapshots that answered them. The paper's aggregate directories
+// exist precisely so discovery queries are answered from cached soft state
+// instead of re-contacting every information provider (§3, §10.4), and the
+// MDS2 performance studies identify caching as the dominant factor in
+// throughput and response time under concurrent users.
+//
+// Freshness is two-tier: a cached result expires at
+// min(now+TTL, contributing source's soft-state deadline), so a directory
+// never serves a result that has outlived the registration that produced
+// it. An invalidation path (Invalidate*, WatchStore) drops affected keys
+// early when membership or store contents change, instead of waiting out
+// the TTL. Concurrent identical misses collapse through singleflight, so a
+// query stampede costs one upstream fan-out; empty results are cached
+// negatively with a short TTL; eviction is size-bounded CLOCK.
+//
+// Cached entries are shared immutable snapshots, sealed under -tags
+// mdsdebug exactly like store hand-outs: hits return a fresh []*ldap.Entry
+// container (a pointer copy, never an entry clone) whose elements must be
+// laundered with Clone or Select before mutation — the contract the
+// snapshotcheck analyzer enforces statically.
+package qcache
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/obs"
+	"mds2/internal/softstate"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultTTL bounds result freshness when Config.TTL is zero.
+	DefaultTTL = 15 * time.Second
+	// DefaultNegTTL bounds negative-result freshness when Config.NegTTL is
+	// zero: an absent entry should reappear quickly once registered.
+	DefaultNegTTL = 5 * time.Second
+	// DefaultMax bounds the cached key count when Config.Max is zero.
+	DefaultMax = 4096
+)
+
+// Config assembles a Cache.
+type Config struct {
+	// Name prefixes the cache's obs series and labels its debug snapshot
+	// ("qcache" when empty). Non-alphanumeric runes become underscores in
+	// metric names.
+	Name string
+	// Clock drives freshness; nil means wall clock.
+	Clock softstate.Clock
+	// TTL bounds result freshness (DefaultTTL when zero). A result
+	// additionally expires at its soft-state bound (see GetOrFill).
+	TTL time.Duration
+	// NegTTL bounds negative (empty) result freshness (DefaultNegTTL when
+	// zero, never longer than TTL).
+	NegTTL time.Duration
+	// Max bounds the number of cached keys (DefaultMax when zero); excess
+	// inserts evict CLOCK-cold keys.
+	Max int
+	// ServeStale returns the expired result when a refill fails, instead
+	// of the error — §2.2: "users should have as much partial or even
+	// inconsistent information as is available".
+	ServeStale bool
+	// Obs, when non-nil, registers hit/miss/coalesced/evicted/invalidated/
+	// stale-skip counters and a live key gauge under Name_*.
+	Obs *obs.Registry
+}
+
+// Region describes what a cached result answers, for keying and for
+// invalidation matching. Base and Scope are the query region in whatever
+// namespace the caller resolves invalidation DNs against; Owner groups
+// keys by their upstream source (e.g. a child's service key) so the whole
+// group can be dropped when that source disappears.
+type Region struct {
+	Owner  string
+	Base   ldap.DN
+	Scope  ldap.Scope
+	Filter *ldap.Filter
+}
+
+// Key renders the normalized cache key for this region plus the requested
+// attribute set and size limit: DNs normalize per ldap.DN.Normalize, the
+// filter renders case-folded (attribute names and values carry
+// caseIgnoreMatch semantics), and attributes fold, sort and dedup — so
+// `(CN=Foo)` and `(cn=foo)` share one key.
+func (r Region) Key(attrs []string, sizeLimit int64) string {
+	var b strings.Builder
+	b.WriteString(r.Owner)
+	b.WriteByte(0x1f)
+	b.WriteString(r.Base.Normalize())
+	b.WriteByte(0x1f)
+	b.WriteString(strconv.Itoa(int(r.Scope)))
+	b.WriteByte(0x1f)
+	if r.Filter != nil {
+		b.WriteString(strings.ToLower(r.Filter.String()))
+	}
+	b.WriteByte(0x1f)
+	b.WriteString(normalizeAttrs(attrs))
+	b.WriteByte(0x1f)
+	b.WriteString(strconv.FormatInt(sizeLimit, 10))
+	return b.String()
+}
+
+// normalizeAttrs folds the attribute selection to its semantic form: empty
+// and "*" both select everything, names compare case-insensitively, and
+// order is irrelevant.
+func normalizeAttrs(attrs []string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	folded := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		if a == "*" || a == "" {
+			return "" // selects all attributes, like an empty request
+		}
+		folded = append(folded, strings.ToLower(a))
+	}
+	sort.Strings(folded)
+	out := folded[:1]
+	for _, a := range folded[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// Outcome reports how GetOrFill satisfied a lookup.
+type Outcome int
+
+// GetOrFill outcomes.
+const (
+	// OutcomeMiss: the fill function ran for this caller.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from a fresh cached result.
+	OutcomeHit
+	// OutcomeCoalesced: joined another caller's in-flight fill.
+	OutcomeCoalesced
+	// OutcomeStale: the fill failed and the expired result was served
+	// (Config.ServeStale).
+	OutcomeStale
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	case OutcomeStale:
+		return "stale"
+	default:
+		return "miss"
+	}
+}
+
+// item is one cached result. entries is the shared snapshot slice; every
+// hand-out copies the container so callers may reorder or compact their
+// copy without racing other readers.
+type item struct {
+	key      string
+	owner    string
+	base     ldap.DN
+	scope    ldap.Scope
+	cf       *ldap.Compiled
+	entries  []*ldap.Entry
+	expires  time.Time
+	negative bool
+	ref      bool // CLOCK reference bit
+	slot     int  // position in the CLOCK ring
+}
+
+// flight is one in-progress fill that concurrent identical misses join.
+type flight struct {
+	done    chan struct{}
+	entries []*ldap.Entry
+	err     error
+}
+
+// Cache is a bounded query-result cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	cfg   Config
+	clock softstate.Clock
+
+	mu    sync.Mutex
+	items map[string]*item
+	ring  []*item // CLOCK ring; nil holes are free slots
+	free  []int
+	hand  int
+
+	// flightMu guards the singleflight table. It is never held across a
+	// channel operation or a fill.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// Counters (registered under Config.Obs when present; nil-safe no-ops
+	// otherwise).
+	Hits        obs.Counter
+	Misses      obs.Counter
+	Coalesced   obs.Counter
+	Evicted     obs.Counter
+	Invalidated obs.Counter
+	StaleSkips  obs.Counter // expired results passed over on lookup
+	StaleServed obs.Counter // expired results served after a failed refill
+}
+
+// New builds a cache.
+func New(cfg Config) *Cache {
+	if cfg.Clock == nil {
+		cfg.Clock = softstate.RealClock{}
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.NegTTL <= 0 {
+		cfg.NegTTL = DefaultNegTTL
+	}
+	if cfg.NegTTL > cfg.TTL {
+		cfg.NegTTL = cfg.TTL
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultMax
+	}
+	if cfg.Name == "" {
+		cfg.Name = "qcache"
+	}
+	c := &Cache{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		items:   map[string]*item{},
+		flights: map[string]*flight{},
+	}
+	if cfg.Obs != nil {
+		p := metricPrefix(cfg.Name)
+		cfg.Obs.RegisterCounter(p+"_hits_total", &c.Hits)
+		cfg.Obs.RegisterCounter(p+"_misses_total", &c.Misses)
+		cfg.Obs.RegisterCounter(p+"_coalesced_total", &c.Coalesced)
+		cfg.Obs.RegisterCounter(p+"_evicted_total", &c.Evicted)
+		cfg.Obs.RegisterCounter(p+"_invalidated_total", &c.Invalidated)
+		cfg.Obs.RegisterCounter(p+"_stale_skips_total", &c.StaleSkips)
+		cfg.Obs.RegisterCounter(p+"_stale_served_total", &c.StaleServed)
+		cfg.Obs.GaugeFunc(p+"_keys", func() float64 { return float64(c.Len()) })
+	}
+	return c
+}
+
+func metricPrefix(name string) string {
+	b := []byte(name)
+	for i, r := range b {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// copyEntries hands out a fresh container over the shared snapshots:
+// callers sort, compact and dedup their result sets in place, which must
+// never touch the slice other readers share.
+func copyEntries(entries []*ldap.Entry) []*ldap.Entry {
+	if entries == nil {
+		return nil
+	}
+	return append([]*ldap.Entry(nil), entries...)
+}
+
+// Get returns the cached result for key when fresh. The returned slice is
+// a fresh container of shared immutable snapshot entries; Clone or Select
+// an entry before mutating it. A cached negative result returns (nil,
+// true).
+func (c *Cache) Get(key string) ([]*ldap.Entry, bool) {
+	entries, ok := c.lookup(key, c.clock.Now())
+	if !ok {
+		c.Misses.Inc()
+	}
+	return entries, ok
+}
+
+// lookup is the fresh-hit path; it counts hits and stale skips but leaves
+// miss accounting to the caller (GetOrFill counts one miss per fill, not
+// per probe).
+func (c *Cache) lookup(key string, now time.Time) ([]*ldap.Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it := c.items[key]
+	if it == nil {
+		return nil, false
+	}
+	if !now.Before(it.expires) {
+		c.StaleSkips.Inc()
+		return nil, false
+	}
+	it.ref = true
+	c.Hits.Inc()
+	return copyEntries(it.entries), true
+}
+
+// stale returns the expired result for key, if one is still resident.
+func (c *Cache) stale(key string) ([]*ldap.Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it := c.items[key]; it != nil {
+		return copyEntries(it.entries), true
+	}
+	return nil, false
+}
+
+// GetOrFill returns the cached result for key, running fill on a miss and
+// caching what it returns. Concurrent identical misses collapse: exactly
+// one caller runs fill, the rest wait and share its result. bound, when
+// non-zero, caps the result's freshness at that instant regardless of TTL
+// — pass the contributing source's soft-state deadline so a cached result
+// never outlives the registration it came from. The returned slice is a
+// fresh container of shared immutable snapshot entries (see Get).
+func (c *Cache) GetOrFill(key string, region Region, bound time.Time,
+	fill func() ([]*ldap.Entry, error)) ([]*ldap.Entry, Outcome, error) {
+
+	if entries, ok := c.lookup(key, c.clock.Now()); ok {
+		return entries, OutcomeHit, nil
+	}
+	c.flightMu.Lock()
+	if f := c.flights[key]; f != nil {
+		c.flightMu.Unlock()
+		c.Coalesced.Inc()
+		<-f.done
+		if f.err != nil {
+			return nil, OutcomeCoalesced, f.err
+		}
+		return copyEntries(f.entries), OutcomeCoalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	// A previous leader may have refilled between our miss and taking
+	// flight leadership; re-check before paying for a fan-out.
+	if entries, ok := c.lookup(key, c.clock.Now()); ok {
+		c.finishFlight(key, f, entries, nil)
+		return entries, OutcomeHit, nil
+	}
+
+	c.Misses.Inc()
+	entries, err := fill()
+	if err != nil {
+		if c.cfg.ServeStale {
+			if stale, ok := c.stale(key); ok {
+				c.StaleServed.Inc()
+				c.finishFlight(key, f, stale, nil)
+				return stale, OutcomeStale, nil
+			}
+		}
+		c.finishFlight(key, f, nil, err)
+		return nil, OutcomeMiss, err
+	}
+	// The fill result becomes the shared snapshot: seal it (mdsdebug) so
+	// any later in-place mutation of a cached entry panics at the write.
+	ldap.SealSnapshots(entries)
+	c.put(key, region, bound, entries)
+	c.finishFlight(key, f, entries, nil)
+	return copyEntries(entries), OutcomeMiss, err
+}
+
+// finishFlight publishes the flight result and retires it so the next miss
+// starts a fresh fill. The flight channel closes outside every lock.
+func (c *Cache) finishFlight(key string, f *flight, entries []*ldap.Entry, err error) {
+	f.entries, f.err = entries, err
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	close(f.done)
+}
+
+// Put caches a result directly (GetOrFill is the usual path). See
+// GetOrFill for bound semantics.
+func (c *Cache) Put(key string, region Region, bound time.Time, entries []*ldap.Entry) {
+	ldap.SealSnapshots(entries)
+	c.put(key, region, bound, entries)
+}
+
+func (c *Cache) put(key string, region Region, bound time.Time, entries []*ldap.Entry) {
+	now := c.clock.Now()
+	negative := len(entries) == 0
+	ttl := c.cfg.TTL
+	if negative {
+		ttl = c.cfg.NegTTL
+	}
+	expires := now.Add(ttl)
+	if !bound.IsZero() && bound.Before(expires) {
+		expires = bound
+	}
+	if !expires.After(now) {
+		return // the soft-state bound already lapsed: born stale
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it := c.items[key]; it != nil {
+		it.owner, it.base, it.scope = region.Owner, region.Base, region.Scope
+		it.cf = region.Filter.Compile()
+		it.entries, it.expires, it.negative, it.ref = entries, expires, negative, true
+		return
+	}
+	for len(c.items) >= c.cfg.Max {
+		c.evictLocked()
+	}
+	it := &item{
+		key:   key,
+		owner: region.Owner, base: region.Base, scope: region.Scope,
+		cf:      region.Filter.Compile(),
+		entries: entries, expires: expires, negative: negative, ref: true,
+	}
+	c.items[key] = it
+	if n := len(c.free); n > 0 {
+		it.slot = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.ring[it.slot] = it
+	} else {
+		it.slot = len(c.ring)
+		c.ring = append(c.ring, it)
+	}
+}
+
+// evictLocked runs one CLOCK sweep: referenced items get a second chance,
+// the first cold item goes.
+func (c *Cache) evictLocked() {
+	n := len(c.ring)
+	if n == 0 {
+		return
+	}
+	for scanned := 0; scanned < 2*n; scanned++ {
+		it := c.ring[c.hand]
+		c.hand = (c.hand + 1) % n
+		if it == nil {
+			continue
+		}
+		if it.ref {
+			it.ref = false
+			continue
+		}
+		c.removeLocked(it)
+		c.Evicted.Inc()
+		return
+	}
+	// Every resident item was referenced twice around (possible only under
+	// concurrent hit storms): evict the next resident regardless.
+	for {
+		it := c.ring[c.hand]
+		c.hand = (c.hand + 1) % n
+		if it != nil {
+			c.removeLocked(it)
+			c.Evicted.Inc()
+			return
+		}
+	}
+}
+
+func (c *Cache) removeLocked(it *item) {
+	delete(c.items, it.key)
+	c.ring[it.slot] = nil
+	c.free = append(c.free, it.slot)
+}
+
+// InvalidateDN drops every key whose region contains dn. Returns the
+// number of keys dropped.
+func (c *Cache) InvalidateDN(dn ldap.DN) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, it := range c.items {
+		if dn.WithinScope(it.base, it.scope) {
+			c.removeLocked(it)
+			n++
+		}
+	}
+	c.Invalidated.Add(int64(n))
+	return n
+}
+
+// InvalidateEvent drops the keys a store change affects. Adds and deletes
+// are precise: a cached result changes only if the event's entry — for
+// deletes, the pre-delete snapshot the store attaches — falls in the key's
+// region and matches its filter (this is also what flushes negative
+// results when the missing entry appears). Modifies drop every in-region
+// key, because the filter may have matched the pre-modify state the event
+// no longer carries.
+func (c *Cache) InvalidateEvent(ev ldap.ChangeEvent) int {
+	if ev.Entry == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, it := range c.items {
+		if !ev.Entry.DN.WithinScope(it.base, it.scope) {
+			continue
+		}
+		switch ev.Type {
+		case ldap.ChangeAdd, ldap.ChangeDelete:
+			if !it.cf.Matches(ev.Entry) {
+				continue
+			}
+		}
+		c.removeLocked(it)
+		n++
+	}
+	c.Invalidated.Add(int64(n))
+	return n
+}
+
+// InvalidateOwner drops every key belonging to owner (or to an owner
+// variant "owner|…"), the early-drop path when a registered source
+// expires or is removed.
+func (c *Cache) InvalidateOwner(owner string) int {
+	if owner == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	prefix := owner + "|"
+	for _, it := range c.items {
+		if it.owner == owner || strings.HasPrefix(it.owner, prefix) {
+			c.removeLocked(it)
+			n++
+		}
+	}
+	c.Invalidated.Add(int64(n))
+	return n
+}
+
+// Flush drops everything (tests and failover drills).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = map[string]*item{}
+	c.ring, c.free, c.hand = nil, nil, 0
+}
+
+// Len returns the resident key count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Entries returns every resident positive result concatenated — the corpus
+// view specialized services (e.g. the matchmaker extension) evaluate
+// against. The slice is a fresh container of shared immutable snapshots.
+func (c *Cache) Entries() []*ldap.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*ldap.Entry
+	for _, it := range c.items {
+		out = append(out, it.entries...)
+	}
+	return out
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Keys        int   `json:"keys"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evicted     int64 `json:"evicted"`
+	Invalidated int64 `json:"invalidated"`
+	StaleSkips  int64 `json:"stale_skips"`
+	StaleServed int64 `json:"stale_served"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Keys:        c.Len(),
+		Hits:        c.Hits.Value(),
+		Misses:      c.Misses.Value(),
+		Coalesced:   c.Coalesced.Value(),
+		Evicted:     c.Evicted.Value(),
+		Invalidated: c.Invalidated.Value(),
+		StaleSkips:  c.StaleSkips.Value(),
+		StaleServed: c.StaleServed.Value(),
+	}
+}
+
+// DebugKey is one resident key in a debug snapshot.
+type DebugKey struct {
+	Key         string `json:"key"`
+	Owner       string `json:"owner,omitempty"`
+	Entries     int    `json:"entries"`
+	Negative    bool   `json:"negative,omitempty"`
+	ExpiresInMs int64  `json:"expires_in_ms"`
+	Referenced  bool   `json:"referenced"`
+}
+
+// DebugSnapshot is the full cache state for /debug introspection.
+type DebugSnapshot struct {
+	Name  string     `json:"name"`
+	TTLMs int64      `json:"ttl_ms"`
+	Max   int        `json:"max"`
+	Stats Stats      `json:"stats"`
+	Keys  []DebugKey `json:"keys"`
+}
+
+// Debug renders the cache for a /debug endpoint: configuration, counters,
+// and every resident key with its remaining freshness (negative once
+// expired).
+func (c *Cache) Debug() DebugSnapshot {
+	stats := c.Stats()
+	now := c.clock.Now()
+	c.mu.Lock()
+	keys := make([]DebugKey, 0, len(c.items))
+	for _, it := range c.items {
+		keys = append(keys, DebugKey{
+			Key:         it.key,
+			Owner:       it.owner,
+			Entries:     len(it.entries),
+			Negative:    it.negative,
+			ExpiresInMs: it.expires.Sub(now).Milliseconds(),
+			Referenced:  it.ref,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Key < keys[j].Key })
+	return DebugSnapshot{
+		Name:  c.cfg.Name,
+		TTLMs: c.cfg.TTL.Milliseconds(),
+		Max:   c.cfg.Max,
+		Stats: stats,
+		Keys:  keys,
+	}
+}

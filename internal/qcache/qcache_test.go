@@ -1,0 +1,452 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+func testEntries(n int) []*ldap.Entry {
+	es := make([]*ldap.Entry, n)
+	for i := range es {
+		es[i] = ldap.NewEntry(ldap.MustParseDN(fmt.Sprintf("hn=h%d, ou=test, o=grid", i))).
+			Add("objectclass", "computer").
+			Add("idx", fmt.Sprint(i))
+	}
+	return es
+}
+
+func region(base, filter string) Region {
+	r := Region{Base: ldap.MustParseDN(base), Scope: ldap.ScopeWholeSubtree}
+	if filter != "" {
+		f, err := ldap.ParseFilter(filter)
+		if err != nil {
+			panic(err)
+		}
+		r.Filter = f
+	}
+	return r
+}
+
+func TestKeyNormalization(t *testing.T) {
+	a := Region{Base: ldap.MustParseDN("OU=Test, O=Grid"), Scope: ldap.ScopeWholeSubtree,
+		Filter: mustFilter("(ObjectClass=Computer)")}
+	b := Region{Base: ldap.MustParseDN("ou=test,o=grid"), Scope: ldap.ScopeWholeSubtree,
+		Filter: mustFilter("(objectclass=computer)")}
+	if a.Key([]string{"CN", "hn"}, 0) != b.Key([]string{"hn", "cn"}, 0) {
+		t.Fatal("equivalent queries produced different keys")
+	}
+	if a.Key(nil, 0) != b.Key([]string{"*"}, 0) {
+		t.Fatal("nil attrs and \"*\" should share a key")
+	}
+	if a.Key(nil, 0) == b.Key(nil, 10) {
+		t.Fatal("size limit must distinguish keys")
+	}
+	if a.Key(nil, 0) == (Region{Base: a.Base, Scope: ldap.ScopeSingleLevel, Filter: a.Filter}).Key(nil, 0) {
+		t.Fatal("scope must distinguish keys")
+	}
+	withOwner := a
+	withOwner.Owner = "ldap://peer:389"
+	if a.Key(nil, 0) == withOwner.Key(nil, 0) {
+		t.Fatal("owner must distinguish keys")
+	}
+}
+
+func mustFilter(s string) *ldap.Filter {
+	f, err := ldap.ParseFilter(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestGetOrFillHitAndMiss(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	reg := region("ou=test, o=grid", "(objectclass=computer)")
+	key := reg.Key(nil, 0)
+
+	fills := 0
+	fill := func() ([]*ldap.Entry, error) { fills++; return testEntries(3), nil }
+
+	got, how, err := c.GetOrFill(key, reg, time.Time{}, fill)
+	if err != nil || how != OutcomeMiss || len(got) != 3 {
+		t.Fatalf("first call: got %d entries, outcome %v, err %v", len(got), how, err)
+	}
+	got, how, err = c.GetOrFill(key, reg, time.Time{}, fill)
+	if err != nil || how != OutcomeHit || len(got) != 3 {
+		t.Fatalf("second call: got %d entries, outcome %v, err %v", len(got), how, err)
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", s)
+	}
+}
+
+func TestTTLExpiryExact(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: 10 * time.Second})
+	reg := region("ou=test, o=grid", "")
+	key := reg.Key(nil, 0)
+	c.Put(key, reg, time.Time{}, testEntries(2))
+
+	clk.Advance(10*time.Second - time.Nanosecond)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("result expired before its TTL")
+	}
+	clk.Advance(time.Nanosecond)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("result served at exactly TTL — staler than the bound")
+	}
+	if s := c.Stats(); s.StaleSkips != 1 {
+		t.Fatalf("stale skips = %d, want 1", s.StaleSkips)
+	}
+}
+
+func TestSoftStateBoundCapsTTL(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	reg := region("ou=test, o=grid", "")
+	key := reg.Key(nil, 0)
+
+	// The contributing child's registration lapses in 5s: the cached result
+	// must not outlive it even though the TTL is a minute.
+	c.Put(key, reg, clk.Now().Add(5*time.Second), testEntries(1))
+	clk.Advance(5 * time.Second)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("result outlived its contributing soft-state deadline")
+	}
+
+	// A bound already in the past means the result is born stale: never cached.
+	c.Put(key, reg, clk.Now().Add(-time.Second), testEntries(1))
+	if _, ok := c.Get(key); ok {
+		t.Fatal("born-stale result was cached")
+	}
+}
+
+func TestNegativeCachingShortTTL(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute, NegTTL: 2 * time.Second})
+	reg := region("ou=test, o=grid", "(hn=nope)")
+	key := reg.Key(nil, 0)
+
+	fills := 0
+	fill := func() ([]*ldap.Entry, error) { fills++; return nil, nil }
+	if _, how, _ := c.GetOrFill(key, reg, time.Time{}, fill); how != OutcomeMiss {
+		t.Fatalf("outcome %v, want miss", how)
+	}
+	if got, how, _ := c.GetOrFill(key, reg, time.Time{}, fill); how != OutcomeHit || len(got) != 0 {
+		t.Fatalf("negative result not served from cache (outcome %v)", how)
+	}
+	clk.Advance(2 * time.Second)
+	if _, how, _ := c.GetOrFill(key, reg, time.Time{}, fill); how != OutcomeMiss {
+		t.Fatalf("negative result outlived NegTTL (outcome %v)", how)
+	}
+	if fills != 2 {
+		t.Fatalf("fill ran %d times, want 2", fills)
+	}
+}
+
+// TestSingleflightStorm drives many concurrent identical misses through
+// GetOrFill and asserts exactly one upstream fan-out happened: the leader
+// runs fill while every other caller coalesces onto its flight.
+func TestSingleflightStorm(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	reg := region("ou=test, o=grid", "(objectclass=computer)")
+	key := reg.Key(nil, 0)
+
+	const callers = 32
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{}, callers)
+	fill := func() ([]*ldap.Entry, error) {
+		fills.Add(1)
+		<-gate // hold the flight open until every caller has joined
+		return testEntries(4), nil
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered <- struct{}{}
+			got, _, err := c.GetOrFill(key, reg, time.Time{}, fill)
+			if err != nil || len(got) != 4 {
+				t.Errorf("got %d entries, err %v", len(got), err)
+			}
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-entered
+	}
+	// Wait until all non-leaders are parked on the flight before releasing.
+	for {
+		c.flightMu.Lock()
+		f := c.flights[key]
+		c.flightMu.Unlock()
+		if f != nil && c.Coalesced.Value() >= callers-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("storm of %d identical queries caused %d fan-outs, want 1", callers, n)
+	}
+	if s := c.Stats(); s.Coalesced != callers-1 {
+		t.Fatalf("coalesced = %d, want %d", s.Coalesced, callers-1)
+	}
+}
+
+func TestHandOutsAreFreshContainers(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	reg := region("ou=test, o=grid", "")
+	key := reg.Key(nil, 0)
+	c.Put(key, reg, time.Time{}, testEntries(3))
+
+	a, _ := c.Get(key)
+	// Callers reorder and compact their result sets in place; that must not
+	// leak into what other readers see.
+	a[0], a[2] = a[2], a[0]
+	a = a[:1]
+	_ = a
+
+	b, _ := c.Get(key)
+	if len(b) != 3 {
+		t.Fatalf("second hand-out has %d entries, want 3", len(b))
+	}
+	if b[0].First("idx") != "0" || b[2].First("idx") != "2" {
+		t.Fatal("container mutation through one hand-out leaked into another")
+	}
+}
+
+func TestClockEviction(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute, Max: 4})
+	es := testEntries(1)
+	for i := 0; i < 4; i++ {
+		reg := region(fmt.Sprintf("ou=r%d, o=grid", i), "")
+		c.Put(reg.Key(nil, 0), reg, time.Time{}, es)
+	}
+	// Touch keys 1..3 so key 0 is the cold one; one full CLOCK sweep clears
+	// the insert-time ref bits, the second finds key 0 cold.
+	for i := 1; i < 4; i++ {
+		reg := region(fmt.Sprintf("ou=r%d, o=grid", i), "")
+		if _, ok := c.Get(reg.Key(nil, 0)); !ok {
+			t.Fatalf("warm key %d missing", i)
+		}
+	}
+	reg4 := region("ou=r4, o=grid", "")
+	c.Put(reg4.Key(nil, 0), reg4, time.Time{}, es)
+
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (bounded)", c.Len())
+	}
+	if s := c.Stats(); s.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", s.Evicted)
+	}
+	if _, ok := c.Get(region("ou=r0, o=grid", "").Key(nil, 0)); ok {
+		t.Fatal("cold key 0 should have been the CLOCK victim")
+	}
+	if _, ok := c.Get(reg4.Key(nil, 0)); !ok {
+		t.Fatal("newly inserted key missing after eviction")
+	}
+}
+
+func TestInvalidateDN(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	in := region("ou=test, o=grid", "")
+	out := region("ou=other, o=grid", "")
+	c.Put(in.Key(nil, 0), in, time.Time{}, testEntries(1))
+	c.Put(out.Key(nil, 0), out, time.Time{}, testEntries(1))
+
+	if n := c.InvalidateDN(ldap.MustParseDN("hn=h9, ou=test, o=grid")); n != 1 {
+		t.Fatalf("invalidated %d keys, want 1", n)
+	}
+	if _, ok := c.Get(in.Key(nil, 0)); ok {
+		t.Fatal("in-region key survived invalidation")
+	}
+	if _, ok := c.Get(out.Key(nil, 0)); !ok {
+		t.Fatal("out-of-region key was dropped")
+	}
+}
+
+// TestInvalidateEventDeleteUsesPreDeleteSnapshot is the regression test
+// for delete-event invalidation: the store delivers ChangeDelete with the
+// pre-delete entry snapshot, and the cache must match it against each
+// key's filter so deletes of matching entries drop the cached result.
+func TestInvalidateEventDeleteUsesPreDeleteSnapshot(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	computers := region("ou=test, o=grid", "(objectclass=computer)")
+	people := region("ou=test, o=grid", "(objectclass=person)")
+	c.Put(computers.Key(nil, 0), computers, time.Time{}, testEntries(2))
+	c.Put(people.Key(nil, 0), people, time.Time{}, testEntries(1))
+
+	// The deleted entry matches only the computer filter: precise
+	// invalidation drops that key and keeps the person key.
+	deleted := ldap.NewEntry(ldap.MustParseDN("hn=h0, ou=test, o=grid")).
+		Add("objectclass", "computer")
+	n := c.InvalidateEvent(ldap.ChangeEvent{Type: ldap.ChangeDelete, Entry: deleted})
+	if n != 1 {
+		t.Fatalf("delete event invalidated %d keys, want 1", n)
+	}
+	if _, ok := c.Get(computers.Key(nil, 0)); ok {
+		t.Fatal("delete of a matching entry did not invalidate the cached result")
+	}
+	if _, ok := c.Get(people.Key(nil, 0)); !ok {
+		t.Fatal("delete of a non-matching entry invalidated an unrelated key")
+	}
+
+	// Modify events no longer carry the pre-modify state, so every
+	// in-region key drops regardless of filter match.
+	c.Put(computers.Key(nil, 0), computers, time.Time{}, testEntries(2))
+	mod := ldap.NewEntry(ldap.MustParseDN("hn=h0, ou=test, o=grid")).
+		Add("objectclass", "person")
+	if n := c.InvalidateEvent(ldap.ChangeEvent{Type: ldap.ChangeModify, Entry: mod}); n != 2 {
+		t.Fatalf("modify event invalidated %d keys, want 2 (conservative)", n)
+	}
+}
+
+func TestInvalidateOwner(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	mk := func(owner string) Region {
+		r := region("ou=test, o=grid", "")
+		r.Owner = owner
+		return r
+	}
+	for _, o := range []string{"ldap://a:1", "ldap://a:1|ctl", "ldap://b:2"} {
+		r := mk(o)
+		c.Put(r.Key(nil, 0), r, time.Time{}, testEntries(1))
+	}
+	if n := c.InvalidateOwner("ldap://a:1"); n != 2 {
+		t.Fatalf("invalidated %d keys, want 2 (exact + control variant)", n)
+	}
+	rb := mk("ldap://b:2")
+	if _, ok := c.Get(rb.Key(nil, 0)); !ok {
+		t.Fatal("unrelated owner's key was dropped")
+	}
+}
+
+func TestServeStaleOnFillError(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: 5 * time.Second, ServeStale: true})
+	reg := region("ou=test, o=grid", "")
+	key := reg.Key(nil, 0)
+	c.Put(key, reg, time.Time{}, testEntries(2))
+	clk.Advance(10 * time.Second)
+
+	boom := errors.New("child unreachable")
+	got, how, err := c.GetOrFill(key, reg, time.Time{}, func() ([]*ldap.Entry, error) {
+		return nil, boom
+	})
+	if err != nil || how != OutcomeStale || len(got) != 2 {
+		t.Fatalf("stale serve: got %d entries, outcome %v, err %v", len(got), how, err)
+	}
+
+	// Without ServeStale the error surfaces.
+	c2 := New(Config{Clock: clk, TTL: 5 * time.Second})
+	c2.Put(key, reg, time.Time{}, testEntries(2))
+	clk.Advance(10 * time.Second)
+	if _, _, err := c2.GetOrFill(key, reg, time.Time{}, func() ([]*ldap.Entry, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want fill error", err)
+	}
+}
+
+func TestFlushAndEntries(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	a := region("ou=a, o=grid", "")
+	b := region("ou=b, o=grid", "")
+	c.Put(a.Key(nil, 0), a, time.Time{}, testEntries(2))
+	c.Put(b.Key(nil, 0), b, time.Time{}, testEntries(3))
+
+	if got := c.Entries(); len(got) != 5 {
+		t.Fatalf("Entries() returned %d, want 5", len(got))
+	}
+	c.Flush()
+	if c.Len() != 0 || len(c.Entries()) != 0 {
+		t.Fatal("flush left residents behind")
+	}
+	// The ring resets too: reinsertion after flush must work.
+	c.Put(a.Key(nil, 0), a, time.Time{}, testEntries(1))
+	if c.Len() != 1 {
+		t.Fatal("insert after flush failed")
+	}
+}
+
+func TestWatchStoreInvalidates(t *testing.T) {
+	st := ldap.NewStore()
+	clk := softstate.NewFakeClock()
+	c := New(Config{Clock: clk, TTL: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	WatchStore(ctx, st, c)
+
+	reg := region("ou=test, o=grid", "(objectclass=computer)")
+	key := reg.Key(nil, 0)
+	c.Put(key, reg, time.Time{}, testEntries(1))
+
+	e := ldap.NewEntry(ldap.MustParseDN("hn=h5, ou=test, o=grid")).
+		Add("objectclass", "computer")
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := c.Get(key); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("store add never invalidated the cached result")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDebugSnapshot(t *testing.T) {
+	clk := softstate.NewFakeClock()
+	c := New(Config{Name: "test", Clock: clk, TTL: time.Minute, Max: 8})
+	reg := region("ou=test, o=grid", "(objectclass=computer)")
+	c.Put(reg.Key(nil, 0), reg, time.Time{}, testEntries(2))
+	neg := region("ou=none, o=grid", "")
+	c.Put(neg.Key(nil, 0), neg, time.Time{}, nil)
+
+	d := c.Debug()
+	if d.Name != "test" || d.Max != 8 || len(d.Keys) != 2 {
+		t.Fatalf("snapshot = %+v", d)
+	}
+	var sawNeg, sawPos bool
+	for _, k := range d.Keys {
+		if k.Negative {
+			sawNeg = true
+		}
+		if k.Entries == 2 {
+			sawPos = true
+			if k.ExpiresInMs != 60_000 {
+				t.Fatalf("expires_in_ms = %d, want 60000", k.ExpiresInMs)
+			}
+		}
+	}
+	if !sawNeg || !sawPos {
+		t.Fatalf("snapshot keys missing negative/positive rows: %+v", d.Keys)
+	}
+}

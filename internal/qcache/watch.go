@@ -1,0 +1,21 @@
+package qcache
+
+import (
+	"context"
+
+	"mds2/internal/ldap"
+)
+
+// WatchStore wires a store's change feed into the cache's early-drop path:
+// every ChangeEvent the store publishes (including deletes, which carry
+// the pre-delete snapshot) invalidates the cached results it affects,
+// instead of waiting out their TTL. The watcher goroutine exits when ctx
+// is cancelled (the store closes the subscription channel).
+func WatchStore(ctx context.Context, st *ldap.Store, c *Cache) {
+	ch := st.Subscribe(ctx, nil, ldap.ScopeWholeSubtree, nil)
+	go func() {
+		for ev := range ch {
+			c.InvalidateEvent(ev)
+		}
+	}()
+}
