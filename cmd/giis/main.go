@@ -47,11 +47,18 @@ func main() {
 		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
 		authKids = flag.Bool("auth-children", false, "authenticate to providers when chaining")
 		signed   = flag.Bool("require-signed", false, "refuse unsigned registrations")
-		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /debug/registry, /debug/qcache); empty disables observability")
+		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /debug/registry, /debug/qcache, /healthz); empty disables observability")
 		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
 		qcOn     = flag.Bool("query-cache", false, "cache chained query results keyed by (child, base, scope, filter, attrs)")
 		qcTTL    = flag.Duration("query-cache-ttl", 15*time.Second, "query cache TTL ceiling (results also expire with the child registration)")
 		qcMax    = flag.Int("query-cache-max", 4096, "query cache capacity in result sets")
+
+		maxWorkers  = flag.Int("max-workers", 0, "overload control: max concurrently dispatched operations (0 disables admission control)")
+		maxQueue    = flag.Int("max-queue", 0, "overload control: ops queued behind the worker set before shedding unavailable")
+		queueBudget = flag.Duration("queue-budget", 0, "overload control: shed busy when projected queue wait exceeds this")
+		clientRate  = flag.Float64("client-rate", 0, "overload control: per-client admitted ops/second (0 disables throttling)")
+		clientBurst = flag.Int("client-burst", 0, "overload control: per-client token-bucket burst (0 defaults to the rate)")
+		maxConns    = flag.Int("max-conns", 0, "overload control: max concurrently served connections (0 unlimited)")
 	)
 	flag.Parse()
 
@@ -176,8 +183,17 @@ func main() {
 	srv.ErrorLog = log.Default()
 	srv.Obs = obsReg
 	srv.Tracer = tracer
+	srv.Overload = ldap.OverloadConfig{
+		MaxWorkers:  *maxWorkers,
+		MaxQueue:    *maxQueue,
+		QueueBudget: *queueBudget,
+		ClientRate:  *clientRate,
+		ClientBurst: *clientBurst,
+		MaxConns:    *maxConns,
+	}
 	if *obsAddr != "" {
 		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
+		h.AddHealthCheck("ldap", ldap.HealthCheck{Addr: advertised(*listen)}.Probe)
 		h.AddTable("children", server.Receiver().Registry)
 		if qc := server.QueryCache(); qc != nil {
 			h.AddCache("query", func() any { return qc.Debug() })

@@ -45,8 +45,15 @@ func main() {
 		keysPath = flag.String("keys", "", "GSI key file for this service (see gridproxy); enables SASL/GSI binds")
 		anchor   = flag.String("anchor", "", "trust anchor file (required with -keys)")
 		trustDir = flag.String("trusted-dir", "", "subject granted the trusted-directory role")
-		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces); empty disables observability")
+		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /healthz); empty disables observability")
 		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
+
+		maxWorkers  = flag.Int("max-workers", 0, "overload control: max concurrently dispatched operations (0 disables admission control)")
+		maxQueue    = flag.Int("max-queue", 0, "overload control: ops queued behind the worker set before shedding unavailable")
+		queueBudget = flag.Duration("queue-budget", 0, "overload control: shed busy when projected queue wait exceeds this")
+		clientRate  = flag.Float64("client-rate", 0, "overload control: per-client admitted ops/second (0 disables throttling)")
+		clientBurst = flag.Int("client-burst", 0, "overload control: per-client token-bucket burst (0 defaults to the rate)")
+		maxConns    = flag.Int("max-conns", 0, "overload control: max concurrently served connections (0 unlimited)")
 	)
 	flag.Parse()
 
@@ -139,8 +146,17 @@ func main() {
 	srv.ErrorLog = log.Default()
 	srv.Obs = obsReg
 	srv.Tracer = tracer
+	srv.Overload = ldap.OverloadConfig{
+		MaxWorkers:  *maxWorkers,
+		MaxQueue:    *maxQueue,
+		QueueBudget: *queueBudget,
+		ClientRate:  *clientRate,
+		ClientBurst: *clientBurst,
+		MaxConns:    *maxConns,
+	}
 	if *obsAddr != "" {
 		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
+		h.AddHealthCheck("ldap", ldap.HealthCheck{Addr: listenAddr(*listen)}.Probe)
 		go func() {
 			log.Printf("gris: observability on http://%s", *obsAddr)
 			if err := http.ListenAndServe(*obsAddr, h); err != nil {

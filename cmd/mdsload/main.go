@@ -1,0 +1,215 @@
+// Command mdsload is the open-loop load driver for GRIS/GIIS servers: it
+// offers operations at a fixed rate regardless of how the target is doing
+// and reports coordinated-omission-corrected latency, so saturation shows
+// up as growing p99 instead of politely shrinking throughput.
+//
+// Usage:
+//
+//	mdsload -list
+//	mdsload -addr host:2135 -base "o=grid" -rate 1000 -duration 10s \
+//	        -mix search=8,bind=1,register=2,churn=1 -subscribers 4
+//	mdsload -scenario overload-shed
+//	mdsload -gate slo.json              # run + check every gated scenario
+//	mdsload -scenario chain -gate slo.json
+//
+// With -gate, every result is checked against the named JSON threshold
+// file (scenario name -> SLO) and the exit status is nonzero on any
+// violation — the CI hook.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mds2/internal/load"
+	"mds2/internal/softstate"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list named scenarios")
+		scenario = flag.String("scenario", "", "run a named scenario (see -list) instead of -addr")
+
+		addr        = flag.String("addr", "", "target LDAP server (direct mode)")
+		base        = flag.String("base", "o=grid", "search base DN")
+		filter      = flag.String("filter", "(objectclass=*)", "search filter")
+		rate        = flag.Float64("rate", 0, "offered rate, ops/second (scenario default when 0)")
+		rateScale   = flag.Float64("rate-scale", 0, "scenario mode: multiply the scenario's default rate")
+		duration    = flag.Duration("duration", 0, "offered window (scenario default / 5s when 0)")
+		pacing      = flag.String("pacing", "poisson", "arrival pacing: poisson|uniform")
+		seed        = flag.Int64("seed", 1, "PRNG seed for pacing and mix choices")
+		conns       = flag.Int("conns", 8, "connection-pool size")
+		workers     = flag.Int("workers", 0, "max in-flight ops client-side (0 = 16x conns)")
+		mixSpec     = flag.String("mix", "search=1", "operation mix, e.g. search=8,bind=1,register=2,churn=1")
+		subscribers = flag.Int("subscribers", 0, "persistent-search subscriptions held for the run")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+		report      = flag.Duration("report", time.Second, "periodic progress interval (0 = off)")
+
+		jsonOut  = flag.String("json", "", "write results as JSON to this file (- for stdout)")
+		failCSV  = flag.String("failures", "", "write one CSV row per failed/shed op to this file")
+		gatePath = flag.String("gate", "", "SLO threshold file; exit nonzero on any violation")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range load.Scenarios() {
+			fmt.Printf("%-16s %s (default %.0f ops/s for %v)\n",
+				s.Name, s.Description, s.DefaultRate, s.DefaultDuration)
+		}
+		return
+	}
+
+	var gate load.SLOFile
+	if *gatePath != "" {
+		var err error
+		if gate, err = load.LoadSLOFile(*gatePath); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	var failW io.Writer
+	if *failCSV != "" {
+		f, err := os.Create(*failCSV)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		failW = f
+	}
+
+	ctx := context.Background()
+	results := map[string]*load.Result{}
+
+	switch {
+	case *scenario != "":
+		results[*scenario] = runScenario(ctx, *scenario, scenarioOpts(*rate, *rateScale, *duration, *seed, *report, failW))
+	case *addr != "":
+		pace, err := load.ParsePacing(*pacing)
+		if err != nil {
+			fatal("%v", err)
+		}
+		mix, err := load.ParseMix(*mixSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg := load.Config{
+			Addr:        *addr,
+			BaseDN:      *base,
+			Filter:      *filter,
+			Rate:        *rate,
+			Duration:    *duration,
+			Pacing:      pace,
+			Seed:        *seed,
+			Conns:       *conns,
+			Workers:     *workers,
+			Mix:         mix,
+			Subscribers: *subscribers,
+			Timeout:     *timeout,
+			Clock:       softstate.RealClock{},
+			ReportEvery: *report,
+			ReportW:     os.Stderr,
+			FailureW:    failW,
+		}
+		if cfg.Rate <= 0 {
+			fatal("direct mode needs -rate > 0")
+		}
+		if cfg.Duration <= 0 {
+			cfg.Duration = 5 * time.Second
+		}
+		res, err := load.Run(ctx, cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		results["direct"] = res
+	case gate != nil:
+		// Gate-only mode: run every scenario the threshold file names.
+		names := make([]string, 0, len(gate))
+		for name := range gate {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			results[name] = runScenario(ctx, name, scenarioOpts(*rate, *rateScale, *duration, *seed, *report, failW))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	if gate != nil {
+		failed := false
+		names := make([]string, 0, len(results))
+		for name := range results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			slo, ok := gate[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gate: %s: no thresholds in %s, skipped\n", name, *gatePath)
+				continue
+			}
+			if violations := slo.Check(results[name]); len(violations) > 0 {
+				failed = true
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "gate: %s: FAIL %s\n", name, v)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "gate: %s: ok\n", name)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+func scenarioOpts(rate, scale float64, d time.Duration, seed int64,
+	report time.Duration, failW io.Writer) load.ScenarioOpts {
+	return load.ScenarioOpts{
+		Rate:        rate,
+		RateScale:   scale,
+		Duration:    d,
+		Seed:        seed,
+		ReportEvery: report,
+		ReportW:     os.Stderr,
+		FailureW:    failW,
+	}
+}
+
+func runScenario(ctx context.Context, name string, opts load.ScenarioOpts) *load.Result {
+	s, ok := load.FindScenario(name)
+	if !ok {
+		fatal("unknown scenario %q (try -list)", name)
+	}
+	fmt.Fprintf(os.Stderr, "=== scenario %s: %s\n", s.Name, s.Description)
+	res, err := s.Run(ctx, opts)
+	if err != nil {
+		fatal("scenario %s: %v", name, err)
+	}
+	return res
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mdsload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,356 @@
+package ldap
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// OverloadConfig bounds the work a Server accepts so that saturation
+// degrades into explicit, fast rejections instead of unbounded queue
+// growth. The MDS2 performance studies (Zhang/Freschl/Schopf) show exactly
+// that collapse: past the saturation point, response time grows without
+// bound because every arriving query joins an ever-longer queue. With
+// overload control the server admits at most MaxWorkers concurrent
+// operations, queues a bounded backlog behind them, and sheds everything
+// else with LDAP busy/unavailable so clients get a cheap, honest signal.
+//
+// The zero value disables every mechanism (the pre-existing behavior:
+// one goroutine per operation, no limits).
+type OverloadConfig struct {
+	// MaxWorkers caps concurrently dispatched operations. 0 disables
+	// admission control entirely (no queue, no shedding).
+	MaxWorkers int
+	// MaxQueue caps operations waiting behind the worker set. An arrival
+	// finding the queue full is shed with ResultUnavailable. 0 means no
+	// waiting: anything beyond MaxWorkers is shed immediately.
+	MaxQueue int
+	// QueueBudget sheds an arrival with ResultBusy when its projected
+	// queue wait — (queued+1) × EWMA service time / MaxWorkers, the same
+	// quantity the per-op queue-wait span measures after the fact —
+	// already exceeds this budget. 0 disables budget-based shedding
+	// (only MaxQueue bounds the backlog).
+	QueueBudget time.Duration
+	// ClientRate limits each client (keyed by remote host) to this many
+	// admitted operations per second, enforced by a token bucket.
+	// Operations over the rate are shed with ResultBusy. 0 disables
+	// per-client throttling.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity; 0 defaults to
+	// max(1, ClientRate).
+	ClientBurst int
+	// MaxConns bounds concurrently served connections. When at the
+	// limit the accept loop stops accepting — backpressure surfaces to
+	// clients as TCP backlog/connect latency rather than an open
+	// connection that is never served. 0 means unlimited.
+	MaxConns int
+}
+
+// enabled reports whether the admission queue is active.
+func (c OverloadConfig) enabled() bool { return c.MaxWorkers > 0 }
+
+// Shed reasons, exported for tests and observability.
+var (
+	// ErrShedQueueFull is returned when the admission queue is at MaxQueue.
+	ErrShedQueueFull = errors.New("ldap: admission queue full")
+	// ErrShedBudget is returned when the projected queue wait exceeds
+	// QueueBudget.
+	ErrShedBudget = errors.New("ldap: projected queue wait exceeds budget")
+	// ErrAdmissionClosed is returned to waiters drained by Close.
+	ErrAdmissionClosed = errors.New("ldap: admission closed")
+)
+
+// admission implements the server's overload control: a counting worker
+// semaphore with an explicit FIFO wait queue (explicit so release order is
+// deterministic and fairness is testable), an EWMA of observed service
+// time driving the shed-on-projected-wait decision, and per-client token
+// buckets.
+type admission struct {
+	cfg   OverloadConfig
+	clock softstate.Clock
+	inst  *serverInstruments
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*admitTicket // FIFO; cancelled tickets are skipped at release
+	closed   bool
+	// ewmaNs is the exponentially weighted moving average of observed
+	// service times (α = 1/8), the signal behind projected queue wait.
+	ewmaNs int64
+
+	bucketMu sync.Mutex
+	buckets  map[string]*tokenBucket
+}
+
+// admitTicket is one arrival's place in line. All state transitions happen
+// under admission.mu so a cancel racing a grant resolves deterministically:
+// whichever moves the ticket out of ticketWaiting first wins, and the loser
+// sees the new state. granted is buffered so the releaser can hand over the
+// slot after dropping mu without ever blocking.
+type admitTicket struct {
+	granted  chan error
+	state    ticketState // guarded by admission.mu
+	enqueued time.Time
+}
+
+type ticketState int
+
+const (
+	ticketWaiting ticketState = iota
+	ticketGranted             // releaser committed to sending on granted
+	ticketCancelled
+)
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(cfg OverloadConfig, clock softstate.Clock, inst *serverInstruments) *admission {
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	if inst == nil {
+		inst = &serverInstruments{} // nil instruments are no-op recorders
+	}
+	return &admission{cfg: cfg, clock: clock, inst: inst,
+		buckets: map[string]*tokenBucket{}}
+}
+
+// throttled consumes one token from host's bucket, returning true (shed)
+// when the bucket is empty. Buckets refill continuously at ClientRate up to
+// ClientBurst.
+func (a *admission) throttled(host string) bool {
+	if a == nil || a.cfg.ClientRate <= 0 {
+		return false
+	}
+	burst := float64(a.cfg.ClientBurst)
+	if burst < 1 {
+		burst = a.cfg.ClientRate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	now := a.clock.Now()
+	a.bucketMu.Lock()
+	b := a.buckets[host]
+	if b == nil {
+		// A sustained storm from many distinct hosts would otherwise grow
+		// the map without bound; recycle full (hence inert) buckets first.
+		if len(a.buckets) >= 4096 {
+			for k, old := range a.buckets {
+				if now.Sub(old.last).Seconds()*a.cfg.ClientRate+old.tokens >= burst {
+					delete(a.buckets, k)
+				}
+			}
+		}
+		b = &tokenBucket{tokens: burst, last: now}
+		a.buckets[host] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.ClientRate
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	a.bucketMu.Unlock()
+	if !ok {
+		a.inst.throttled.Inc()
+	}
+	return !ok
+}
+
+// tryAcquire is the synchronous admission decision, taken on the
+// connection's read loop so it must never block. It returns:
+//
+//   - (nil, nil): admitted immediately — a worker slot is held.
+//   - (ticket, nil): queued — the caller must wait on the ticket before
+//     dispatching, off the read loop.
+//   - (nil, err): shed — err says why (ErrShedQueueFull, ErrShedBudget).
+func (a *admission) tryAcquire() (*admitTicket, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrAdmissionClosed
+	}
+	if a.inflight < a.cfg.MaxWorkers {
+		a.inflight++
+		a.mu.Unlock()
+		return nil, nil
+	}
+	queued := len(a.queue)
+	if queued >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		a.inst.shedUnavailable.Inc()
+		return nil, ErrShedQueueFull
+	}
+	if a.cfg.QueueBudget > 0 {
+		projected := time.Duration((int64(queued) + 1) * a.ewmaNs / int64(a.cfg.MaxWorkers))
+		if projected > a.cfg.QueueBudget {
+			a.mu.Unlock()
+			a.inst.shedBusy.Inc()
+			return nil, ErrShedBudget
+		}
+	}
+	t := &admitTicket{granted: make(chan error, 1), enqueued: a.clock.Now()}
+	a.queue = append(a.queue, t)
+	depth := len(a.queue)
+	a.mu.Unlock()
+	a.inst.queueDepth.Set(int64(depth))
+	return t, nil
+}
+
+// wait blocks until the ticket is granted a worker slot, the op context is
+// cancelled, or the admission is closed. On success the observed queue wait
+// feeds the queue-wait histogram — the measured counterpart of the
+// projection tryAcquire sheds on.
+func (t *admitTicket) wait(a *admission, done <-chan struct{}) error {
+	select {
+	case err := <-t.granted:
+		if err == nil {
+			a.inst.queueWait.Observe(a.clock.Now().Sub(t.enqueued))
+		}
+		return err
+	case <-done:
+		a.mu.Lock()
+		wasGranted := t.state == ticketGranted
+		if !wasGranted {
+			t.state = ticketCancelled
+		}
+		a.mu.Unlock()
+		if wasGranted {
+			// The releaser committed the slot to us before we cancelled; the
+			// buffered send is imminent (or already delivered). Collect it
+			// and give the slot back, or it leaks.
+			if err := <-t.granted; err == nil {
+				a.release(0)
+			}
+		}
+		return errors.New("ldap: operation cancelled while queued")
+	}
+}
+
+// release returns a worker slot, handing it to the first live waiter if
+// any, and folds the completed operation's service time into the EWMA
+// (service 0 means "no observation": cancelled while queued).
+func (a *admission) release(service time.Duration) {
+	var grant *admitTicket
+	a.mu.Lock()
+	if service > 0 {
+		if a.ewmaNs == 0 {
+			a.ewmaNs = int64(service)
+		} else {
+			a.ewmaNs += (int64(service) - a.ewmaNs) / 8
+		}
+	}
+	for len(a.queue) > 0 {
+		t := a.queue[0]
+		a.queue[0] = nil
+		a.queue = a.queue[1:]
+		if t.state == ticketWaiting {
+			t.state = ticketGranted
+			grant = t
+			break
+		}
+	}
+	if grant == nil {
+		a.inflight--
+	}
+	depth := len(a.queue)
+	a.mu.Unlock()
+	a.inst.queueDepth.Set(int64(depth))
+	if grant != nil {
+		grant.granted <- nil // buffered: never blocks
+	}
+}
+
+// ewma returns the current service-time estimate (test hook).
+func (a *admission) ewma() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.Duration(a.ewmaNs)
+}
+
+// seedEWMA installs a service-time estimate directly (test hook: budget
+// shedding needs an estimate before any operation has completed).
+func (a *admission) seedEWMA(d time.Duration) {
+	a.mu.Lock()
+	a.ewmaNs = int64(d)
+	a.mu.Unlock()
+}
+
+// close drains the wait queue, failing every queued ticket with
+// ErrAdmissionClosed; subsequent tryAcquire calls shed immediately.
+func (a *admission) close() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.closed = true
+	drained := a.queue
+	a.queue = nil
+	var failed []*admitTicket
+	for _, t := range drained {
+		if t.state == ticketWaiting {
+			t.state = ticketGranted // commits the buffered send below
+			failed = append(failed, t)
+		}
+	}
+	a.mu.Unlock()
+	a.inst.queueDepth.Set(0)
+	for _, t := range failed {
+		t.granted <- ErrAdmissionClosed // buffered: never blocks
+	}
+}
+
+// shedResult builds the LDAPResult for a shed operation.
+func shedResult(err error) Result {
+	switch err {
+	case ErrShedQueueFull:
+		return Result{Code: ResultUnavailable, Message: "server overloaded: admission queue full"}
+	case ErrShedBudget:
+		return Result{Code: ResultBusy, Message: "server overloaded: projected queue wait exceeds budget"}
+	case ErrAdmissionClosed:
+		return Result{Code: ResultUnavailable, Message: "server shutting down"}
+	}
+	return Result{Code: ResultBusy, Message: "client rate limit exceeded"}
+}
+
+// shedReply wraps a shed Result in the response operation matching the
+// request, or nil for operations that have no response to carry it.
+func shedReply(op Op, r Result) Op {
+	switch op.(type) {
+	case *SearchRequest:
+		return &SearchResultDone{Result: r}
+	case *AddRequest:
+		return &AddResponse{Result: r}
+	case *DelRequest:
+		return &DelResponse{Result: r}
+	case *ModifyRequest:
+		return &ModifyResponse{Result: r}
+	case *ExtendedRequest:
+		return &ExtendedResponse{Result: r}
+	case *BindRequest:
+		return &BindResponse{Result: r}
+	}
+	return nil
+}
+
+// clientHost extracts the per-client throttling key from a remote address:
+// the host portion, so every connection from one client shares a bucket.
+func clientHost(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		switch addr[i] {
+		case ':':
+			return addr[:i]
+		case ']': // IPv6 literal with no port
+			return addr
+		}
+	}
+	return addr
+}

@@ -1,0 +1,64 @@
+package ldap
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// HealthCheck probes an LDAP server the way a client would: dial, anonymous
+// bind, RootDSE base search. Passing all three means the accept loop,
+// the bind path, and the search dispatch are all live — not just that the
+// process exists. It is the probe cmd/gris and cmd/giis mount at /healthz.
+type HealthCheck struct {
+	// Addr is the server to probe; Dial overrides the transport (tests).
+	Addr string
+	Dial func() (net.Conn, error)
+	// Timeout bounds the whole probe (default 5s).
+	Timeout time.Duration
+	// Clock stamps the probe; nil means wall clock.
+	Clock softstate.Clock
+}
+
+// Probe runs the check once. The returned duration is the full
+// dial+bind+search round trip, reported even on failure.
+func (hc HealthCheck) Probe() (time.Duration, error) {
+	clock := hc.Clock
+	if clock == nil {
+		clock = softstate.RealClock{}
+	}
+	timeout := hc.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dial := hc.Dial
+	if dial == nil {
+		addr := hc.Addr
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	start := clock.Now()
+	elapsed := func() time.Duration { return clock.Now().Sub(start) }
+
+	conn, err := dial()
+	if err != nil {
+		return elapsed(), fmt.Errorf("dial: %w", err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	c.Timeout = timeout
+	c.Clock = clock
+
+	if err := c.Bind("", ""); err != nil {
+		return elapsed(), fmt.Errorf("anonymous bind: %w", err)
+	}
+	if _, err := c.Search(&SearchRequest{
+		BaseDN: "",
+		Scope:  ScopeBaseObject,
+		Filter: MustParseFilter("(objectclass=*)"),
+	}); err != nil {
+		return elapsed(), fmt.Errorf("rootdse search: %w", err)
+	}
+	return elapsed(), nil
+}

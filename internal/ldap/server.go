@@ -154,9 +154,15 @@ type Server struct {
 	// hop (or gridsearch -trace) gets spans from an otherwise untraced
 	// server.
 	Tracer *obs.Tracer
+	// Overload configures admission control and load shedding; the zero
+	// value keeps the historical unbounded behavior. Set before serving.
+	Overload OverloadConfig
 
 	instOnce sync.Once
 	inst     serverInstruments
+
+	admOnce sync.Once
+	adm     *admission // nil when Overload admission is disabled
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -173,9 +179,12 @@ func NewServer(h Handler) *Server {
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("ldap: server closed")
 
-// Serve accepts connections on l until Close is called.
+// Serve accepts connections on l until Close is called. With
+// Overload.MaxConns set, the accept loop pauses at the connection cap —
+// backpressure surfaces to new clients as TCP connect latency instead of
+// an accepted-but-starved connection.
 func (s *Server) Serve(l net.Listener) error {
-	s.instruments() // materialize registry series before the first connection
+	inst := s.instruments() // materialize registry series before the first connection
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -183,7 +192,22 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
+	var connSem chan struct{}
+	if s.Overload.MaxConns > 0 {
+		connSem = make(chan struct{}, s.Overload.MaxConns)
+	}
 	for {
+		if connSem != nil {
+			select {
+			case connSem <- struct{}{}:
+			default:
+				// At the cap: wait for a connection to finish. Close tears
+				// down every live connection, so this cannot deadlock a
+				// shutdown.
+				inst.backpressure.Inc()
+				connSem <- struct{}{}
+			}
+		}
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
@@ -212,6 +236,9 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Lock()
 			delete(s.conns, sc)
 			s.mu.Unlock()
+			if connSem != nil {
+				<-connSem
+			}
 		}()
 	}
 }
@@ -238,6 +265,7 @@ func (s *Server) Close() error {
 		sc.conn.Close()
 	}
 	s.mu.Unlock()
+	s.admission().close() // fail queued ops so their goroutines drain
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -261,6 +289,14 @@ type serverInstruments struct {
 	inflight *obs.Gauge
 	opDur    [6]*obs.Histogram // indexed by opKind
 	batch    *obs.Histogram
+
+	// Overload-control series (all no-ops without a registry).
+	queueDepth      *obs.Gauge     // ops waiting for a worker slot
+	queueWait       *obs.Histogram // measured admission-queue wait
+	shedBusy        *obs.Counter   // shed: projected wait over budget
+	shedUnavailable *obs.Counter   // shed: admission queue full
+	throttled       *obs.Counter   // shed: per-client rate limit
+	backpressure    *obs.Counter   // accept loop stalled on MaxConns
 }
 
 type opKind int
@@ -285,8 +321,24 @@ func (s *Server) instruments() *serverInstruments {
 			s.inst.opDur[k] = r.Histogram("ldap_" + name + "_duration_ns")
 		}
 		s.inst.batch = r.Histogram("ldap_write_batch_bytes")
+		s.inst.queueDepth = r.Gauge("ldap_admission_queue_depth")
+		s.inst.queueWait = r.Histogram("ldap_admission_queue_wait_ns")
+		s.inst.shedBusy = r.Counter("ldap_shed_busy_total")
+		s.inst.shedUnavailable = r.Counter("ldap_shed_unavailable_total")
+		s.inst.throttled = r.Counter("ldap_throttled_total")
+		s.inst.backpressure = r.Counter("ldap_accept_backpressure_total")
 	})
 	return &s.inst
+}
+
+// admission lazily builds the overload controller (nil when disabled).
+func (s *Server) admission() *admission {
+	s.admOnce.Do(func() {
+		if s.Overload.enabled() || s.Overload.ClientRate > 0 {
+			s.adm = newAdmission(s.Overload, s.Clock, s.instruments())
+		}
+	})
+	return s.adm
 }
 
 type serverConn struct {
@@ -351,6 +403,7 @@ func (c *serverConn) serve() {
 			c.srv.logf("ldap: %s: %v", c.state.RemoteAddr, err)
 			return
 		}
+		adm := c.srv.admission()
 		switch op := msg.Op.(type) {
 		case *UnbindRequest:
 			return
@@ -358,6 +411,12 @@ func (c *serverConn) serve() {
 			c.abandon(op.IDToAbandon)
 		case *BindRequest:
 			// Binds are serialized on the connection per RFC 4511 §4.2.1.
+			// They never enter the admission queue (that would stall the
+			// read loop) but do count against the client's rate.
+			if adm.throttled(clientHost(c.state.RemoteAddr)) {
+				c.send(msg.ID, shedReply(msg.Op, shedResult(nil)))
+				continue
+			}
 			var start time.Time
 			if c.inst.enabled {
 				start = c.clock.Now()
@@ -368,10 +427,39 @@ func (c *serverConn) serve() {
 			}
 			c.send(msg.ID, resp)
 		default:
+			// Overload control happens here, synchronously on the read
+			// loop: per-client throttling first, then admission. A shed
+			// operation costs one response message — never a goroutine, a
+			// worker slot, or unbounded queue residency. Persistent
+			// searches bypass the worker queue (they are subscriptions
+			// that park for hours; holding a slot would starve the server)
+			// but still count against the client rate.
+			var ticket *admitTicket
+			holdsSlot := false
+			if adm != nil {
+				if adm.throttled(clientHost(c.state.RemoteAddr)) {
+					if reply := shedReply(msg.Op, shedResult(nil)); reply != nil {
+						c.send(msg.ID, reply)
+					}
+					continue
+				}
+				if adm.cfg.enabled() && !isPersistentSearch(msg) {
+					var shedErr error
+					ticket, shedErr = adm.tryAcquire()
+					if shedErr != nil {
+						if reply := shedReply(msg.Op, shedResult(shedErr)); reply != nil {
+							c.send(msg.ID, reply)
+						}
+						continue
+					}
+					holdsSlot = true
+				}
+			}
 			// A trace starts here — minted locally when a Tracer is
 			// configured, or joined when the request carries the
 			// trace-request control from a parent hop. The queue span covers
-			// the handoff from the read loop to the dispatch goroutine.
+			// the handoff from the read loop to the dispatch goroutine,
+			// including any admission-queue wait.
 			tr := c.beginTrace(msg)
 			queued := tr.Root().Child("queue")
 			ctx, cancel := context.WithCancel(root)
@@ -387,6 +475,22 @@ func (c *serverConn) serve() {
 					delete(c.ops, msg.ID)
 					c.opMu.Unlock()
 				}()
+				if ticket != nil {
+					// Queued behind the worker set: wait for a slot off the
+					// read loop. Cancellation (abandon, connection close,
+					// server shutdown) drops the op without a response —
+					// the requester is gone or going.
+					if err := ticket.wait(adm, ctx.Done()); err != nil {
+						queued.End()
+						return
+					}
+				}
+				if holdsSlot {
+					admitted := c.clock.Now()
+					defer func() {
+						adm.release(c.clock.Now().Sub(admitted))
+					}()
+				}
 				queued.End()
 				c.dispatch(ctx, msg, tr)
 			}(msg)
@@ -409,6 +513,17 @@ func (c *serverConn) beginTrace(msg *Message) *obs.Trace {
 		return nil
 	}
 	return obs.Begin(c.clock, c.srv.Tracer, opName(msg.Op), c.state.RemoteAddr, id, depth)
+}
+
+// isPersistentSearch reports whether msg is a search carrying the
+// persistent-search control — a long-lived subscription, exempt from
+// worker-slot admission.
+func isPersistentSearch(msg *Message) bool {
+	if _, ok := msg.Op.(*SearchRequest); !ok {
+		return false
+	}
+	_, ok := FindControl(msg.Controls, OIDPersistentSearch)
+	return ok
 }
 
 func opName(op Op) string {

@@ -1,0 +1,540 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/obs"
+	"mds2/internal/softstate"
+)
+
+// Mix weights the operation types in the offered schedule. Zero weights
+// exclude the op; the zero Mix means search-only.
+type Mix struct {
+	Search   int // whole-subtree GRIP search
+	Bind     int // anonymous bind on a pooled connection
+	Register int // GRRP register/refresh carried as LDAP add
+	Churn    int // dial + bind + base search + close on a fresh connection
+}
+
+// ParseMix parses "search=8,bind=1,register=2,churn=1" (any subset).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return Mix{Search: 1}, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("load: bad mix term %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("load: bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "search":
+			m.Search = w
+		case "bind":
+			m.Bind = w
+		case "register":
+			m.Register = w
+		case "churn":
+			m.Churn = w
+		default:
+			return m, fmt.Errorf("load: unknown mix op %q", kv[0])
+		}
+	}
+	if m.total() == 0 {
+		return m, errors.New("load: mix has no positive weights")
+	}
+	return m, nil
+}
+
+func (m Mix) total() int { return m.Search + m.Bind + m.Register + m.Churn }
+
+func (m Mix) String() string {
+	var parts []string
+	for _, t := range []struct {
+		name string
+		w    int
+	}{{"search", m.Search}, {"bind", m.Bind}, {"register", m.Register}, {"churn", m.Churn}} {
+		if t.w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", t.name, t.w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// opNames indexes per-op accounting.
+var opNames = []string{"search", "bind", "register", "churn"}
+
+const (
+	opSearch = iota
+	opBind
+	opRegister
+	opChurn
+	numOps
+)
+
+// Config assembles one load run.
+type Config struct {
+	// Addr is the LDAP target. Dial overrides the transport (simnet
+	// tests); nil dials tcp Addr.
+	Addr string
+	Dial func() (net.Conn, error)
+
+	// BaseDN and Filter define the search workload.
+	BaseDN string
+	Filter string
+
+	// Rate is the offered rate in ops/second; Duration the offered
+	// window. Operations offered before the deadline still run to
+	// completion and are counted.
+	Rate     float64
+	Duration time.Duration
+
+	// Conns is the connection-pool size (default 8); operations
+	// multiplex over the pool round-robin. Workers bounds in-flight
+	// operations client-side (default 16×Conns).
+	Conns   int
+	Workers int
+	// MaxPending bounds the client-side backlog of offered-but-not-sent
+	// operations (default 65536). Overflow is counted as dropped — the
+	// *client* saturated — never silently blocks the schedule (that
+	// would reintroduce coordinated omission).
+	MaxPending int
+
+	Pacing Pacing
+	Seed   int64
+	Mix    Mix
+
+	// Subscribers holds this many persistent-search subscriptions open on
+	// dedicated connections for the run's duration.
+	Subscribers int
+
+	// RegisterTTL is the soft-state TTL carried by register ops
+	// (default 60s); RegisterTargets is the number of distinct service
+	// URLs cycled through, so repeats are GRRP refreshes (default 64).
+	RegisterTTL     time.Duration
+	RegisterTargets int
+
+	// Timeout bounds each operation (default 30s).
+	Timeout time.Duration
+
+	// Clock paces the schedule and stamps every measurement; nil means
+	// the wall clock.
+	Clock softstate.Clock
+
+	// ReportEvery emits periodic progress summaries to ReportW (0
+	// disables). FailureW, when non-nil, receives one CSV row per failed
+	// or shed operation.
+	ReportEvery time.Duration
+	ReportW     io.Writer
+	FailureW    io.Writer
+}
+
+// OpStats is the per-operation-type slice of a Result.
+type OpStats struct {
+	Offered   int64   `json:"offered"`
+	Completed int64   `json:"completed"`
+	Shed      int64   `json:"shed"`
+	Errors    int64   `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// Result is the final accounting of one run. All latencies are
+// coordinated-omission-corrected: measured from the operation's intended
+// send time on the offered schedule.
+type Result struct {
+	OfferedRate float64 `json:"offered_rate"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	// ShedBusy/ShedUnavailable are explicit server rejections (LDAP
+	// busy/unavailable) — the overload control working as designed.
+	ShedBusy        int64 `json:"shed_busy"`
+	ShedUnavailable int64 `json:"shed_unavailable"`
+	// Errors are hard failures: timeouts, I/O errors, unexpected codes.
+	Errors int64 `json:"errors"`
+	// Dropped counts offered ops the client backlog could not hold.
+	Dropped int64 `json:"dropped"`
+
+	Goodput float64 `json:"goodput_qps"` // completed ops/sec
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+
+	PerOp map[string]*OpStats `json:"per_op,omitempty"`
+}
+
+// Shed is the total explicit-rejection count.
+func (r *Result) Shed() int64 { return r.ShedBusy + r.ShedUnavailable }
+
+// ErrorRate is hard errors (plus client drops) per offered op.
+func (r *Result) ErrorRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Errors+r.Dropped) / float64(r.Offered)
+}
+
+// ShedRate is explicit rejections per offered op.
+func (r *Result) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed()) / float64(r.Offered)
+}
+
+// ticket is one scheduled operation.
+type ticket struct {
+	intended time.Time
+	op       int
+}
+
+// runner is the per-run state shared by the pacer, workers, and reporter.
+type runner struct {
+	cfg   Config
+	clock softstate.Clock
+	pool  []*ldap.Client
+	next  int // round-robin pool cursor (atomic not needed: assigned per ticket by pacer goroutine)
+
+	filter *ldap.Filter
+
+	hist   obs.Histogram // corrected latency, successful ops only
+	opHist [numOps]obs.Histogram
+
+	offered         obs.Counter
+	completed       obs.Counter
+	shedBusy        obs.Counter
+	shedUnavailable obs.Counter
+	errors          obs.Counter
+	dropped         obs.Counter
+	opOffered       [numOps]obs.Counter
+	opCompleted     [numOps]obs.Counter
+	opShed          [numOps]obs.Counter
+	opErrors        [numOps]obs.Counter
+
+	failMu sync.Mutex
+	start  time.Time
+}
+
+// Run executes one open-loop load run to completion and returns the final
+// accounting. It is synchronous; cancel ctx to stop early.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Rate <= 0 {
+		return nil, errors.New("load: Rate must be > 0")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("load: Duration must be > 0")
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = Mix{Search: 1}
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16 * cfg.Conns
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 65536
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.RegisterTTL <= 0 {
+		cfg.RegisterTTL = time.Minute
+	}
+	if cfg.RegisterTargets <= 0 {
+		cfg.RegisterTargets = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = softstate.RealClock{}
+	}
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	filter, err := ldap.ParseFilter(cfg.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("load: filter: %w", err)
+	}
+
+	r := &runner{cfg: cfg, clock: cfg.Clock, filter: filter}
+	if cfg.FailureW != nil {
+		fmt.Fprintln(cfg.FailureW, "elapsed_ms,op,kind,detail")
+	}
+
+	// Connection pool.
+	for i := 0; i < cfg.Conns; i++ {
+		c, err := r.dialClient()
+		if err != nil {
+			r.closePool()
+			return nil, fmt.Errorf("load: pool conn %d: %w", i, err)
+		}
+		r.pool = append(r.pool, c)
+	}
+	defer r.closePool()
+
+	// Persistent-search subscribers on dedicated connections.
+	subCtx, cancelSubs := context.WithCancel(ctx)
+	defer cancelSubs()
+	var subWG sync.WaitGroup
+	var subConns []*ldap.Client
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := r.dialClient()
+		if err != nil {
+			return nil, fmt.Errorf("load: subscriber conn %d: %w", i, err)
+		}
+		subConns = append(subConns, c)
+		subWG.Add(1)
+		go func(c *ldap.Client) {
+			defer subWG.Done()
+			r.subscribe(subCtx, c)
+		}(c)
+	}
+	defer func() {
+		cancelSubs()
+		for _, c := range subConns {
+			c.Close()
+		}
+		subWG.Wait()
+	}()
+
+	// Workers drain the offered schedule.
+	tickets := make(chan ticket, cfg.MaxPending)
+	var workWG sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		workWG.Add(1)
+		go func(conn *ldap.Client, rng *rand.Rand) {
+			defer workWG.Done()
+			for t := range tickets {
+				r.execute(ctx, conn, rng, t)
+			}
+		}(r.pool[i%len(r.pool)], rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+	}
+
+	// Periodic reporter.
+	repCtx, cancelRep := context.WithCancel(ctx)
+	var repWG sync.WaitGroup
+	if cfg.ReportEvery > 0 && cfg.ReportW != nil {
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			r.reportLoop(repCtx)
+		}()
+	}
+
+	// The offered schedule: ticket ops are chosen here (one rng, one
+	// goroutine — deterministic for a seed) and dropped, never delayed,
+	// when the backlog is full.
+	r.start = r.clock.Now()
+	pacer := NewPacer(cfg.Pacing, cfg.Rate, cfg.Seed)
+	mixRng := rand.New(rand.NewSource(cfg.Seed ^ 0x6c6f6164))
+	pacer.Run(ctx, r.clock, r.start, r.start.Add(cfg.Duration), func(intended time.Time) {
+		op := r.pickOp(mixRng)
+		r.offered.Inc()
+		r.opOffered[op].Inc()
+		select {
+		case tickets <- ticket{intended: intended, op: op}:
+		default:
+			r.dropped.Inc()
+			r.fail(intended, op, "dropped", "client backlog full")
+		}
+	})
+	close(tickets)
+	workWG.Wait()
+	cancelRep()
+	repWG.Wait()
+	elapsed := r.clock.Now().Sub(r.start)
+
+	res := r.result(elapsed)
+	if cfg.ReportW != nil {
+		fmt.Fprintf(cfg.ReportW, "final: %s\n", summaryLine(res))
+	}
+	return res, nil
+}
+
+// pickOp selects an operation type by mix weight.
+func (r *runner) pickOp(rng *rand.Rand) int {
+	m := r.cfg.Mix
+	n := rng.Intn(m.total())
+	switch {
+	case n < m.Search:
+		return opSearch
+	case n < m.Search+m.Bind:
+		return opBind
+	case n < m.Search+m.Bind+m.Register:
+		return opRegister
+	default:
+		return opChurn
+	}
+}
+
+func (r *runner) dialClient() (*ldap.Client, error) {
+	conn, err := r.cfg.Dial()
+	if err != nil {
+		return nil, err
+	}
+	c := ldap.NewClient(conn)
+	c.Timeout = r.cfg.Timeout
+	c.Clock = r.clock
+	return c, nil
+}
+
+func (r *runner) closePool() {
+	for _, c := range r.pool {
+		c.Close()
+	}
+	r.pool = nil
+}
+
+// outcome classification for one executed op.
+func (r *runner) record(t ticket, err error) {
+	now := r.clock.Now()
+	switch {
+	case err == nil:
+		lat := now.Sub(t.intended)
+		r.hist.Observe(lat)
+		r.opHist[t.op].Observe(lat)
+		r.completed.Inc()
+		r.opCompleted[t.op].Inc()
+	case ldap.IsCode(err, ldap.ResultBusy):
+		r.shedBusy.Inc()
+		r.opShed[t.op].Inc()
+		r.fail(t.intended, t.op, "shed", "busy")
+	case ldap.IsCode(err, ldap.ResultUnavailable):
+		r.shedUnavailable.Inc()
+		r.opShed[t.op].Inc()
+		r.fail(t.intended, t.op, "shed", "unavailable")
+	default:
+		r.errors.Inc()
+		r.opErrors[t.op].Inc()
+		r.fail(t.intended, t.op, "error", err.Error())
+	}
+}
+
+// fail writes one failure-CSV row.
+func (r *runner) fail(intended time.Time, op int, kind, detail string) {
+	if r.cfg.FailureW == nil {
+		return
+	}
+	elapsed := intended.Sub(r.start).Milliseconds()
+	detail = strings.ReplaceAll(detail, ",", ";")
+	detail = strings.ReplaceAll(detail, "\n", " ")
+	r.failMu.Lock()
+	fmt.Fprintf(r.cfg.FailureW, "%d,%s,%s,%s\n", elapsed, opNames[op], kind, detail)
+	r.failMu.Unlock()
+}
+
+func (r *runner) reportLoop(ctx context.Context) {
+	var lastOffered, lastCompleted, lastShed int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-r.clock.After(r.cfg.ReportEvery):
+		}
+		off, done := r.offered.Value(), r.completed.Value()
+		shed := r.shedBusy.Value() + r.shedUnavailable.Value()
+		p50, _ := r.hist.Quantile(0.50)
+		p99, _ := r.hist.Quantile(0.99)
+		secs := r.cfg.ReportEvery.Seconds()
+		fmt.Fprintf(r.cfg.ReportW,
+			"t=%-6s offered %6.0f/s  goodput %6.0f/s  shed %6.0f/s  errors %d  p50 %s  p99 %s (cumulative)\n",
+			r.clock.Now().Sub(r.start).Round(time.Second),
+			float64(off-lastOffered)/secs,
+			float64(done-lastCompleted)/secs,
+			float64(shed-lastShed)/secs,
+			r.errors.Value(),
+			p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond))
+		lastOffered, lastCompleted, lastShed = off, done, shed
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (r *runner) result(elapsed time.Duration) *Result {
+	p50, _ := r.hist.Quantile(0.50)
+	p90, _ := r.hist.Quantile(0.90)
+	p99, _ := r.hist.Quantile(0.99)
+	max, _ := r.hist.Quantile(1)
+	res := &Result{
+		OfferedRate:     r.cfg.Rate,
+		ElapsedSec:      elapsed.Seconds(),
+		Offered:         r.offered.Value(),
+		Completed:       r.completed.Value(),
+		ShedBusy:        r.shedBusy.Value(),
+		ShedUnavailable: r.shedUnavailable.Value(),
+		Errors:          r.errors.Value(),
+		Dropped:         r.dropped.Value(),
+		P50Ms:           ms(p50),
+		P90Ms:           ms(p90),
+		P99Ms:           ms(p99),
+		MaxMs:           ms(max),
+		PerOp:           map[string]*OpStats{},
+	}
+	if res.ElapsedSec > 0 {
+		res.Goodput = float64(res.Completed) / res.ElapsedSec
+	}
+	for op := 0; op < numOps; op++ {
+		if r.opOffered[op].Value() == 0 {
+			continue
+		}
+		p50, _ := r.opHist[op].Quantile(0.50)
+		p99, _ := r.opHist[op].Quantile(0.99)
+		res.PerOp[opNames[op]] = &OpStats{
+			Offered:   r.opOffered[op].Value(),
+			Completed: r.opCompleted[op].Value(),
+			Shed:      r.opShed[op].Value(),
+			Errors:    r.opErrors[op].Value(),
+			P50Ms:     ms(p50),
+			P99Ms:     ms(p99),
+		}
+	}
+	return res
+}
+
+// summaryLine renders the one-line human summary of a Result.
+func summaryLine(res *Result) string {
+	var ops []string
+	for _, name := range sortedOpNames(res.PerOp) {
+		s := res.PerOp[name]
+		ops = append(ops, fmt.Sprintf("%s %d/%d", name, s.Completed, s.Offered))
+	}
+	line := fmt.Sprintf(
+		"offered %d (%.0f/s) completed %d (%.0f/s goodput) shed %d (busy %d, unavailable %d) errors %d dropped %d | p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms",
+		res.Offered, float64(res.Offered)/res.ElapsedSec,
+		res.Completed, res.Goodput,
+		res.Shed(), res.ShedBusy, res.ShedUnavailable,
+		res.Errors, res.Dropped,
+		res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs)
+	if len(ops) > 0 {
+		line += " | " + strings.Join(ops, " ")
+	}
+	return line
+}
+
+func sortedOpNames(m map[string]*OpStats) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

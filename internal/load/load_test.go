@@ -1,0 +1,194 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mds2/internal/gris"
+	"mds2/internal/ldap"
+	"mds2/internal/simnet"
+	"mds2/internal/softstate"
+)
+
+// simnetTarget serves handler at srv:2135 on an in-process network and
+// returns a Dial for Config.
+func simnetTarget(t *testing.T, h ldap.Handler, ov ldap.OverloadConfig) func() (net.Conn, error) {
+	t.Helper()
+	nw := simnet.New(1)
+	l, err := nw.Listen("srv", "2135")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ldap.NewServer(h)
+	srv.Overload = ov
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return func() (net.Conn, error) { return nw.Dial("client", "srv:2135") }
+}
+
+// TestRunAccountingSimnet drives a mixed workload against an in-process
+// store and checks that every offered operation is accounted exactly once.
+func TestRunAccountingSimnet(t *testing.T) {
+	store := ldap.NewStore()
+	suffix := ldap.MustParseDN("o=grid")
+	for _, e := range loadEntries(suffix, 10) {
+		if err := store.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dial := simnetTarget(t, store, ldap.OverloadConfig{})
+
+	var report, failures bytes.Buffer
+	res, err := Run(context.Background(), Config{
+		Dial:        dial,
+		BaseDN:      "o=grid",
+		Filter:      "(objectclass=computer)",
+		Rate:        400,
+		Duration:    250 * time.Millisecond,
+		Pacing:      PaceUniform,
+		Seed:        7,
+		Conns:       4,
+		Workers:     32,
+		Mix:         Mix{Search: 3, Bind: 1, Churn: 1},
+		Subscribers: 2,
+		ReportW:     &report,
+		FailureW:    &failures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Completed == 0 {
+		t.Fatalf("no work done: %+v", res)
+	}
+	if got := res.Completed + res.Shed() + res.Errors + res.Dropped; got != res.Offered {
+		t.Fatalf("accounting leak: offered %d, accounted %d", res.Offered, got)
+	}
+	if res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("unexpected failures: %+v\nfailures:\n%s", res, failures.String())
+	}
+	for _, op := range []string{"search", "bind", "churn"} {
+		s := res.PerOp[op]
+		if s == nil || s.Offered == 0 {
+			t.Fatalf("per-op stats missing for %s: %+v", op, res.PerOp)
+		}
+		if s.Completed != s.Offered {
+			t.Fatalf("%s: completed %d of %d", op, s.Completed, s.Offered)
+		}
+	}
+	if res.PerOp["register"] != nil {
+		t.Fatalf("register stats present for a mix without register")
+	}
+	if !strings.Contains(report.String(), "final:") {
+		t.Fatalf("missing final summary in report:\n%s", report.String())
+	}
+	// Failure CSV holds only its header on a clean run.
+	if got := strings.TrimSpace(failures.String()); got != "elapsed_ms,op,kind,detail" {
+		t.Fatalf("failure CSV = %q", got)
+	}
+}
+
+// TestRunOverloadStormSheds saturates a slot-bounded GRIS at ~5x capacity
+// with overload control on: the excess is shed as busy/unavailable, nothing
+// is silently lost, and no hard errors occur. Run under -race this is the
+// storm test for the client engine + server admission path together.
+func TestRunOverloadStormSheds(t *testing.T) {
+	suffix := ldap.MustParseDN("ou=s0, o=grid")
+	backend := &costBackend{
+		suffix:  suffix,
+		entries: loadEntries(suffix, 5),
+		clock:   softstate.RealClock{},
+		cost:    5 * time.Millisecond,
+		slots:   make(chan struct{}, 2), // capacity = 2/5ms = 400 q/s
+		ttl:     0,                      // no cache, no coalescing
+	}
+	g := gris.New(gris.Config{Suffix: suffix})
+	g.Register(backend)
+	dial := simnetTarget(t, g, ldap.OverloadConfig{
+		MaxWorkers:  4,
+		MaxQueue:    4,
+		QueueBudget: 25 * time.Millisecond,
+	})
+
+	res, err := Run(context.Background(), Config{
+		Dial:     dial,
+		BaseDN:   suffix.String(),
+		Filter:   "(objectclass=computer)",
+		Rate:     2000,
+		Duration: 300 * time.Millisecond,
+		Seed:     11,
+		Conns:    8,
+		Mix:      Mix{Search: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Completed + res.Shed() + res.Errors + res.Dropped; got != res.Offered {
+		t.Fatalf("accounting leak: offered %d, accounted %d", res.Offered, got)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+	if res.Shed() == 0 {
+		t.Fatalf("5x overload shed nothing: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("hard errors under shed-only overload: %+v", res)
+	}
+}
+
+// TestScenarioSmoke runs the canned scenarios briefly over real loopback
+// TCP — the same code path as `mdsload -scenario` and the CI gate.
+func TestScenarioSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"gris-cached", 300},
+		{"chain", 150},
+	} {
+		s, ok := FindScenario(tc.name)
+		if !ok {
+			t.Fatalf("scenario %q missing", tc.name)
+		}
+		res, err := s.Run(context.Background(), ScenarioOpts{
+			Rate:     tc.rate,
+			Duration: 300 * time.Millisecond,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Offered == 0 || res.Completed == 0 {
+			t.Fatalf("%s: no work done: %+v", tc.name, res)
+		}
+		if got := res.Completed + res.Shed() + res.Errors + res.Dropped; got != res.Offered {
+			t.Fatalf("%s: accounting leak: offered %d, accounted %d", tc.name, res.Offered, got)
+		}
+	}
+}
+
+// TestScenariosWellFormed: names are unique and resolvable, defaults sane.
+func TestScenariosWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Scenarios() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.DefaultRate <= 0 || s.DefaultDuration <= 0 || s.Description == "" {
+			t.Fatalf("scenario %q has incomplete defaults: %+v", s.Name, s)
+		}
+		if got, ok := FindScenario(s.Name); !ok || got.Name != s.Name {
+			t.Fatalf("FindScenario(%q) failed", s.Name)
+		}
+	}
+	for _, want := range []string{"gris-cached", "gris-nocache", "overload-shed", "overload-noshed", "chain"} {
+		if !seen[want] {
+			t.Fatalf("scenario %q missing (have %v)", want, seen)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"mds2/internal/grrp"
+	"mds2/internal/ldap"
+)
+
+// execute runs one scheduled operation and records its outcome against the
+// intended send time.
+func (r *runner) execute(ctx context.Context, conn *ldap.Client, rng *rand.Rand, t ticket) {
+	if err := ctx.Err(); err != nil {
+		r.record(t, err)
+		return
+	}
+	var err error
+	switch t.op {
+	case opSearch:
+		err = r.doSearch(conn)
+	case opBind:
+		err = conn.Bind("", "")
+	case opRegister:
+		err = r.doRegister(conn, rng)
+	case opChurn:
+		err = r.doChurn()
+	}
+	r.record(t, err)
+}
+
+func (r *runner) doSearch(conn *ldap.Client) error {
+	_, err := conn.Search(&ldap.SearchRequest{
+		BaseDN: r.cfg.BaseDN,
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: r.filter,
+	})
+	return err
+}
+
+// doRegister sends one GRRP register/refresh carried as an LDAP add. Service
+// URLs rotate through a bounded set so repeats are soft-state refreshes of
+// live registrations, not unbounded growth.
+func (r *runner) doRegister(conn *ldap.Client, rng *rand.Rand) error {
+	now := r.clock.Now()
+	n := rng.Intn(r.cfg.RegisterTargets)
+	m := &grrp.Message{
+		Type:       grrp.TypeRegister,
+		ServiceURL: fmt.Sprintf("ldap://gris-load-%d:2135/hn=load%d", n, n),
+		MDSType:    "gris",
+		SuffixDN:   fmt.Sprintf("hn=load%d", n),
+		IssuedAt:   now,
+		ValidUntil: now.Add(r.cfg.RegisterTTL),
+	}
+	return conn.Add(m.ToEntry())
+}
+
+// doChurn exercises the accept path: a fresh connection, anonymous bind,
+// RootDSE read, teardown — the cost real short-lived clients impose.
+func (r *runner) doChurn() error {
+	c, err := r.dialClient()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Bind("", ""); err != nil {
+		return err
+	}
+	_, err = c.Search(&ldap.SearchRequest{
+		BaseDN: "",
+		Scope:  ldap.ScopeBaseObject,
+		Filter: ldap.MustParseFilter("(objectclass=*)"),
+	})
+	return err
+}
+
+// subscribe holds a persistent search open on a dedicated connection until
+// ctx is cancelled, discarding delivered change entries. Subscribers model
+// the long-lived GIIS/notification clients that coexist with query load.
+func (r *runner) subscribe(ctx context.Context, c *ldap.Client) {
+	// Errors are expected at shutdown (connection closed under the
+	// subscription) and uninteresting during the run: a failed subscriber
+	// is background load that went away, not a measured op.
+	_ = c.SearchFunc(ctx, &ldap.SearchRequest{
+		BaseDN: r.cfg.BaseDN,
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: r.filter,
+	}, []ldap.Control{ldap.NewPersistentSearchControl(ldap.PersistentSearch{
+		ChangeTypes: ldap.ChangeAll, ChangesOnly: true,
+	})}, func(*ldap.Entry, []ldap.Control) error { return nil }, nil, nil)
+}

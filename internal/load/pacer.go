@@ -1,0 +1,108 @@
+// Package load is the open-loop load-generation engine behind cmd/mdsload.
+//
+// Closed-loop benchmarks (a fixed set of clients, each issuing the next
+// query when the previous returns) cannot show saturation collapse: when
+// the server slows down, a closed loop politely slows its offered rate to
+// match, hiding the queue growth real deployments see. The MDS2
+// performance studies measured fixed *offered* rates from thousands of
+// independent clients — an open loop. This package reproduces that: a
+// pacer emits operations on a fixed schedule regardless of how the server
+// is doing, and every latency is measured from the operation's *intended*
+// start time, not its actual send time, so client-side queueing counts
+// against the server (coordinated-omission correction).
+//
+// All timing flows through softstate.Clock: pacing and accounting are
+// deterministic under FakeClock, wall-clock under RealClock.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+// Pacing selects the inter-arrival distribution of the offered schedule.
+type Pacing int
+
+const (
+	// PacePoisson draws exponential inter-arrival gaps: the memoryless
+	// arrival process of many independent clients, and the default.
+	PacePoisson Pacing = iota
+	// PaceUniform spaces arrivals exactly 1/rate apart.
+	PaceUniform
+)
+
+// ParsePacing maps flag spellings to a Pacing.
+func ParsePacing(s string) (Pacing, error) {
+	switch s {
+	case "poisson", "":
+		return PacePoisson, nil
+	case "uniform":
+		return PaceUniform, nil
+	}
+	return 0, fmt.Errorf("load: unknown pacing %q (want poisson|uniform)", s)
+}
+
+func (p Pacing) String() string {
+	if p == PaceUniform {
+		return "uniform"
+	}
+	return "poisson"
+}
+
+// Pacer generates an open-loop arrival schedule at a fixed offered rate.
+// It is deterministic for a given (pacing, rate, seed).
+type Pacer struct {
+	pacing Pacing
+	rate   float64
+	rng    *rand.Rand
+}
+
+// NewPacer builds a pacer offering rate operations per second.
+func NewPacer(pacing Pacing, rate float64, seed int64) *Pacer {
+	return &Pacer{pacing: pacing, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Gap returns the next inter-arrival gap.
+func (p *Pacer) Gap() time.Duration {
+	switch p.pacing {
+	case PaceUniform:
+		return time.Duration(float64(time.Second) / p.rate)
+	default:
+		return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+	}
+}
+
+// Run emits intended arrival times on clock from start until the `until`
+// deadline, sleeping on the clock between arrivals. The emitted time is
+// the *intended* send time — it can lag the clock when the previous emit
+// callback was slow, and the receiver must measure latency from it to stay
+// coordination-free. Returns the number of arrivals emitted. Run stops
+// early when ctx is cancelled.
+func (p *Pacer) Run(ctx context.Context, clock softstate.Clock, start, until time.Time,
+	emit func(intended time.Time)) int64 {
+
+	var n int64
+	next := start
+	for !next.After(until) {
+		if wait := next.Sub(clock.Now()); wait > 0 {
+			select {
+			case <-clock.After(wait):
+			case <-ctx.Done():
+				return n
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return n
+		default:
+		}
+		emit(next)
+		n++
+		next = next.Add(p.Gap())
+	}
+	return n
+}

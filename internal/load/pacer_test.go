@@ -1,0 +1,137 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mds2/internal/softstate"
+)
+
+func TestParsePacing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Pacing
+		ok   bool
+	}{
+		{"", PacePoisson, true},
+		{"poisson", PacePoisson, true},
+		{"uniform", PaceUniform, true},
+		{"exponential", 0, false},
+	} {
+		got, err := ParsePacing(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParsePacing(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestPacerUniformFakeClock pins the uniform schedule exactly: rate 10/s
+// yields arrivals every 100ms, intended times included. The clock starts
+// past the deadline, so the schedule is behind from the first arrival —
+// exactly the lagging-pacer case coordinated-omission correction exists
+// for — and the intended times must still be the ideal ones.
+func TestPacerUniformFakeClock(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	start := clock.Now()
+	clock.Advance(time.Second)
+	p := NewPacer(PaceUniform, 10, 1)
+
+	var got []time.Time
+	n := p.Run(context.Background(), clock, start, start.Add(time.Second),
+		func(intended time.Time) { got = append(got, intended) })
+
+	// Arrivals at 0, 100ms, ..., 1000ms inclusive.
+	if n != 11 || int64(len(got)) != n {
+		t.Fatalf("emitted %d arrivals (collected %d), want 11", n, len(got))
+	}
+	for i, at := range got {
+		want := start.Add(time.Duration(i) * 100 * time.Millisecond)
+		if !at.Equal(want) {
+			t.Fatalf("arrival %d intended at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestPacerPoissonDeterministic: same seed, same schedule; and the mean gap
+// honors the offered rate.
+func TestPacerPoissonDeterministic(t *testing.T) {
+	const rate = 100.0
+	a := NewPacer(PacePoisson, rate, 42)
+	b := NewPacer(PacePoisson, rate, 42)
+	var sum time.Duration
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		ga, gb := a.Gap(), b.Gap()
+		if ga != gb {
+			t.Fatalf("gap %d diverged: %v vs %v", i, ga, gb)
+		}
+		sum += ga
+	}
+	mean := sum / n
+	want := time.Duration(float64(time.Second) / rate)
+	if mean < want*8/10 || mean > want*12/10 {
+		t.Fatalf("mean gap %v, want within 20%% of %v", mean, want)
+	}
+}
+
+// TestPacerCancel: a cancelled context stops the schedule mid-sleep.
+func TestPacerCancel(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	start := clock.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPacer(PaceUniform, 1, 1) // 1/s: after the first emit it sleeps 1s
+
+	done := make(chan int64, 1)
+	go func() {
+		done <- p.Run(ctx, clock, start, start.Add(time.Hour), func(time.Time) {})
+	}()
+	cancel()
+	select {
+	case n := <-done:
+		if n > 1 {
+			t.Fatalf("emitted %d arrivals after cancel, want <=1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pacer did not stop on cancel")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("search=8,bind=1,register=2,churn=1")
+	if err != nil || m != (Mix{Search: 8, Bind: 1, Register: 2, Churn: 1}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	if m.String() != "search=8,bind=1,register=2,churn=1" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if m, err := ParseMix(""); err != nil || m != (Mix{Search: 1}) {
+		t.Fatalf("empty mix = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"search", "search=x", "warp=1", "search=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	res := &Result{
+		Offered: 1000, Completed: 900, ShedBusy: 50, Errors: 50,
+		P50Ms: 2, P99Ms: 40, Goodput: 450, ElapsedSec: 2,
+	}
+	// Zero-valued SLO checks nothing.
+	if v := (SLO{}).Check(res); len(v) != 0 {
+		t.Fatalf("empty SLO violations: %v", v)
+	}
+	pass := SLO{MaxP50Ms: 5, MaxP99Ms: 50, MaxErrorRate: 0.1, MaxShedRate: 0.1,
+		MinGoodput: 400, MinCompleted: 800}
+	if v := pass.Check(res); len(v) != 0 {
+		t.Fatalf("passing SLO violations: %v", v)
+	}
+	fail := SLO{MaxP50Ms: 1, MaxP99Ms: 10, MaxErrorRate: 0.01, MaxShedRate: 0.01,
+		MinGoodput: 500, MinCompleted: 1000}
+	if v := fail.Check(res); len(v) != 6 {
+		t.Fatalf("failing SLO violations = %d (%v), want 6", len(v), v)
+	}
+}

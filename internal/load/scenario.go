@@ -1,0 +1,324 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"mds2/internal/giis"
+	"mds2/internal/gris"
+	"mds2/internal/grrp"
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+// A Scenario stands up a named loopback-TCP topology, drives it with a
+// canned workload, and tears it down — the reproducible configurations
+// behind `mdsload -scenario` and the CI SLO gate. The overload pair
+// reproduces the MDS2 performance-study saturation curves: identical
+// backend and 2× offered rate, differing only in whether the server's
+// overload control is on.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Default offered rate and window; ScenarioOpts override them.
+	DefaultRate     float64
+	DefaultDuration time.Duration
+
+	run func(ctx context.Context, cfg Config) (*Result, error)
+}
+
+// ScenarioOpts overrides a scenario's defaults. Zero values keep them.
+type ScenarioOpts struct {
+	Rate        float64
+	RateScale   float64 // multiplies the default rate when Rate is 0
+	Duration    time.Duration
+	Seed        int64
+	ReportEvery time.Duration
+	ReportW     io.Writer
+	FailureW    io.Writer
+}
+
+// Run executes the scenario to completion.
+func (s Scenario) Run(ctx context.Context, opts ScenarioOpts) (*Result, error) {
+	cfg := Config{
+		Rate:     s.DefaultRate,
+		Duration: s.DefaultDuration,
+		Seed:     1,
+		Clock:    softstate.RealClock{},
+	}
+	if opts.Rate > 0 {
+		cfg.Rate = opts.Rate
+	} else if opts.RateScale > 0 {
+		cfg.Rate *= opts.RateScale
+	}
+	if opts.Duration > 0 {
+		cfg.Duration = opts.Duration
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	cfg.ReportEvery = opts.ReportEvery
+	cfg.ReportW = opts.ReportW
+	cfg.FailureW = opts.FailureW
+	return s.run(ctx, cfg)
+}
+
+// The backend cost model for saturation scenarios: CacheTTL 0 disables both
+// the GRIS result cache and singleflight coalescing, so every query invokes
+// the provider; the provider holds one of `slots` tokens for `cost`, giving
+// the server a true capacity ceiling of slots/cost queries per second that
+// extra client concurrency cannot raise. That honest ceiling is what makes
+// the 2×-saturation overload comparison meaningful.
+type costBackend struct {
+	suffix  ldap.DN
+	entries []*ldap.Entry
+	clock   softstate.Clock
+	cost    time.Duration
+	slots   chan struct{}
+	ttl     time.Duration
+}
+
+func (b *costBackend) Name() string            { return "cost" }
+func (b *costBackend) Suffix() ldap.DN         { return b.suffix }
+func (b *costBackend) Attributes() []string    { return nil }
+func (b *costBackend) CacheTTL() time.Duration { return b.ttl }
+
+func (b *costBackend) Entries(*gris.Query) ([]*ldap.Entry, error) {
+	b.slots <- struct{}{}
+	<-b.clock.After(b.cost)
+	<-b.slots
+	return b.entries, nil
+}
+
+// loadEntries builds n host-shaped entries under suffix.
+func loadEntries(suffix ldap.DN, n int) []*ldap.Entry {
+	out := make([]*ldap.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ldap.NewEntry(suffix.ChildAVA("hn", fmt.Sprintf("h%d", i))).
+			Add("objectclass", "computer").
+			Add("hn", fmt.Sprintf("h%d", i)).
+			Add("system", "linux redhat").
+			Add("cpucount", "4").
+			Add("load5", fmt.Sprintf("%d.%d", i%4, i%10)))
+	}
+	return out
+}
+
+// startGRIS serves a GRIS over loopback TCP, overload per ov.
+func startGRIS(suffix ldap.DN, backend gris.Backend, ov ldap.OverloadConfig) (string, func(), error) {
+	g := gris.New(gris.Config{Suffix: suffix})
+	g.Register(backend)
+	srv := ldap.NewServer(g)
+	srv.Overload = ov
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// saturation parameters shared by the overload pair so the only difference
+// between the two scenarios is the control itself. Capacity = slots/cost =
+// 1600 queries/s; both scenarios offer 2× that.
+const (
+	satSlots = 4
+	satCost  = 2500 * time.Microsecond
+)
+
+const satCapacity = float64(satSlots) * float64(time.Second) / float64(satCost)
+
+// overloadControl is the OverloadConfig the shedding scenario (and the
+// docs) use as the reference tuning for a saturated GRIS.
+func overloadControl() ldap.OverloadConfig {
+	// MaxQueue and QueueBudget are deliberately both near the operating
+	// point: a steady overload trips the budget projection (busy) while
+	// arrival bursts overflow the queue itself (unavailable).
+	return ldap.OverloadConfig{
+		MaxWorkers:  2 * satSlots,
+		MaxQueue:    4 * satSlots,
+		QueueBudget: 8 * time.Millisecond,
+		MaxConns:    256,
+	}
+}
+
+// runGRISScenario drives a single GRIS built on backend with cfg's offered
+// schedule.
+func runGRISScenario(ctx context.Context, cfg Config, backend gris.Backend,
+	suffix ldap.DN, ov ldap.OverloadConfig, mix Mix, subscribers int) (*Result, error) {
+
+	addr, stop, err := startGRIS(suffix, backend, ov)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	cfg.Addr = addr
+	cfg.BaseDN = suffix.String()
+	cfg.Filter = "(objectclass=computer)"
+	cfg.Mix = mix
+	cfg.Subscribers = subscribers
+	return Run(ctx, cfg)
+}
+
+// Scenarios returns the named scenarios, sorted by name.
+func Scenarios() []Scenario {
+	suffix := ldap.MustParseDN("ou=s0, o=grid")
+	clock := softstate.RealClock{}
+	newCost := func(ttl time.Duration) *costBackend {
+		return &costBackend{
+			suffix:  suffix,
+			entries: loadEntries(suffix, 10),
+			clock:   clock,
+			cost:    satCost,
+			slots:   make(chan struct{}, satSlots),
+			ttl:     ttl,
+		}
+	}
+	list := []Scenario{
+		{
+			Name: "gris-cached",
+			Description: "single GRIS, costly provider behind the result cache " +
+				"(the with-caching curve: provider cost amortized, latency is wire+dispatch)",
+			DefaultRate:     1000,
+			DefaultDuration: 2 * time.Second,
+			run: func(ctx context.Context, cfg Config) (*Result, error) {
+				return runGRISScenario(ctx, cfg, newCost(time.Hour), suffix,
+					ldap.OverloadConfig{}, Mix{Search: 1}, 0)
+			},
+		},
+		{
+			Name: "gris-nocache",
+			Description: "single GRIS, same provider with caching off — every query pays " +
+				"the provider invocation (the without-caching curve); offered at half capacity",
+			DefaultRate:     satCapacity / 2,
+			DefaultDuration: 2 * time.Second,
+			run: func(ctx context.Context, cfg Config) (*Result, error) {
+				return runGRISScenario(ctx, cfg, newCost(0), suffix,
+					ldap.OverloadConfig{}, Mix{Search: 1}, 0)
+			},
+		},
+		{
+			Name: "overload-shed",
+			Description: fmt.Sprintf("uncached GRIS offered 2x its %0.f q/s capacity WITH overload "+
+				"control: excess is shed busy/unavailable, survivor p99 stays bounded", satCapacity),
+			DefaultRate:     2 * satCapacity,
+			DefaultDuration: 3 * time.Second,
+			run: func(ctx context.Context, cfg Config) (*Result, error) {
+				return runGRISScenario(ctx, cfg, newCost(0), suffix,
+					overloadControl(), Mix{Search: 1}, 0)
+			},
+		},
+		{
+			Name: "overload-noshed",
+			Description: fmt.Sprintf("uncached GRIS offered 2x its %0.f q/s capacity WITHOUT overload "+
+				"control: the queue grows for the whole run and corrected p99 collapses", satCapacity),
+			DefaultRate:     2 * satCapacity,
+			DefaultDuration: 3 * time.Second,
+			run: func(ctx context.Context, cfg Config) (*Result, error) {
+				return runGRISScenario(ctx, cfg, newCost(0), suffix,
+					ldap.OverloadConfig{}, Mix{Search: 1}, 0)
+			},
+		},
+		{
+			Name: "chain",
+			Description: "GIIS chaining to 2 GRIS children, mixed workload " +
+				"(search/bind/register/churn) plus persistent-search subscribers",
+			DefaultRate:     400,
+			DefaultDuration: 2 * time.Second,
+			run:             runChainScenario,
+		},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// FindScenario looks a scenario up by name.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// runChainScenario: a root GIIS chaining to two cached GRIS leaves, driven
+// with the full operation mix. Register ops land as real GRRP refreshes on
+// the GIIS; subscribers hold persistent searches on the root.
+func runChainScenario(ctx context.Context, cfg Config) (*Result, error) {
+	clock := softstate.RealClock{}
+	base := ldap.MustParseDN("o=grid")
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	leafAddrs := make([]string, 2)
+	leafSuffixes := make([]ldap.DN, 2)
+	for i := range leafAddrs {
+		suffix := ldap.MustParseDN(fmt.Sprintf("ou=s%d, o=grid", i))
+		backend := &costBackend{
+			suffix:  suffix,
+			entries: loadEntries(suffix, 20),
+			clock:   clock,
+			cost:    time.Millisecond,
+			slots:   make(chan struct{}, 8),
+			ttl:     time.Hour,
+		}
+		addr, stop, err := startGRIS(suffix, backend, ldap.OverloadConfig{})
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, stop)
+		leafAddrs[i] = addr
+		leafSuffixes[i] = suffix
+	}
+
+	d := giis.New(giis.Config{Name: "giis.load", Suffix: base})
+	now := clock.Now()
+	for i, addr := range leafAddrs {
+		msg := &grrp.Message{
+			Type:       grrp.TypeRegister,
+			ServiceURL: "ldap://" + addr,
+			MDSType:    "gris",
+			SuffixDN:   leafSuffixes[i].String(),
+			IssuedAt:   now,
+			ValidUntil: now.Add(time.Hour),
+		}
+		if !d.Ingest(msg) {
+			d.Close()
+			return nil, fmt.Errorf("load: giis refused registration of %s", addr)
+		}
+	}
+	srv := ldap.NewServer(d)
+	// Chained searches run ~10x longer than leaf queries, so the root's
+	// control gets a budget matched to that service time; at the default
+	// offered rate it should engage only on bursts.
+	srv.Overload = ldap.OverloadConfig{
+		MaxWorkers:  16,
+		MaxQueue:    64,
+		QueueBudget: 150 * time.Millisecond,
+		MaxConns:    256,
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	go srv.Serve(l)
+	stops = append(stops, func() { srv.Close(); d.Close() })
+
+	cfg.Addr = l.Addr().String()
+	cfg.BaseDN = base.String()
+	cfg.Filter = "(objectclass=computer)"
+	cfg.Mix = Mix{Search: 8, Bind: 1, Register: 2, Churn: 1}
+	cfg.Subscribers = 4
+	return Run(ctx, cfg)
+}

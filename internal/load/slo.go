@@ -1,0 +1,70 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SLO is one scenario's checked-in service-level thresholds. The zero value
+// of any field means "unchecked" — a gate file only constrains what it
+// names, so adding a new metric never retroactively fails old gates.
+type SLO struct {
+	// MaxP50Ms / MaxP99Ms bound the corrected latency quantiles in
+	// milliseconds.
+	MaxP50Ms float64 `json:"max_p50_ms,omitempty"`
+	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
+	// MaxErrorRate bounds hard failures (errors + client drops) per
+	// offered op.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MaxShedRate bounds explicit server rejections per offered op.
+	// Shedding is the overload control working, so gates usually bound it
+	// only for scenarios offered below saturation.
+	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+	// MinGoodput floors completed ops/second.
+	MinGoodput float64 `json:"min_goodput_qps,omitempty"`
+	// MinCompleted floors the absolute completed-op count (guards against
+	// a run that trivially passes rates by doing nothing).
+	MinCompleted int64 `json:"min_completed,omitempty"`
+}
+
+// SLOFile maps scenario name → thresholds.
+type SLOFile map[string]SLO
+
+// LoadSLOFile reads a JSON gate file.
+func LoadSLOFile(path string) (SLOFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f SLOFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("load: parse SLO file %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Check compares a result against the thresholds and returns one violation
+// string per breached bound (empty means the gate passes).
+func (s SLO) Check(res *Result) []string {
+	var v []string
+	if s.MaxP50Ms > 0 && res.P50Ms > s.MaxP50Ms {
+		v = append(v, fmt.Sprintf("p50 %.2fms > max %.2fms", res.P50Ms, s.MaxP50Ms))
+	}
+	if s.MaxP99Ms > 0 && res.P99Ms > s.MaxP99Ms {
+		v = append(v, fmt.Sprintf("p99 %.2fms > max %.2fms", res.P99Ms, s.MaxP99Ms))
+	}
+	if s.MaxErrorRate > 0 && res.ErrorRate() > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f > max %.4f", res.ErrorRate(), s.MaxErrorRate))
+	}
+	if s.MaxShedRate > 0 && res.ShedRate() > s.MaxShedRate {
+		v = append(v, fmt.Sprintf("shed rate %.4f > max %.4f", res.ShedRate(), s.MaxShedRate))
+	}
+	if s.MinGoodput > 0 && res.Goodput < s.MinGoodput {
+		v = append(v, fmt.Sprintf("goodput %.1f/s < min %.1f/s", res.Goodput, s.MinGoodput))
+	}
+	if s.MinCompleted > 0 && res.Completed < s.MinCompleted {
+		v = append(v, fmt.Sprintf("completed %d < min %d", res.Completed, s.MinCompleted))
+	}
+	return v
+}

@@ -16,6 +16,7 @@ import (
 //	/debug/traces    recent + slow traces as JSON
 //	/debug/registry  soft-state tables: key, TTL remaining, last refresh
 //	/debug/qcache    query-result cache snapshots: config, stats, keys
+//	/healthz         registered liveness probes; 200 all-pass, 503 otherwise
 //
 // Handler starts no goroutines and owns no listener; callers (cmd/gris,
 // cmd/giis, the wire experiment) pair it with http.Serve.
@@ -27,6 +28,7 @@ type Handler struct {
 	mu     sync.Mutex
 	tables []namedTable
 	caches []namedCache
+	probes []namedProbe
 }
 
 type namedTable struct {
@@ -37,6 +39,11 @@ type namedTable struct {
 type namedCache struct {
 	name string
 	fn   func() any
+}
+
+type namedProbe struct {
+	name string
+	fn   func() (time.Duration, error)
 }
 
 // NewHandler serves reg and tracer (either may be nil).
@@ -69,6 +76,57 @@ func (h *Handler) AddCache(name string, fn func() any) {
 	h.mu.Unlock()
 }
 
+// AddHealthCheck registers a liveness probe run on every /healthz request
+// (e.g. ldap.HealthCheck.Probe: dial + anonymous bind + RootDSE search
+// against the server's own listener).
+func (h *Handler) AddHealthCheck(name string, fn func() (time.Duration, error)) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.probes = append(h.probes, namedProbe{name: name, fn: fn})
+	h.mu.Unlock()
+}
+
+// HealthResult is one probe's outcome in the /healthz body.
+type HealthResult struct {
+	Check     string  `json:"check"`
+	Healthy   bool    `json:"healthy"`
+	LatencyMs float64 `json:"latency_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// healthz runs every registered probe; the status code carries the verdict
+// so orchestrators need not parse the body.
+func (h *Handler) healthz(w http.ResponseWriter) {
+	h.mu.Lock()
+	probes := make([]namedProbe, len(h.probes))
+	copy(probes, h.probes)
+	h.mu.Unlock()
+	healthy := true
+	results := make([]HealthResult, 0, len(probes))
+	for _, p := range probes {
+		d, err := p.fn()
+		r := HealthResult{Check: p.name, Healthy: err == nil,
+			LatencyMs: float64(d) / float64(time.Millisecond)}
+		if err != nil {
+			r.Error = err.Error()
+			healthy = false
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Check < results[j].Check })
+	if !healthy {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"healthy": false, "checks": results})
+		return
+	}
+	writeJSON(w, map[string]any{"healthy": true, "checks": results})
+}
+
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/metrics":
@@ -86,9 +144,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, h.registrySnapshot())
 	case "/debug/qcache":
 		writeJSON(w, h.cacheSnapshot())
+	case "/healthz":
+		h.healthz(w)
 	case "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("mds2 obs endpoints: /metrics /debug/traces /debug/registry /debug/qcache\n"))
+		_, _ = w.Write([]byte("mds2 obs endpoints: /metrics /debug/traces /debug/registry /debug/qcache /healthz\n"))
 	default:
 		http.NotFound(w, r)
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -9,6 +10,8 @@ import (
 
 	"mds2/internal/softstate"
 )
+
+var errDown = errors.New("backend down")
 
 func newTestHandler(t *testing.T) (*Handler, *softstate.FakeClock) {
 	t.Helper()
@@ -112,5 +115,56 @@ func TestHandlerIndexAnd404(t *testing.T) {
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
 	if rr.Code != 404 {
 		t.Errorf("unknown path status = %d", rr.Code)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	h, _ := newTestHandler(t)
+	// No probes registered: trivially healthy (the process answered).
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("no-probe /healthz = %d", rr.Code)
+	}
+
+	h.AddHealthCheck("ldap", func() (time.Duration, error) {
+		return 2 * time.Millisecond, nil
+	})
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("healthy /healthz = %d, body %s", rr.Code, rr.Body.String())
+	}
+	var body struct {
+		Healthy bool           `json:"healthy"`
+		Checks  []HealthResult `json:"checks"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Healthy || len(body.Checks) != 1 || body.Checks[0].Check != "ldap" ||
+		!body.Checks[0].Healthy || body.Checks[0].LatencyMs != 2 {
+		t.Fatalf("healthy body = %+v", body)
+	}
+
+	// One failing probe flips the status to 503 and names the failure.
+	h.AddHealthCheck("backend", func() (time.Duration, error) {
+		return time.Millisecond, errDown
+	})
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("unhealthy /healthz = %d", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Healthy || len(body.Checks) != 2 {
+		t.Fatalf("unhealthy body = %+v", body)
+	}
+	// Sorted by name: backend first, carrying its error.
+	if body.Checks[0].Check != "backend" || body.Checks[0].Healthy ||
+		!strings.Contains(body.Checks[0].Error, "backend down") {
+		t.Fatalf("failing check = %+v", body.Checks[0])
 	}
 }
