@@ -206,7 +206,8 @@ func TestCLIMdsbenchList(t *testing.T) {
 		t.Fatalf("mdsbench -list: %v\n%s", err, out)
 	}
 	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5",
-		"detector", "cache", "scope", "mds1", "bloom", "pushpull", "security", "nws", "matchmake"} {
+		"detector", "cache", "scope", "mds1", "bloom", "pushpull", "security", "nws", "matchmake",
+		"recover"} {
 		if !strings.Contains(string(out), want) {
 			t.Fatalf("mdsbench list missing %q:\n%s", want, out)
 		}

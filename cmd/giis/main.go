@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"mds2/internal/giis"
@@ -22,6 +23,7 @@ import (
 	"mds2/internal/gsi"
 	"mds2/internal/ldap"
 	"mds2/internal/obs"
+	"mds2/internal/persist"
 	"mds2/internal/shard"
 	"mds2/internal/softstate"
 )
@@ -52,6 +54,18 @@ func main() {
 		qcOn     = flag.Bool("query-cache", false, "cache chained query results keyed by (child, base, scope, filter, attrs)")
 		qcTTL    = flag.Duration("query-cache-ttl", 15*time.Second, "query cache TTL ceiling (results also expire with the child registration)")
 		qcMax    = flag.Int("query-cache-max", 4096, "query cache capacity in result sets")
+
+		dataDir   = flag.String("data-dir", "", "durability: data directory for the WAL-backed registration log (empty disables persistence)")
+		walSync   = flag.String("wal-sync", "interval", "durability: WAL fsync policy: always | interval | none")
+		snapEvery = flag.Duration("snapshot-every", 5*time.Minute, "durability: background snapshot cadence (0 disables)")
+		recGrace  = flag.Duration("recovery-grace", 2*time.Minute, "durability: grace window granted to recovered registrations before soft state purges them")
+
+		healthProbe = flag.String("health-probe", "anonymous", "healthz probe mode(s), comma-separated: anonymous | simple-bind | scoped-search")
+		healthBind  = flag.String("health-bind-dn", "", "simple-bind probe: bind DN")
+		healthPW    = flag.String("health-bind-pw", "", "simple-bind probe: bind password")
+		healthBase  = flag.String("health-base", "", "scoped-search probe: base DN (default: the served suffix)")
+		healthFilt  = flag.String("health-filter", "(objectclass=*)", "scoped-search probe: filter")
+		healthMin   = flag.Int("health-min-entries", 1, "scoped-search probe: minimum entries required")
 
 		maxWorkers  = flag.Int("max-workers", 0, "overload control: max concurrently dispatched operations (0 disables admission control)")
 		maxQueue    = flag.Int("max-queue", 0, "overload control: ops queued behind the worker set before shedding unavailable")
@@ -161,6 +175,41 @@ func main() {
 	server := giis.New(cfg)
 	defer server.Close()
 
+	if *dataDir != "" {
+		mode, err := persist.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		pm, err := persist.Open(persist.Options{
+			Dir:           *dataDir,
+			Sync:          mode,
+			SnapshotEvery: *snapEvery,
+			RecoveryGrace: *recGrace,
+			Codec: persist.PayloadCodec{
+				Encode: grrp.EncodePayload,
+				Decode: grrp.DecodePayload,
+			},
+			Obs:      obsReg,
+			ErrorLog: log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		reg := server.Receiver().Registry
+		if pm.HasState() {
+			stats, err := pm.Recover(nil, reg)
+			if err != nil {
+				log.Fatalf("giis: recovering %s: %v", *dataDir, err)
+			}
+			log.Printf("giis: recovered %d registrations from %s in %v (replayed %d records, grace %v)",
+				stats.Registrations, *dataDir, stats.Duration, stats.RecordsReplayed, *recGrace)
+		}
+		if err := pm.Attach(nil, reg); err != nil {
+			log.Fatalf("giis: %v", err)
+		}
+		defer pm.Close()
+	}
+
 	if *parent != "" {
 		registrar := grrp.NewRegistrar(grrp.TransportFunc(func(to string, payload []byte) error {
 			m, err := grrp.Unmarshal(payload)
@@ -193,7 +242,26 @@ func main() {
 	}
 	if *obsAddr != "" {
 		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
-		h.AddHealthCheck("ldap", ldap.HealthCheck{Addr: advertised(*listen)}.Probe)
+		for _, spec := range strings.Split(*healthProbe, ",") {
+			mode, err := ldap.ParseProbeMode(spec)
+			if err != nil {
+				log.Fatalf("giis: %v", err)
+			}
+			hc := ldap.HealthCheck{
+				Addr:         advertised(*listen),
+				Mode:         mode,
+				BindDN:       *healthBind,
+				BindPassword: *healthPW,
+				Base:         *healthBase,
+				Scope:        ldap.ScopeWholeSubtree,
+				Filter:       *healthFilt,
+				MinEntries:   *healthMin,
+			}
+			if mode == ldap.ProbeScopedSearch && hc.Base == "" {
+				hc.Base = dn.String()
+			}
+			h.AddHealthCheck("ldap-"+mode.String(), hc.Probe)
+		}
 		h.AddTable("children", server.Receiver().Registry)
 		if qc := server.QueryCache(); qc != nil {
 			h.AddCache("query", func() any { return qc.Debug() })

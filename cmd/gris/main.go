@@ -25,6 +25,7 @@ import (
 	"mds2/internal/ldap"
 	"mds2/internal/nws"
 	"mds2/internal/obs"
+	"mds2/internal/persist"
 	"mds2/internal/providers"
 	"mds2/internal/softstate"
 )
@@ -47,6 +48,18 @@ func main() {
 		trustDir = flag.String("trusted-dir", "", "subject granted the trusted-directory role")
 		obsAddr  = flag.String("obs-addr", "", "HTTP introspection listen address (/metrics, /debug/traces, /healthz); empty disables observability")
 		obsSlow  = flag.Duration("obs-slow", 100*time.Millisecond, "slow-query log threshold (0 disables the slow ring)")
+
+		dataDir   = flag.String("data-dir", "", "durability: data directory for the WAL-backed warm cache store (empty disables persistence)")
+		walSync   = flag.String("wal-sync", "interval", "durability: WAL fsync policy: always | interval | none")
+		snapEvery = flag.Duration("snapshot-every", 5*time.Minute, "durability: background snapshot cadence (0 disables)")
+		warmGrace = flag.Duration("warm-grace", 30*time.Second, "durability: how long restored provider results may serve before a live invocation is forced")
+
+		healthProbe = flag.String("health-probe", "anonymous", "healthz probe mode(s), comma-separated: anonymous | simple-bind | scoped-search")
+		healthBind  = flag.String("health-bind-dn", "", "simple-bind probe: bind DN")
+		healthPW    = flag.String("health-bind-pw", "", "simple-bind probe: bind password")
+		healthBase  = flag.String("health-base", "", "scoped-search probe: base DN (default: the served suffix)")
+		healthFilt  = flag.String("health-filter", "(objectclass=*)", "scoped-search probe: filter")
+		healthMin   = flag.Int("health-min-entries", 1, "scoped-search probe: minimum entries required")
 
 		maxWorkers  = flag.Int("max-workers", 0, "overload control: max concurrently dispatched operations (0 disables admission control)")
 		maxQueue    = flag.Int("max-queue", 0, "overload control: ops queued behind the worker set before shedding unavailable")
@@ -102,12 +115,48 @@ func main() {
 		}
 		log.Printf("gris: GSI enabled as %q", keys.Credential.Subject)
 	}
+	if *dataDir != "" {
+		mode, err := persist.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("gris: %v", err)
+		}
+		warm := ldap.NewStore()
+		pm, err := persist.Open(persist.Options{
+			Dir:           *dataDir,
+			Sync:          mode,
+			SnapshotEvery: *snapEvery,
+			Obs:           obsReg,
+			ErrorLog:      log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("gris: %v", err)
+		}
+		if pm.HasState() {
+			stats, err := pm.Recover(warm, nil)
+			if err != nil {
+				log.Fatalf("gris: recovering %s: %v", *dataDir, err)
+			}
+			log.Printf("gris: recovered %d warm entries from %s in %v (replayed %d records)",
+				stats.Entries, *dataDir, stats.Duration, stats.RecordsReplayed)
+		}
+		if err := pm.Attach(warm, nil); err != nil {
+			log.Fatalf("gris: %v", err)
+		}
+		defer pm.Close()
+		cfg.WarmStore = warm
+		cfg.WarmGrace = *warmGrace
+	}
 	server := gris.New(cfg)
 	for _, b := range providers.HostBackends(host, suffix) {
 		server.Register(b)
 	}
 	server.Register(&providers.Network{Service: nws.NewService(),
 		Base: suffix.ChildAVA("net", "links")})
+	if cfg.WarmStore != nil {
+		if n := server.WarmRestore(); n > 0 {
+			log.Printf("gris: warm cache restored with %d entries (grace %v)", n, *warmGrace)
+		}
+	}
 
 	if *register != "" {
 		registrar := grrp.NewRegistrar(grrp.TransportFunc(func(to string, payload []byte) error {
@@ -156,7 +205,26 @@ func main() {
 	}
 	if *obsAddr != "" {
 		h := obs.NewHandler(obsReg, tracer, softstate.RealClock{})
-		h.AddHealthCheck("ldap", ldap.HealthCheck{Addr: listenAddr(*listen)}.Probe)
+		for _, spec := range strings.Split(*healthProbe, ",") {
+			mode, err := ldap.ParseProbeMode(spec)
+			if err != nil {
+				log.Fatalf("gris: %v", err)
+			}
+			hc := ldap.HealthCheck{
+				Addr:         listenAddr(*listen),
+				Mode:         mode,
+				BindDN:       *healthBind,
+				BindPassword: *healthPW,
+				Base:         *healthBase,
+				Scope:        ldap.ScopeWholeSubtree,
+				Filter:       *healthFilt,
+				MinEntries:   *healthMin,
+			}
+			if mode == ldap.ProbeScopedSearch && hc.Base == "" {
+				hc.Base = suffix.String()
+			}
+			h.AddHealthCheck("ldap-"+mode.String(), hc.Probe)
+		}
 		go func() {
 			log.Printf("gris: observability on http://%s", *obsAddr)
 			if err := http.ListenAndServe(*obsAddr, h); err != nil {

@@ -52,7 +52,36 @@ func main() {
 		"shard-replicas", experiments.ShardOptions.Replicas, "shard experiment: owners per registration (K)")
 	flag.IntVar(&experiments.ShardOptions.Queries,
 		"shard-queries", experiments.ShardOptions.Queries, "shard experiment: routed lookups timed per ring size")
+	flag.IntVar(&experiments.RecoverOptions.Registrations,
+		"recover-regs", experiments.RecoverOptions.Registrations,
+		"recover experiment: provider registrations before the crash")
+	flag.DurationVar(&experiments.RecoverOptions.RefreshInterval,
+		"recover-interval", experiments.RecoverOptions.RefreshInterval,
+		"recover experiment: provider soft-state refresh interval (the cold-restart bound)")
+	flag.StringVar(&experiments.RecoverOptions.Sync,
+		"recover-sync", experiments.RecoverOptions.Sync,
+		"recover experiment: WAL fsync policy for the child server (always | interval | none)")
+	flag.StringVar(&experiments.RecoverOptions.JSON,
+		"recover-json", "", "recover experiment: also write measurements to this JSON file")
+	// Hidden child mode: the recover experiment re-executes this binary as
+	// the directory server it crashes.
+	var (
+		recoverServe  = flag.Bool("recover-serve", false, "internal: run as the recover experiment's directory server")
+		recoverDir    = flag.String("recover-dir", "", "internal: child data directory")
+		recoverListen = flag.String("recover-listen", "", "internal: child listen address")
+	)
 	flag.Parse()
+
+	if *recoverServe {
+		if err := experiments.RecoverServe(*recoverDir, *recoverListen,
+			experiments.RecoverOptions.Sync); err != nil {
+			log.Fatalf("mdsbench: %v", err)
+		}
+		return
+	}
+	if bin, err := os.Executable(); err == nil {
+		experiments.RecoverOptions.Bin = bin
+	}
 
 	switch {
 	case *list:

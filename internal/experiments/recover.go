@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mds2/internal/giis"
+	"mds2/internal/grrp"
+	"mds2/internal/ldap"
+	"mds2/internal/persist"
+)
+
+// RecoverOptions tunes the crash-recovery experiment (cmd/mdsbench flags).
+var RecoverOptions = struct {
+	// Registrations is the provider population registered before the crash.
+	Registrations int
+	// RefreshInterval is the providers' soft-state refresh cadence — the
+	// bound a directory without persistence pays after a restart, since its
+	// index stays empty until every provider's next refresh arrives.
+	RefreshInterval time.Duration
+	// Sync is the WAL fsync policy the child server runs with.
+	Sync string
+	// JSON, when non-empty, also writes the measurements as a JSON baseline
+	// file (BENCH_recover.json).
+	JSON string
+	// Bin is the executable re-executed as the directory server; cmd/mdsbench
+	// sets it to os.Executable(). Empty skips the experiment with a notice
+	// (the in-test harness has no server binary to exec).
+	Bin string
+}{
+	Registrations:   200,
+	RefreshInterval: 3 * time.Second,
+	Sync:            "always",
+}
+
+func init() {
+	register("recover",
+		"kill -9 a persisted GIIS mid-refresh-storm; time-to-first-correct-answer, WAL replay vs cold re-upload",
+		runRecover)
+}
+
+// recoverSuffix is the namespace the child directory serves.
+const recoverSuffix = "o=grid"
+
+// RecoverServe is the hidden child mode of cmd/mdsbench: a GIIS with
+// persistence enabled, serving on listen until killed. It prints one READY
+// line (recovery stats) to stdout once state is rebuilt, before accepting
+// traffic, so the parent can report replay figures.
+func RecoverServe(dir, listen, syncMode string) error {
+	mode, err := persist.ParseSyncMode(syncMode)
+	if err != nil {
+		return err
+	}
+	suffix := ldap.MustParseDN(recoverSuffix)
+	selfURL, err := ldap.ParseURL("ldap://" + listen)
+	if err != nil {
+		return err
+	}
+	server := giis.New(giis.Config{
+		Name:     "giis.recover",
+		Suffix:   suffix,
+		SelfURL:  selfURL,
+		Strategy: giis.NewReferral(), // index answers only; never dials the fake providers
+	})
+	pm, err := persist.Open(persist.Options{
+		Dir:           dir,
+		Sync:          mode,
+		RecoveryGrace: 2 * time.Minute,
+		Codec: persist.PayloadCodec{
+			Encode: grrp.EncodePayload,
+			Decode: grrp.DecodePayload,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	reg := server.Receiver().Registry
+	var stats persist.RecoverStats
+	if pm.HasState() {
+		if stats, err = pm.Recover(nil, reg); err != nil {
+			return err
+		}
+	}
+	if err := pm.Attach(nil, reg); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("READY recovered=%d records=%d replay_ms=%.3f\n",
+		stats.Registrations, stats.RecordsReplayed, float64(stats.Duration)/1e6)
+	srv := ldap.NewServer(server)
+	return srv.Serve(ln)
+}
+
+// recoverChild is one running child server process.
+type recoverChild struct {
+	cmd       *exec.Cmd
+	ready     chan string // the READY line, once seen
+	startedAt time.Time
+}
+
+func startRecoverChild(bin, dir, addr, syncMode string) (*recoverChild, error) {
+	cmd := exec.Command(bin,
+		"-recover-serve",
+		"-recover-dir", dir,
+		"-recover-listen", addr,
+		"-recover-sync", syncMode)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	c := &recoverChild{cmd: cmd, ready: make(chan string, 1)}
+	c.startedAt = time.Now()
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "READY") {
+				select {
+				case c.ready <- line:
+				default:
+				}
+			}
+		}
+	}()
+	return c, nil
+}
+
+// kill delivers SIGKILL — the crash under test, no shutdown path runs.
+func (c *recoverChild) kill() {
+	_ = c.cmd.Process.Kill()
+	_ = c.cmd.Wait()
+}
+
+// waitReady blocks for the child's READY line (post-recovery, pre-serve).
+func (c *recoverChild) waitReady(timeout time.Duration) (string, error) {
+	select {
+	case line := <-c.ready:
+		return line, nil
+	case <-time.After(timeout):
+		c.kill()
+		return "", fmt.Errorf("recover: child not ready after %v", timeout)
+	}
+}
+
+// registrationMsg builds provider i's GRRP registration.
+func registrationMsg(i int, ttl time.Duration) *grrp.Message {
+	now := time.Now()
+	return &grrp.Message{
+		Type:       grrp.TypeRegister,
+		ServiceURL: fmt.Sprintf("ldap://provider-%03d.invalid:2135", i),
+		MDSType:    "gris",
+		SuffixDN:   fmt.Sprintf("hn=p%03d, %s", i, recoverSuffix),
+		IssuedAt:   now,
+		ValidUntil: now.Add(ttl),
+	}
+}
+
+// sendRegistrations delivers msgs as LDAP adds (the MDS-2.1 GRRP binding)
+// over one connection; errors are returned so storms racing a kill can
+// ignore them.
+func sendRegistrations(addr string, msgs []*grrp.Message) error {
+	c, err := ldap.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, m := range msgs {
+		if err := c.Add(m.ToEntry()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryChildSet returns the URLs in the directory's child index.
+func queryChildSet(addr string) (map[string]bool, error) {
+	c, err := ldap.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res, err := c.Search(&ldap.SearchRequest{
+		BaseDN: recoverSuffix,
+		Scope:  ldap.ScopeSingleLevel,
+		Filter: ldap.MustParseFilter("(objectclass=mdsservice)"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, e := range res.Entries {
+		leaf := e.DN.Leaf()
+		if len(leaf) == 1 && strings.EqualFold(leaf[0].Attr, "mds-child") {
+			out[e.First("url")] = true
+		}
+	}
+	return out, nil
+}
+
+// waitCorrect polls the directory until its child index equals want,
+// returning the elapsed time since start. This is the experiment's
+// "time to first correct answer": not merely accepting connections, but
+// again serving the full pre-crash registration set.
+func waitCorrect(addr string, want map[string]bool, start time.Time, timeout time.Duration) (time.Duration, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		got, err := queryChildSet(addr)
+		if err == nil && len(got) == len(want) {
+			all := true
+			for url := range want {
+				if !got[url] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return time.Since(start), nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("recover: index not correct within %v", timeout)
+}
+
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func runRecover(w io.Writer) error {
+	opt := RecoverOptions
+	if opt.Bin == "" {
+		// Running under `go test` or another harness with no re-executable
+		// server binary; the experiment needs a real process to SIGKILL.
+		fmt.Fprintln(w, "recover: skipped — the crash-recovery experiment SIGKILLs a real child")
+		fmt.Fprintln(w, "server process and needs a re-executable binary; run it via:")
+		fmt.Fprintln(w, "    go run ./cmd/mdsbench -exp recover")
+		return nil
+	}
+	n := opt.Registrations
+	ttl := 2 * time.Minute
+	dir, err := os.MkdirTemp("", "mds2-recover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	walDir := filepath.Join(dir, "data")
+
+	msgs := make([]*grrp.Message, n)
+	want := map[string]bool{}
+	for i := range msgs {
+		msgs[i] = registrationMsg(i, ttl)
+		want[msgs[i].ServiceURL] = true
+	}
+
+	// Phase 1: boot empty, absorb the full registration load, then keep a
+	// refresh storm running and SIGKILL the server in the middle of it.
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	child, err := startRecoverChild(opt.Bin, walDir, addr, opt.Sync)
+	if err != nil {
+		return err
+	}
+	if _, err := child.waitReady(10 * time.Second); err != nil {
+		return err
+	}
+	if _, err := waitCorrect(addr, map[string]bool{}, time.Now(), 5*time.Second); err != nil {
+		child.kill()
+		return fmt.Errorf("recover: child never served: %w", err)
+	}
+	if err := sendRegistrations(addr, msgs); err != nil {
+		child.kill()
+		return err
+	}
+	if _, err := waitCorrect(addr, want, time.Now(), 10*time.Second); err != nil {
+		child.kill()
+		return err
+	}
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		// Refresh rounds until the kill severs the connection; mid-storm
+		// errors are the point of the exercise.
+		for {
+			fresh := make([]*grrp.Message, n)
+			for i := range fresh {
+				fresh[i] = registrationMsg(i, ttl)
+			}
+			if err := sendRegistrations(addr, fresh); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond) // let refreshes be in flight
+	child.kill()
+	<-stormDone
+
+	// Phase 2: restart on the same directory; recovery replays snapshot +
+	// WAL tail and the index is correct again without any provider talking.
+	restartAt := time.Now()
+	child, err = startRecoverChild(opt.Bin, walDir, addr, opt.Sync)
+	if err != nil {
+		return err
+	}
+	readyLine, err := child.waitReady(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	recoverTTFCA, err := waitCorrect(addr, want, restartAt, 30*time.Second)
+	child.kill()
+	if err != nil {
+		return err
+	}
+
+	// Phase 3 baseline: a directory without persistence restarts empty and
+	// must wait for each provider's next soft-state refresh, phases spread
+	// across the refresh interval — the paper's pure soft-state bound.
+	coldDir := filepath.Join(dir, "cold")
+	addr2, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	child, err = startRecoverChild(opt.Bin, coldDir, addr2, opt.Sync)
+	if err != nil {
+		return err
+	}
+	if _, err := child.waitReady(10 * time.Second); err != nil {
+		return err
+	}
+	coldStart := time.Now()
+	go func() {
+		for i, m := range msgs {
+			phase := time.Duration(i) * opt.RefreshInterval / time.Duration(n)
+			time.Sleep(time.Until(coldStart.Add(phase)))
+			_ = sendRegistrations(addr2, []*grrp.Message{m})
+		}
+	}()
+	coldTTFCA, err := waitCorrect(addr2, want, coldStart, opt.RefreshInterval+30*time.Second)
+	child.kill()
+	if err != nil {
+		return err
+	}
+
+	t := NewTable(fmt.Sprintf("Crash recovery: %d registrations, wal-sync=%s (kill -9 mid-refresh-storm)",
+		n, opt.Sync),
+		"restart path", "time to first correct answer", "bound")
+	t.AddRow("WAL replay", recoverTTFCA, strings.TrimPrefix(readyLine, "READY "))
+	t.AddRow("cold re-upload", coldTTFCA,
+		fmt.Sprintf("soft-state refresh interval %v", opt.RefreshInterval))
+	fmt.Fprintln(w, t)
+	fmt.Fprintf(w, "A durable directory answers correctly in %v; pure soft state waits ~the\n"+
+		"refresh interval (%v here) for the provider population to re-announce.\n",
+		recoverTTFCA.Round(time.Millisecond), coldTTFCA.Round(time.Millisecond))
+
+	if opt.JSON != "" {
+		type bench struct {
+			Date            string  `json:"date"`
+			Registrations   int     `json:"registrations"`
+			SyncMode        string  `json:"sync_mode"`
+			RecoverMs       float64 `json:"recover_ttfca_ms"`
+			ColdMs          float64 `json:"cold_ttfca_ms"`
+			RefreshInterval string  `json:"refresh_interval"`
+			Ready           string  `json:"recovery_stats"`
+		}
+		b, err := json.MarshalIndent(bench{
+			Date:            time.Now().UTC().Format("2006-01-02"),
+			Registrations:   n,
+			SyncMode:        opt.Sync,
+			RecoverMs:       float64(recoverTTFCA) / 1e6,
+			ColdMs:          float64(coldTTFCA) / 1e6,
+			RefreshInterval: opt.RefreshInterval.String(),
+			Ready:           strings.TrimPrefix(readyLine, "READY "),
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opt.JSON, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "baseline written to %s\n", opt.JSON)
+	}
+	return nil
+}

@@ -57,6 +57,14 @@ type Child struct {
 	VO string
 	// ExpiresAt is the soft-state deadline.
 	ExpiresAt time.Time
+	// LastRefresh is when the registration was last confirmed by the child
+	// (or restored from the durability log — see Recovered).
+	LastRefresh time.Time
+	// Recovered marks a registration rebuilt from the persistence log after
+	// a restart and not yet reconfirmed by a live refresh. The directory
+	// serves it within the recovery grace window, but operators can
+	// distinguish recovered-but-unconfirmed children on the metrics surface.
+	Recovered bool
 }
 
 // Config assembles a GIIS.
@@ -256,6 +264,47 @@ func New(cfg Config) *Server {
 		cfg.Obs.CounterFunc("giis_registry_expired_total", func() int64 {
 			return int64(reg.ExpiredTotal())
 		})
+		// Per-child dependency gauges (one sample per live registration,
+		// labelled by the child's service URL): up distinguishes confirmed
+		// children (1) from recovered-but-unconfirmed ones (0); the age gauge
+		// shows how long since each child last refreshed; recovered flags the
+		// restart-restored set explicitly so a post-crash dashboard can watch
+		// it drain as children reconfirm.
+		cfg.Obs.LabeledGaugeFunc("giis_child_up", "child", func() []obs.LabeledValue {
+			children := s.Children()
+			out := make([]obs.LabeledValue, len(children))
+			for i, c := range children {
+				v := 1.0
+				if c.Recovered {
+					v = 0
+				}
+				out[i] = obs.LabeledValue{Label: c.URL.String(), Value: v}
+			}
+			return out
+		})
+		cfg.Obs.LabeledGaugeFunc("giis_child_last_refresh_age_seconds", "child",
+			func() []obs.LabeledValue {
+				now := s.clock.Now()
+				children := s.Children()
+				out := make([]obs.LabeledValue, len(children))
+				for i, c := range children {
+					out[i] = obs.LabeledValue{Label: c.URL.String(),
+						Value: now.Sub(c.LastRefresh).Seconds()}
+				}
+				return out
+			})
+		cfg.Obs.LabeledGaugeFunc("giis_child_recovered", "child", func() []obs.LabeledValue {
+			children := s.Children()
+			out := make([]obs.LabeledValue, len(children))
+			for i, c := range children {
+				v := 0.0
+				if c.Recovered {
+					v = 1
+				}
+				out[i] = obs.LabeledValue{Label: c.URL.String(), Value: v}
+			}
+			return out
+		})
 		cfg.Obs.GaugeFunc("giis_pool_size", func() float64 {
 			s.poolMu.Lock()
 			n := len(s.pool)
@@ -361,12 +410,14 @@ func (s *Server) buildChildren() []Child {
 			view = suffix.Under(s.cfg.Suffix)
 		}
 		out = append(out, Child{
-			URL:        url,
-			Suffix:     suffix,
-			ViewSuffix: view,
-			MDSType:    m.MDSType,
-			VO:         m.VO,
-			ExpiresAt:  it.ExpiresAt,
+			URL:         url,
+			Suffix:      suffix,
+			ViewSuffix:  view,
+			MDSType:     m.MDSType,
+			VO:          m.VO,
+			ExpiresAt:   it.ExpiresAt,
+			LastRefresh: it.LastRefresh,
+			Recovered:   it.Recovered,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL.String() < out[j].URL.String() })
@@ -867,13 +918,19 @@ func (s *Server) selfEntry(children []Child) *ldap.Entry {
 // childIndexEntry is the name-index view of one registration (the §3
 // "name-serving aggregate directory" behaviour, available from every GIIS).
 func (s *Server) childIndexEntry(c Child) *ldap.Entry {
-	return ldap.NewEntry(s.cfg.Suffix.ChildAVA("mds-child", c.URL.String())).
+	e := ldap.NewEntry(s.cfg.Suffix.ChildAVA("mds-child", c.URL.String())).
 		Add("objectclass", "mdsservice", "service").
 		Add("url", c.URL.String()).
 		Add("mdstype", c.MDSType).
 		Add("vo", c.VO).
 		Add("suffix", c.ViewSuffix.String()).
 		Add("providersuffix", c.Suffix.String())
+	if c.Recovered {
+		// Restored from the durability log after a restart and not yet
+		// reconfirmed; clients can weigh such children accordingly.
+		e.Add("recovered", "TRUE")
+	}
+	return e
 }
 
 // Extended dispatches GRIP extension operations registered in the

@@ -86,6 +86,19 @@ type Config struct {
 	// Obs, when non-nil, surfaces the server's counters (queries,
 	// invocations, cache hit/miss/coalesce) under gris_* series.
 	Obs *obs.Registry
+	// WarmStore, when non-nil, makes the per-provider cache durable: every
+	// full-subtree provider invocation is written through to this store
+	// (replacing that backend's `mds-warm=<name>` namespace), and
+	// WarmRestore refills the cache from it after a restart — a recovering
+	// GRIS answers immediately from
+	// its last known-good results instead of stalling on a cold stampede of
+	// provider invocations. Wire the store to internal/persist for
+	// crash-safe durability.
+	WarmStore *ldap.Store
+	// WarmGrace bounds how long restored results may serve before the
+	// normal cache TTL forces a live provider invocation; zero (or a value
+	// above the backend TTL) grants the full TTL from restore time.
+	WarmGrace time.Duration
 }
 
 // Extension handles one GRIP extended operation.
@@ -179,6 +192,60 @@ func (s *Server) Backends() []string {
 		out[i] = b.Name()
 	}
 	return out
+}
+
+// warmRoot is the warm-store namespace root for one backend: its results
+// are re-rooted under it so each warm entry stays attributable to the
+// backend that produced it (suffixes may be shared across backends).
+func warmRoot(name string) ldap.DN {
+	return ldap.DN{ldap.RDN{{Attr: "mds-warm", Value: name}}}
+}
+
+// WarmRestore prefills the per-provider cache from the warm store — call it
+// after persist.Manager.Recover has rebuilt the store and before serving.
+// Each cacheable backend whose warm namespace has entries starts with those
+// entries already cached; fetchedAt is back-dated so they stay fresh for
+// min(WarmGrace, TTL) and then roll over to a live invocation on the normal
+// expiry path. It returns the number of entries restored.
+func (s *Server) WarmRestore() int {
+	ws := s.cfg.WarmStore
+	if ws == nil {
+		return 0
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	backends := append([]Backend(nil), s.backends...)
+	s.mu.Unlock()
+	all := ws.All()
+	total := 0
+	for _, b := range backends {
+		ttl := b.CacheTTL()
+		if ttl <= 0 {
+			continue // uncacheable backends are always invoked live
+		}
+		root := warmRoot(b.Name())
+		var entries []*ldap.Entry
+		for _, e := range all {
+			if e.DN.IsDescendantOf(root) {
+				c := e.Clone()
+				c.DN = c.DN[:len(c.DN)-1] // strip the namespace root
+				entries = append(entries, c)
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		ldap.SortEntries(entries)
+		grace := s.cfg.WarmGrace
+		if grace <= 0 || grace > ttl {
+			grace = ttl
+		}
+		s.cacheMu.Lock()
+		s.cache[b.Name()] = &cacheEntry{entries: entries, fetchedAt: now.Add(grace - ttl)}
+		s.cacheMu.Unlock()
+		total += len(entries)
+	}
+	return total
 }
 
 // FlushCache drops all cached provider results.
@@ -463,6 +530,26 @@ func (s *Server) refresh(b Backend, now time.Time, ttl time.Duration, sp *obs.Sp
 		s.cacheMu.Lock()
 		s.cache[name] = &cacheEntry{entries: entries, fetchedAt: now}
 		s.cacheMu.Unlock()
+		if ws := s.cfg.WarmStore; ws != nil {
+			// Write-through: replace the backend's warm subtree with the
+			// fresh superset so a post-crash WarmRestore sees the last
+			// completed invocation, never a blend of two rounds. Entries are
+			// re-rooted under a per-backend namespace so that backends
+			// sharing a suffix never wipe each other's warm state and
+			// restore attributes each entry to the backend that produced it.
+			// A warm-store write failure (sticky WAL error) must not fail
+			// the query — the live result is still correct; durability
+			// degrades to the previous round.
+			root := warmRoot(name)
+			ws.RemoveSubtree(root)
+			warm := make([]*ldap.Entry, 0, len(entries))
+			for _, e := range entries {
+				c := e.Clone()
+				c.DN = append(c.DN, root[0])
+				warm = append(warm, c)
+			}
+			_ = ws.PutAll(warm)
+		}
 	}
 	f.entries, f.err = entries, err
 	s.finishFlight(name, f)

@@ -528,3 +528,111 @@ func TestManyBackendsScale(t *testing.T) {
 		t.Fatalf("scoped = %d", len(w2.entries))
 	}
 }
+
+// TestWarmRestoreRoundTrip: a query on one server writes through to the warm
+// store; a second server sharing that store answers from WarmRestore without
+// invoking any backend, and rolls over to a live invocation once the warm
+// grace expires.
+func TestWarmRestoreRoundTrip(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ws := ldap.NewStore()
+	static := &fakeBackend{
+		name: "static", suffix: hostDN(),
+		attrs: []string{"hn", "system"},
+		ttl:   time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).
+			Add("objectclass", "computer").
+			Add("hn", "hostX").
+			Add("system", "linux")},
+	}
+	s1 := New(Config{Suffix: hostDN(), Clock: clock, WarmStore: ws, WarmGrace: 30 * time.Minute})
+	s1.Register(static)
+	req := &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1",
+		Scope: ldap.ScopeWholeSubtree, Filter: ldap.MustParseFilter("(objectclass=computer)")}
+	s1.Search(anonReq(), req, &sink{})
+	if static.calls != 1 {
+		t.Fatalf("static calls = %d, want 1", static.calls)
+	}
+	if len(ws.All()) == 0 {
+		t.Fatal("query did not write through to the warm store")
+	}
+
+	// "Restart": a second server over the same warm store, fresh backend.
+	static2 := &fakeBackend{name: "static", suffix: hostDN(),
+		attrs: static.attrs, ttl: time.Hour, entries: static.entries}
+	s2 := New(Config{Suffix: hostDN(), Clock: clock, WarmStore: ws, WarmGrace: 30 * time.Minute})
+	s2.Register(static2)
+	if n := s2.WarmRestore(); n == 0 {
+		t.Fatal("WarmRestore restored nothing")
+	}
+	w := &sink{}
+	s2.Search(anonReq(), req, w)
+	if static2.calls != 0 {
+		t.Fatalf("restored cache should serve without invocation, calls = %d", static2.calls)
+	}
+	if len(w.entries) != 1 || w.entries[0].First("hn") != "hostX" {
+		t.Fatalf("restored answer wrong: %v", w.entries)
+	}
+
+	// Past the warm grace the restored entry expires and the backend runs.
+	clock.Advance(31 * time.Minute)
+	s2.Search(anonReq(), req, &sink{})
+	if static2.calls != 1 {
+		t.Fatalf("post-grace query should invoke live backend, calls = %d", static2.calls)
+	}
+}
+
+// TestWarmRestoreSharedSuffix: two backends on the same suffix keep separate
+// warm namespaces — a refresh of one never wipes the other's warm state, and
+// restore attributes each entry to the backend that produced it, so a wide
+// query after restart returns no duplicates.
+func TestWarmRestoreSharedSuffix(t *testing.T) {
+	clock := softstate.NewFakeClock()
+	ws := ldap.NewStore()
+	cfg := Config{Suffix: hostDN(), Clock: clock, WarmStore: ws, WarmGrace: time.Hour}
+	s1 := New(cfg)
+	static := &fakeBackend{name: "static", suffix: hostDN(),
+		attrs: []string{"hn", "system"}, ttl: time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN()).
+			Add("objectclass", "computer").Add("hn", "hostX").Add("system", "linux")}}
+	dynamic := &fakeBackend{name: "dynamic", suffix: hostDN(),
+		attrs: []string{"perf", "load5"}, ttl: time.Hour,
+		entries: []*ldap.Entry{ldap.NewEntry(hostDN().ChildAVA("perf", "load")).
+			Add("objectclass", "perf", "loadaverage").Add("perf", "load").Add("load5", "1.5")}}
+	s1.Register(static)
+	s1.Register(dynamic)
+	wide := &ldap.SearchRequest{BaseDN: "hn=hostX, o=center1", Scope: ldap.ScopeWholeSubtree}
+	s1.Search(anonReq(), wide, &sink{})
+	if static.calls != 1 || dynamic.calls != 1 {
+		t.Fatalf("live calls = %d/%d, want 1/1", static.calls, dynamic.calls)
+	}
+
+	s2 := New(cfg)
+	static2 := &fakeBackend{name: "static", suffix: hostDN(), attrs: static.attrs,
+		ttl: time.Hour, entries: static.entries}
+	dynamic2 := &fakeBackend{name: "dynamic", suffix: hostDN(), attrs: dynamic.attrs,
+		ttl: time.Hour, entries: dynamic.entries}
+	s2.Register(static2)
+	s2.Register(dynamic2)
+	if n := s2.WarmRestore(); n != 2 {
+		t.Fatalf("WarmRestore = %d entries, want 2 (one per backend, no cross-assignment)", n)
+	}
+	w := &sink{}
+	s2.Search(anonReq(), wide, w)
+	if static2.calls != 0 || dynamic2.calls != 0 {
+		t.Fatalf("restored caches should serve without invocation, calls = %d/%d",
+			static2.calls, dynamic2.calls)
+	}
+	if len(w.entries) != 2 {
+		t.Fatalf("wide query after restore returned %d entries, want 2 (no duplicates): %v",
+			len(w.entries), w.entries)
+	}
+	seen := map[string]bool{}
+	for _, e := range w.entries {
+		dn := e.DN.String()
+		if seen[dn] {
+			t.Fatalf("duplicate entry %q after warm restore", dn)
+		}
+		seen[dn] = true
+	}
+}

@@ -152,6 +152,27 @@ func Unmarshal(b []byte) (*Message, error) {
 	return &m, nil
 }
 
+// EncodePayload serializes a registry payload holding a *Message — the
+// shape Receiver.Ingest stores — for durability (internal/persist wires
+// these two as its PayloadCodec). Non-Message payloads are refused so the
+// WAL never persists state it could not decode back.
+func EncodePayload(p any) ([]byte, error) {
+	m, ok := p.(*Message)
+	if !ok {
+		return nil, fmt.Errorf("grrp: payload is %T, not *Message", p)
+	}
+	return m.Marshal(), nil
+}
+
+// DecodePayload is the inverse of EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	m, err := Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // The LDAP binding maps a GRRP message onto an add operation (§10.1:
 // "GRRP messages mapped onto LDAP add operations and then carried via the
 // normal LDAP protocol"). The entry's DN names the registration under the

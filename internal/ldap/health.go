@@ -3,15 +3,64 @@ package ldap
 import (
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"mds2/internal/softstate"
 )
 
-// HealthCheck probes an LDAP server the way a client would: dial, anonymous
-// bind, RootDSE base search. Passing all three means the accept loop,
-// the bind path, and the search dispatch are all live — not just that the
-// process exists. It is the probe cmd/gris and cmd/giis mount at /healthz.
+// ProbeMode selects how deep a HealthCheck exercises the server.
+type ProbeMode int
+
+// Probe modes.
+const (
+	// ProbeAnonymous is the default: dial, anonymous bind, RootDSE base
+	// search — proves the accept loop, bind path, and search dispatch.
+	ProbeAnonymous ProbeMode = iota
+	// ProbeSimpleBind performs a credentialed simple bind (BindDN /
+	// BindPassword) instead of an anonymous one, exercising the credential
+	// path. Note that GRIS and GIIS servers refuse credentialed simple
+	// binds by design (anonymous or SASL/GSI only), so this mode targets
+	// deployments fronted by an authenticating proxy or future password
+	// backends — its failure against a stock server is itself a signal the
+	// policy is still enforced.
+	ProbeSimpleBind
+	// ProbeScopedSearch follows the bind with a real data search (Base /
+	// Scope / Filter) and, when MinEntries > 0, requires that many entries
+	// back — proving not just liveness but that the server actually holds
+	// answerable content (e.g. a GIIS with at least one registered child).
+	ProbeScopedSearch
+)
+
+func (m ProbeMode) String() string {
+	switch m {
+	case ProbeAnonymous:
+		return "anonymous"
+	case ProbeSimpleBind:
+		return "simple-bind"
+	case ProbeScopedSearch:
+		return "scoped-search"
+	}
+	return fmt.Sprintf("probemode(%d)", int(m))
+}
+
+// ParseProbeMode maps the flag vocabulary onto a ProbeMode.
+func ParseProbeMode(s string) (ProbeMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "anonymous", "anon":
+		return ProbeAnonymous, nil
+	case "simple-bind", "simple", "bind":
+		return ProbeSimpleBind, nil
+	case "scoped-search", "search", "scoped":
+		return ProbeScopedSearch, nil
+	}
+	return 0, fmt.Errorf("ldap: unknown probe mode %q (anonymous, simple-bind, scoped-search)", s)
+}
+
+// HealthCheck probes an LDAP server the way a client would: dial, bind,
+// search. Passing means the accept loop, the bind path, and the search
+// dispatch are all live — not just that the process exists. It is the probe
+// cmd/gris and cmd/giis mount at /healthz; Mode selects how deep it goes.
 type HealthCheck struct {
 	// Addr is the server to probe; Dial overrides the transport (tests).
 	Addr string
@@ -20,6 +69,20 @@ type HealthCheck struct {
 	Timeout time.Duration
 	// Clock stamps the probe; nil means wall clock.
 	Clock softstate.Clock
+
+	// Mode selects the probe depth (default ProbeAnonymous).
+	Mode ProbeMode
+	// BindDN and BindPassword are the ProbeSimpleBind credentials.
+	BindDN       string
+	BindPassword string
+	// Base, Scope, and Filter define the ProbeScopedSearch region; an empty
+	// Filter means (objectclass=*).
+	Base   string
+	Scope  Scope
+	Filter string
+	// MinEntries, when > 0, is the least number of entries the scoped
+	// search must return for the probe to pass.
+	MinEntries int
 }
 
 // Probe runs the check once. The returned duration is the full
@@ -50,9 +113,40 @@ func (hc HealthCheck) Probe() (time.Duration, error) {
 	c.Timeout = timeout
 	c.Clock = clock
 
-	if err := c.Bind("", ""); err != nil {
-		return elapsed(), fmt.Errorf("anonymous bind: %w", err)
+	if hc.Mode == ProbeSimpleBind {
+		if err := c.Bind(hc.BindDN, hc.BindPassword); err != nil {
+			return elapsed(), fmt.Errorf("simple bind as %q: %w", hc.BindDN, err)
+		}
+	} else {
+		if err := c.Bind("", ""); err != nil {
+			return elapsed(), fmt.Errorf("anonymous bind: %w", err)
+		}
 	}
+
+	if hc.Mode == ProbeScopedSearch {
+		filter := hc.Filter
+		if filter == "" {
+			filter = "(objectclass=*)"
+		}
+		f, err := ParseFilter(filter)
+		if err != nil {
+			return elapsed(), fmt.Errorf("probe filter: %w", err)
+		}
+		res, err := c.Search(&SearchRequest{
+			BaseDN: hc.Base,
+			Scope:  hc.Scope,
+			Filter: f,
+		})
+		if err != nil {
+			return elapsed(), fmt.Errorf("scoped search %q: %w", hc.Base, err)
+		}
+		if hc.MinEntries > 0 && len(res.Entries) < hc.MinEntries {
+			return elapsed(), fmt.Errorf("scoped search %q: %d entries, want >= %d",
+				hc.Base, len(res.Entries), hc.MinEntries)
+		}
+		return elapsed(), nil
+	}
+
 	if _, err := c.Search(&SearchRequest{
 		BaseDN: "",
 		Scope:  ScopeBaseObject,

@@ -58,3 +58,81 @@ func TestHealthCheckFailsWhenThrottled(t *testing.T) {
 		t.Fatalf("throttled probe error = %v, want busy", err)
 	}
 }
+
+func TestParseProbeMode(t *testing.T) {
+	ok := map[string]ProbeMode{
+		"":                ProbeAnonymous,
+		"anonymous":       ProbeAnonymous,
+		"Anon":            ProbeAnonymous,
+		"simple-bind":     ProbeSimpleBind,
+		"simple":          ProbeSimpleBind,
+		"bind":            ProbeSimpleBind,
+		" scoped-search ": ProbeScopedSearch,
+		"search":          ProbeScopedSearch,
+		"SCOPED":          ProbeScopedSearch,
+	}
+	for in, want := range ok {
+		if got, err := ParseProbeMode(in); err != nil || got != want {
+			t.Errorf("ParseProbeMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseProbeMode("deep"); err == nil {
+		t.Fatal("unknown probe mode parsed")
+	}
+	// Every real mode's String round-trips through the parser, so the flag
+	// vocabulary and the health-check names stay in sync.
+	for _, m := range []ProbeMode{ProbeAnonymous, ProbeSimpleBind, ProbeScopedSearch} {
+		if got, err := ParseProbeMode(m.String()); err != nil || got != m {
+			t.Errorf("round trip %v: got %v, %v", m, got, err)
+		}
+	}
+}
+
+// TestHealthCheckProbeModes: the simple-bind and scoped-search modes against
+// a store-backed server (which accepts any non-SASL bind): scoped search
+// passes when the MinEntries floor is met, fails when it is not, and fails
+// on an unparsable filter.
+func TestHealthCheckProbeModes(t *testing.T) {
+	store := NewStore()
+	base := MustParseDN("o=grid")
+	if err := store.Put(NewEntry(base).
+		Add("objectclass", "organization").Add("o", "grid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(NewEntry(base.ChildAVA("hn", "hostA")).
+		Add("objectclass", "computer").Add("hn", "hostA")); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve(l)
+	addr := l.Addr().String()
+
+	if d, err := (HealthCheck{Addr: addr, Mode: ProbeSimpleBind,
+		BindDN: "cn=probe", BindPassword: "s3kr1t"}).Probe(); err != nil {
+		t.Fatalf("simple-bind probe: %v (after %v)", err, d)
+	}
+
+	scoped := HealthCheck{Addr: addr, Mode: ProbeScopedSearch,
+		Base: "o=grid", Scope: ScopeWholeSubtree, MinEntries: 2}
+	if d, err := scoped.Probe(); err != nil {
+		t.Fatalf("scoped-search probe: %v (after %v)", err, d)
+	}
+
+	scoped.MinEntries = 3
+	if _, err := scoped.Probe(); err == nil {
+		t.Fatal("scoped-search probe passed with only 2 of 3 required entries")
+	} else if !strings.Contains(err.Error(), "entries") {
+		t.Fatalf("under-floor probe error = %v, want entry-count failure", err)
+	}
+
+	scoped.MinEntries = 0
+	scoped.Filter = "(((broken"
+	if _, err := scoped.Probe(); err == nil {
+		t.Fatal("scoped-search probe passed with unparsable filter")
+	}
+}

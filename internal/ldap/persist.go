@@ -1,0 +1,56 @@
+package ldap
+
+// Persister receives store mutations for durability (the WAL in
+// internal/persist; any write-behind would fit). The store invokes the
+// methods under its write lock, immediately after the in-memory state
+// change — LSN order equals apply order — so implementations must only
+// encode and enqueue: never block, never call back into the store.
+//
+// The returned ack, when non-nil, is invoked by the store AFTER releasing
+// its lock; it may block until the mutation is durable and returns the
+// persistence error, if any. A nil ack means nothing to wait for (async
+// sync modes, or the in-memory store with no persister at all — the
+// default path stays zero-cost).
+type Persister interface {
+	// PersistPut records a batch of full entry upserts. The entries are the
+	// store's sealed immutable snapshots: read-only, never retained past
+	// the call for mutation.
+	PersistPut(entries []*Entry) (ack func() error)
+	// PersistRemove records removal of dn, or of its whole subtree.
+	PersistRemove(dn DN, subtree bool) (ack func() error)
+}
+
+// SetPersister installs p as the store's durability hook. Install at boot,
+// after recovery and before traffic; replaying a recovered image through a
+// live persister would double-log it.
+func (s *Store) SetPersister(p Persister) {
+	s.mu.Lock()
+	s.persister = p
+	s.mu.Unlock()
+}
+
+// persistPutLocked forwards an upsert batch to the persister, if any.
+// Caller holds s.mu.
+func (s *Store) persistPutLocked(entries []*Entry) func() error {
+	if s.persister == nil {
+		return nil
+	}
+	return s.persister.PersistPut(entries)
+}
+
+// persistRemoveLocked forwards a removal to the persister, if any. Caller
+// holds s.mu.
+func (s *Store) persistRemoveLocked(dn DN, subtree bool) func() error {
+	if s.persister == nil {
+		return nil
+	}
+	return s.persister.PersistRemove(dn, subtree)
+}
+
+// await runs an ack outside the store lock, mapping nil to success.
+func await(ack func() error) error {
+	if ack == nil {
+		return nil
+	}
+	return ack()
+}

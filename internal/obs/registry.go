@@ -26,6 +26,19 @@ type Registry struct {
 	hists      map[string]*Histogram
 	counterFns map[string]func() int64
 	gaugeFns   map[string]func() float64
+	labeledFns map[string]labeledGaugeFn
+}
+
+// LabeledValue is one sample of a labeled gauge family: the label value and
+// the gauge reading.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
+type labeledGaugeFn struct {
+	label string
+	fn    func() []LabeledValue
 }
 
 // NewRegistry returns an empty registry.
@@ -36,6 +49,7 @@ func NewRegistry() *Registry {
 		hists:      map[string]*Histogram{},
 		counterFns: map[string]func() int64{},
 		gaugeFns:   map[string]func() float64{},
+		labeledFns: map[string]labeledGaugeFn{},
 	}
 }
 
@@ -152,6 +166,41 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.gaugeFns[sanitizeName(name)] = fn
 }
 
+// LabeledGaugeFunc registers a sampling function rendered as a gauge family
+// with one label dimension: one `name{label="value"} v` line per returned
+// sample. The function is sampled outside the registry lock, like GaugeFunc,
+// so it may take component locks of its own.
+func (r *Registry) LabeledGaugeFunc(name, label string, fn func() []LabeledValue) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labeledFns[sanitizeName(name)] = labeledGaugeFn{label: sanitizeName(label), fn: fn}
+}
+
+// escapeLabelValue escapes a Prometheus label value (backslash, quote,
+// newline).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus renders every instrument in Prometheus text exposition
 // format, families sorted by name. Histogram buckets are emitted sparsely
 // (only boundaries whose cumulative count changed, plus +Inf) — valid input
@@ -181,6 +230,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	lfns := make(map[string]labeledGaugeFn, len(r.labeledFns))
+	for name, lf := range r.labeledFns {
+		lfns[name] = lf
+	}
 	r.mu.Unlock()
 	// Sampling functions run outside the registry lock: they may take other
 	// locks (softstate.Registry.mu) that must never nest under ours.
@@ -190,6 +243,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, fn := range gfns {
 		gauges[name] = fn()
 	}
+	type labeledFamily struct {
+		label   string
+		samples []LabeledValue
+	}
+	labeled := make(map[string]labeledFamily, len(lfns))
+	for name, lf := range lfns {
+		labeled[name] = labeledFamily{label: lf.label, samples: lf.fn()}
+	}
 
 	var b strings.Builder
 	for _, name := range sortedKeys(counters) {
@@ -198,6 +259,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(gauges) {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name,
 			strconv.FormatFloat(gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(labeled) {
+		fam := labeled[name]
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		samples := append([]LabeledValue(nil), fam.samples...)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Label < samples[j].Label })
+		for _, s := range samples {
+			fmt.Fprintf(&b, "%s{%s=\"%s\"} %s\n", name, fam.label, escapeLabelValue(s.Label),
+				strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
 	}
 	for _, name := range sortedKeys(hists) {
 		writeHistogram(&b, name, hists[name])

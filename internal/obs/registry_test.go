@@ -200,3 +200,44 @@ func TestRegistryConcurrentStorm(t *testing.T) {
 		t.Errorf("histogram count = %d", r.Histogram("h_ns").Count())
 	}
 }
+
+// TestLabeledGaugeFunc: labeled gauge families render one sample line per
+// label value, sorted by label, with Prometheus label-value escaping; a nil
+// registry swallows the registration.
+func TestLabeledGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGaugeFunc("giis_child_up", "child", func() []LabeledValue {
+		return []LabeledValue{
+			{Label: "zeta", Value: 0},
+			{Label: "alpha", Value: 1},
+			{Label: `we"ird\lab` + "\nel", Value: 1},
+		}
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE giis_child_up gauge") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	wantInOrder := []string{
+		`giis_child_up{child="alpha"} 1`,
+		`giis_child_up{child="we\"ird\\lab\nel"} 1`,
+		`giis_child_up{child="zeta"} 0`,
+	}
+	last := -1
+	for _, want := range wantInOrder {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("missing sample %q in:\n%s", want, out)
+		}
+		if i < last {
+			t.Errorf("sample %q out of label order", want)
+		}
+		last = i
+	}
+
+	var nilReg *Registry
+	nilReg.LabeledGaugeFunc("x", "l", func() []LabeledValue { return nil }) // must not panic
+}

@@ -1,0 +1,436 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mds2/internal/ldap"
+	"mds2/internal/softstate"
+)
+
+func mustDN(t *testing.T, s string) ldap.DN {
+	t.Helper()
+	dn, err := ldap.ParseDN(s)
+	if err != nil {
+		t.Fatalf("ParseDN(%q): %v", s, err)
+	}
+	return dn
+}
+
+func testEntry(t *testing.T, dn string, attrs ...string) *ldap.Entry {
+	t.Helper()
+	e := ldap.NewEntry(mustDN(t, dn))
+	e.Add("objectclass", "computer")
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.Add(attrs[i], attrs[i+1])
+	}
+	return e
+}
+
+// storeImage flattens a store for comparison: DN → rendered attributes.
+func storeImage(s *ldap.Store) map[string]string {
+	out := map[string]string{}
+	for _, e := range s.All() {
+		img := ""
+		for _, a := range e.Attrs {
+			img += a.Name + "="
+			for _, v := range a.Values {
+				img += v + ","
+			}
+			img += ";"
+		}
+		out[e.DN.Normalize()] = img
+	}
+	return out
+}
+
+func sameImage(t *testing.T, want, got map[string]string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("entry count: want %d, got %d", len(want), len(got))
+	}
+	for dn, img := range want {
+		if got[dn] != img {
+			t.Fatalf("entry %q: want %q, got %q", dn, img, got[dn])
+		}
+	}
+}
+
+func openAttached(t *testing.T, dir string, clock softstate.Clock, mode SyncMode,
+	store *ldap.Store, reg *softstate.Registry) *Manager {
+	t.Helper()
+	m, err := Open(Options{Dir: dir, Clock: clock, Sync: mode})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if m.HasState() {
+		if _, err := m.Recover(store, reg); err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+	}
+	if err := m.Attach(store, reg); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	return m
+}
+
+func TestStoreRecoversFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+
+	store := ldap.NewStore()
+	m := openAttached(t, dir, clock, SyncAlways, store, nil)
+	for i := 0; i < 20; i++ {
+		dn := fmt.Sprintf("hn=h%d, ou=res, o=grid", i)
+		if err := store.Put(testEntry(t, dn, "load5", fmt.Sprintf("%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if !store.Remove(mustDN(t, "hn=h3, ou=res, o=grid")) {
+		t.Fatal("Remove: not found")
+	}
+	if err := store.Put(testEntry(t, "hn=h5, ou=res, o=grid", "load5", "99")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	want := storeImage(store)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fresh := ldap.NewStore()
+	m2, err := Open(Options{Dir: dir, Clock: clock, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !m2.HasState() {
+		t.Fatal("HasState: want true after writes")
+	}
+	stats, err := m2.Recover(fresh, nil)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.RecordsReplayed == 0 {
+		t.Fatal("Recover replayed no records")
+	}
+	sameImage(t, want, storeImage(fresh))
+	if err := m2.Attach(fresh, nil); err != nil {
+		t.Fatalf("re-Attach: %v", err)
+	}
+	// The recovered instance keeps logging past the old history.
+	if err := fresh.Put(testEntry(t, "hn=h100, ou=res, o=grid")); err != nil {
+		t.Fatalf("post-recovery Put: %v", err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSnapshotBoundsReplayAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+	store := ldap.NewStore()
+	m, err := Open(Options{Dir: dir, Clock: clock, Sync: SyncAlways, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := m.Attach(store, nil); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		dn := fmt.Sprintf("hn=h%d, ou=res, o=grid", i)
+		if err := store.Put(testEntry(t, dn)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	segsBefore, _ := listSegments(dir)
+	if len(segsBefore) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segsBefore))
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	segsAfter, _ := listSegments(dir)
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("snapshot did not truncate segments: %d -> %d", len(segsBefore), len(segsAfter))
+	}
+	// Tail writes after the snapshot land in the surviving segments.
+	if err := store.Put(testEntry(t, "hn=tail, ou=res, o=grid")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	want := storeImage(store)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fresh := ldap.NewStore()
+	m2, err := Open(Options{Dir: dir, Clock: clock, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	stats, err := m2.Recover(fresh, nil)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.SnapshotPath == "" {
+		t.Fatal("Recover ignored the snapshot")
+	}
+	// 200 from the snapshot plus the tail write replayed past the watermark.
+	if stats.Entries != 201 {
+		t.Fatalf("restored entries: want 201, got %d", stats.Entries)
+	}
+	sameImage(t, want, storeImage(fresh))
+	if err := m2.Attach(fresh, nil); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	m2.Close()
+}
+
+func TestRegistryRecoveryGraceWindow(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+	reg := softstate.NewRegistry(clock)
+	m := openAttached(t, dir, clock, SyncAlways, nil, reg)
+	if !reg.Refresh("ldap://p1", nil, time.Minute) {
+		t.Fatal("Refresh p1")
+	}
+	if !reg.Refresh("ldap://p2", nil, 10*time.Second) {
+		t.Fatal("Refresh p2")
+	}
+	// Registry journaling is asynchronous; draw the durability line before
+	// crashing so the test is deterministic.
+	if err := m.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	m.Crash()
+
+	// Restart far enough in the future that both TTLs have lapsed on the
+	// wall: the grace window must still serve them briefly.
+	clock.Advance(2 * time.Minute)
+	reg2 := softstate.NewRegistry(clock)
+	m2, err := Open(Options{Dir: dir, Clock: clock, Sync: SyncAlways,
+		RecoveryGrace: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	stats, err := m2.Recover(nil, reg2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if err := m2.Attach(nil, reg2); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if stats.Registrations != 2 {
+		t.Fatalf("recovered registrations: want 2, got %d", stats.Registrations)
+	}
+	if got := reg2.RecoveredLive(); got != 2 {
+		t.Fatalf("RecoveredLive: want 2, got %d", got)
+	}
+	it, ok := reg2.Get("ldap://p1")
+	if !ok || !it.Recovered {
+		t.Fatalf("p1 not recovered-live: ok=%v item=%+v", ok, it)
+	}
+	// A confirming refresh clears the recovered mark...
+	if reg2.Refresh("ldap://p1", nil, time.Minute) {
+		t.Fatal("p1 should refresh as existing, not newly joined")
+	}
+	if got := reg2.RecoveredLive(); got != 1 {
+		t.Fatalf("RecoveredLive after confirm: want 1, got %d", got)
+	}
+	// ...and the unconfirmed one lapses when the grace window closes.
+	clock.Advance(31 * time.Second)
+	reg2.Sweep()
+	if _, ok := reg2.Get("ldap://p2"); ok {
+		t.Fatal("p2 should have expired at the end of its grace window")
+	}
+	if _, ok := reg2.Get("ldap://p1"); !ok {
+		t.Fatal("p1 should still be live after its confirming refresh")
+	}
+	m2.Close()
+}
+
+func TestTornTailTruncatesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+	store := ldap.NewStore()
+	m := openAttached(t, dir, clock, SyncAlways, store, nil)
+	for i := 0; i < 10; i++ {
+		dn := fmt.Sprintf("hn=h%d, ou=res, o=grid", i)
+		if err := store.Put(testEntry(t, dn)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	want := storeImage(store)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the live segment: chop bytes off the end and append garbage —
+	// what a crash mid-write leaves behind.
+	segs, _ := listSegments(dir)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	last := segs[len(segs)-1].path
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b[:len(b)-7], 0xde, 0xad, 0xbe)
+	if err := os.WriteFile(last, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, mustDN(t, "hn=h9, ou=res, o=grid").Normalize()) // the torn record
+
+	fresh := ldap.NewStore()
+	m2, err := Open(Options{Dir: dir, Clock: clock, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	stats, err := m2.Recover(fresh, nil)
+	if err != nil {
+		t.Fatalf("Recover over torn tail: %v", err)
+	}
+	if stats.TornBytes == 0 {
+		t.Fatal("TornBytes: want > 0")
+	}
+	sameImage(t, want, storeImage(fresh))
+	if err := m2.Attach(fresh, nil); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	m2.Close()
+}
+
+func TestAttachRefusesDirtyDirWithoutRecover(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+	store := ldap.NewStore()
+	m := openAttached(t, dir, clock, SyncAlways, store, nil)
+	if err := store.Put(testEntry(t, "hn=h0, ou=res, o=grid")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	m.Close()
+
+	m2, err := Open(Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := m2.Attach(ldap.NewStore(), nil); err == nil {
+		t.Fatal("Attach on dirty dir without Recover: want error")
+	}
+}
+
+func TestSnapshotSkippedWhenDamaged(t *testing.T) {
+	dir := t.TempDir()
+	clock := softstate.NewFakeClock()
+	store := ldap.NewStore()
+	m := openAttached(t, dir, clock, SyncAlways, store, nil)
+	for i := 0; i < 5; i++ {
+		dn := fmt.Sprintf("hn=h%d, ou=res, o=grid", i)
+		if err := store.Put(testEntry(t, dn)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	want := storeImage(store)
+	m.Close()
+
+	// Truncate the snapshot: the end marker disappears, so recovery must
+	// reject it and rebuild from the WAL (which the snapshot truncated —
+	// but only sealed segments are truncated, and these writes are in the
+	// live segment, still present).
+	snaps, _ := listSnapshots(dir)
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: want 1, got %d", len(snaps))
+	}
+	b, err := os.ReadFile(snaps[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps[0].path, b[:len(b)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := ldap.NewStore()
+	m2, err := Open(Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	stats, err := m2.Recover(fresh, nil)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.SnapshotPath != "" {
+		t.Fatal("damaged snapshot should have been skipped")
+	}
+	sameImage(t, want, storeImage(fresh))
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"interval", SyncInterval, false},
+		{"none", SyncNone, false},
+		{"sometimes", 0, true},
+	} {
+		got, err := ParseSyncMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.err && got.String() != tc.in {
+			t.Errorf("SyncMode.String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+}
+
+func TestSyncIntervalFlushesOnTimer(t *testing.T) {
+	dir := t.TempDir()
+	store := ldap.NewStore()
+	// Real clock: the interval timer must actually fire.
+	m, err := Open(Options{Dir: dir, Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := m.Attach(store, nil); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if err := store.Put(testEntry(t, "hn=h0, ou=res, o=grid")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		segs, _ := listSegments(dir)
+		if len(segs) > 0 {
+			if fi, err := os.Stat(segs[len(segs)-1].path); err == nil && fi.Size() > int64(len(segMagic)) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never wrote the record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+}
+
+func TestTmpFilesCleanedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "tmp-snap-123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp file survived Open: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package softstate
+
+import "time"
+
+// JournalOp enumerates registry lifecycle transitions worth persisting.
+type JournalOp int
+
+// Registry journal operations.
+const (
+	// JournalRefresh carries the item's full absolute state after a refresh
+	// (deadline, counters, payload) — replayable idempotently.
+	JournalRefresh JournalOp = iota
+	// JournalRemove records an explicit removal; only Item.Key is meaningful.
+	JournalRemove
+	// JournalExpire records a TTL expiry the registry observed; only
+	// Item.Key is meaningful. Persisting expiries keeps a recovered image
+	// from resurrecting providers that were already declared dead.
+	JournalExpire
+)
+
+// JournalRecord is one journaled transition.
+type JournalRecord struct {
+	Op   JournalOp
+	Item Item
+}
+
+// Journal receives registry transitions for durability. Calls are made
+// under the registry lock, immediately after the state change, with each
+// batch in apply order: implementations must only encode and enqueue —
+// never block, never call back into the registry. Registration durability
+// is deliberately asynchronous (no ack): a lost tail re-converges through
+// the protocol's own refresh cycle.
+type Journal interface {
+	JournalRegistry(recs []JournalRecord)
+}
+
+// SetJournal installs j as the registry's durability hook. Install at
+// boot, after Restore and before traffic.
+func (r *Registry) SetJournal(j Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = j
+}
+
+// journalLocked forwards a batch to the journal, if any. Caller holds r.mu.
+func (r *Registry) journalLocked(recs []JournalRecord) {
+	if r.journal == nil || len(recs) == 0 {
+		return
+	}
+	r.journal.JournalRegistry(recs)
+}
+
+// Restore installs recovered items in bulk: no events, no journaling, no
+// per-item locking — boot time only, before traffic. Each item keeps its
+// persisted state but its deadline is raised to at least now+grace, giving
+// the provider one refresh interval to confirm liveness before soft state
+// purges it (the recovery grace window); items already lapsed past both
+// bounds are dropped. Restored items are marked Recovered until their
+// first post-boot refresh. Keys already present (a refresh beat the
+// restore) are left alone. Returns the number of items restored live.
+func (r *Registry) Restore(items []Item, grace time.Duration) int {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0
+	}
+	restored := 0
+	for _, it := range items {
+		if _, exists := r.items[it.Key]; exists {
+			continue
+		}
+		deadline := it.ExpiresAt
+		if g := now.Add(grace); grace > 0 && g.After(deadline) {
+			deadline = g
+		}
+		if !deadline.After(now) {
+			continue
+		}
+		cp := it
+		cp.ExpiresAt = deadline
+		cp.Recovered = true
+		r.items[cp.Key] = &cp
+		if r.earliest.IsZero() || deadline.Before(r.earliest) {
+			r.earliest = deadline
+		}
+		restored++
+	}
+	if restored > 0 {
+		r.bumpLocked()
+		r.scheduleSweepLocked()
+	}
+	return restored
+}
+
+// RecoveredLive returns how many live items are still in the recovered-
+// but-unconfirmed state (no refresh since Restore).
+func (r *Registry) RecoveredLive() int {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	n := 0
+	for _, it := range r.items {
+		if it.Recovered {
+			n++
+		}
+	}
+	return n
+}

@@ -54,6 +54,9 @@ type Item struct {
 	JoinedAt time.Time
 	// LastRefresh records when the most recent refresh arrived.
 	LastRefresh time.Time
+	// Recovered marks an item restored from persistence and not yet
+	// confirmed by a post-boot refresh; cleared on the first refresh.
+	Recovered bool
 }
 
 // Registry is a TTL-keyed soft-state table. Entries are established and kept
@@ -91,6 +94,9 @@ type Registry struct {
 	// keys this node does not own are refused and counted in notOwned.
 	owns     func(key string, payload any) bool
 	notOwned uint64
+	// journal, when set, receives every transition for durability (see
+	// Journal); invoked under mu, enqueue-only.
+	journal Journal
 }
 
 // NewRegistry returns a registry driven by the given clock.
@@ -139,6 +145,9 @@ func (r *Registry) Refresh(key string, payload any, ttl time.Duration) bool {
 	}
 	r.expireLocked(now)
 	joined := r.refreshLocked(key, payload, ttl, now)
+	if r.journal != nil {
+		r.journalLocked([]JournalRecord{{Op: JournalRefresh, Item: *r.items[key]}})
+	}
 	r.bumpLocked()
 	r.scheduleSweepLocked()
 	r.mu.Unlock()
@@ -158,6 +167,7 @@ func (r *Registry) refreshLocked(key string, payload any, ttl time.Duration, now
 	it.ExpiresAt = now.Add(ttl)
 	it.Refreshes++
 	it.LastRefresh = now
+	it.Recovered = false // first post-boot refresh confirms a recovered item
 	if r.earliest.IsZero() || it.ExpiresAt.Before(r.earliest) {
 		r.earliest = it.ExpiresAt
 	}
@@ -191,6 +201,7 @@ func (r *Registry) RefreshBatch(batch []Refreshment) int {
 	}
 	r.expireLocked(now)
 	accepted := 0
+	var journaled []JournalRecord
 	for _, b := range batch {
 		if b.TTL <= 0 {
 			continue
@@ -200,8 +211,12 @@ func (r *Registry) RefreshBatch(batch []Refreshment) int {
 			continue
 		}
 		r.refreshLocked(b.Key, b.Payload, b.TTL, now)
+		if r.journal != nil {
+			journaled = append(journaled, JournalRecord{Op: JournalRefresh, Item: *r.items[b.Key]})
+		}
 		accepted++
 	}
+	r.journalLocked(journaled)
 	if accepted > 0 {
 		r.bumpLocked()
 		r.scheduleSweepLocked()
@@ -226,6 +241,9 @@ func (r *Registry) Remove(key string) bool {
 		// Keep the "zero earliest ⇔ empty table" shape; a stale non-zero
 		// bound over an empty table would schedule pointless sweeps.
 		r.earliest = time.Time{}
+	}
+	if r.journal != nil {
+		r.journalLocked([]JournalRecord{{Op: JournalRemove, Item: Item{Key: key}}})
 	}
 	r.bumpLocked()
 	r.notifyLocked(Event{Key: key, Type: EventRemoved, Payload: it.Payload, At: now})
@@ -366,6 +384,13 @@ func (r *Registry) expireLocked(now time.Time) []string {
 	}
 	r.earliest = nextEarliest
 	sort.Strings(expired)
+	if r.journal != nil && len(expired) > 0 {
+		recs := make([]JournalRecord, len(expired))
+		for i, key := range expired {
+			recs[i] = JournalRecord{Op: JournalExpire, Item: Item{Key: key}}
+		}
+		r.journalLocked(recs)
+	}
 	for _, key := range expired {
 		it := r.items[key]
 		delete(r.items, key)
